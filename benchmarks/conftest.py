@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+A single session-scoped :class:`~repro.harness.runs.Runner` memoizes
+samples, so the non-redundant baseline and the Reunion/global runs are
+simulated once and shared by every figure that needs them.
+
+Scale selection: set ``REPRO_SCALE`` to ``quick`` (default), ``standard``
+or ``paper`` before invoking ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runs import Runner, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def runner(scale):
+    return Runner(scale)

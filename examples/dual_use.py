@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Dual-use reconfiguration: trade redundancy for throughput, live.
+
+The paper's introduction argues a multicore redundant design should be
+dual-use: "a single design can provide a dual-use capability by
+supporting both redundant and non-redundant execution."  This example
+runs a Reunion pair, then — mid-execution — splits it so the mute core
+becomes an independent logical processor running its own program, and
+finally re-forms the pair and proves the redundancy works again by
+injecting a soft error.
+
+Usage::
+
+    python examples/dual_use.py
+"""
+
+from repro import CMPSystem, DEFAULT_CONFIG, FaultInjector, Mode, assemble
+from repro.isa.interpreter import run as golden_run
+
+PRIMARY = """
+    ; long-running accumulation
+    movi r1, 2000
+    movi r2, 0
+loop:
+    add r2, r2, r1
+    xor r3, r3, r2
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+SIDE_JOB = """
+    ; independent batch job for the freed core
+    .word 0x7000 21
+    movi r1, 0x7000
+    load r2, [r1]
+    mul r3, r2, r2
+    store r3, [r1+8]
+    halt
+"""
+
+
+def main() -> None:
+    config = DEFAULT_CONFIG.replace(n_logical=1).with_redundancy(
+        mode=Mode.REUNION, comparison_latency=10
+    )
+    system = CMPSystem(config, [assemble(PRIMARY)])
+    vocal = system.vocal_cores[0]
+    partner = system.cores[1]
+
+    print("Phase 1: redundant execution (vocal + mute)")
+    system.run(300)
+    print(f"  checked instructions so far: {vocal.gate.fingerprints_compared}")
+
+    print("\nPhase 2: decouple — the mute becomes an independent core")
+    promoted = system.decouple(0, assemble(SIDE_JOB))
+    assert promoted is partner
+    while not promoted.idle and system.now < 100_000:
+        system.step()
+    print(f"  side job result: 21^2 = {promoted.arf.read(3)}")
+    print(f"  pairs active: {len(system.pairs)} (primary runs unchecked)")
+
+    print("\nPhase 3: re-couple — redundancy resumes from the vocal's state")
+    pair = system.couple(0, promoted)
+    injector = FaultInjector(seed=9)
+    injector.attach(promoted)  # the mute again
+    injector.inject_once(after=50)
+    system.run_until_idle(max_cycles=1_000_000)
+
+    golden = golden_run(assemble(PRIMARY)).registers
+    print(f"  upset injected into re-coupled mute: {len(injector.records)}")
+    print(f"  recoveries: {pair.recoveries} (detection works again)")
+    print(f"  final r2 correct: {vocal.arf.read(2) == golden.read(2)}")
+    print(f"  vocal == mute ARF: {vocal.arf == promoted.arf}")
+
+
+if __name__ == "__main__":
+    main()

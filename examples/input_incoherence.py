@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1, live: a data race causes input incoherence.
+
+Two logical processors share a flag and a payload.  The reader spins on
+the flag; the writer publishes the payload and then sets the flag.  On
+the reader's Reunion pair, the vocal core observes the new flag value
+(its stale L1 line is invalidated by coherence), but the *mute* core's
+private cache still holds the old line — the phantom request that filled
+it is invisible to the coherence protocol.  The two cores take different
+branches, their fingerprints diverge, and the re-execution protocol
+rolls both back and re-reads the flag with a synchronizing request.
+
+Watch the recovery counters: correctness is preserved with zero special
+handling in the coherence protocol — exactly the paper's claim.
+
+Usage::
+
+    python examples/input_incoherence.py
+"""
+
+from repro import CMPSystem, DEFAULT_CONFIG, Mode, PhantomStrength, assemble
+
+READER = """
+    ; spin on M[0x100], then read the payload at M[0x108]
+    movi r1, 0x100
+wait:
+    load r2, [r1]
+    beq r2, r0, wait
+    load r3, [r1+8]
+    movi r4, 0xded      ; sentinel: we got here
+    halt
+"""
+
+WRITER = """
+    ; publish payload, then raise the flag (release-style with membar)
+    movi r1, 0x100
+    movi r2, 777
+    store r2, [r1+8]
+    membar
+    movi r3, 1
+    store r3, [r1]
+    halt
+"""
+
+
+def run(phantom: PhantomStrength) -> None:
+    config = DEFAULT_CONFIG.replace(n_logical=2).with_redundancy(
+        mode=Mode.REUNION, comparison_latency=10, phantom=phantom
+    )
+    system = CMPSystem(config, [assemble(READER), assemble(WRITER)])
+    cycles = system.run_until_idle(max_cycles=500_000)
+
+    reader_pair = system.pairs[0]
+    reader_vocal = system.vocal_cores[0]
+    reader_mute = system.cores[2]
+
+    print(f"\n=== phantom strength: {phantom.value} ===")
+    print(f"cycles                  : {cycles}")
+    print(f"flag observed           : {reader_vocal.arf.read(2)}")
+    print(f"payload observed        : {reader_vocal.arf.read(3)} (expected 777)")
+    print(f"reader reached end      : {reader_vocal.arf.read(4) == 0xDED}")
+    print(f"vocal == mute ARF       : {reader_vocal.arf == reader_mute.arf}")
+    print(f"recoveries (reader pair): {reader_pair.recoveries}")
+    print(f"  - fingerprint mismatch: {reader_pair.mismatch_recoveries}")
+    print(f"  - divergence watchdog : {reader_pair.timeout_recoveries}")
+    print(f"synchronizing requests  : {reader_pair.sync_requests}")
+    assert reader_vocal.arf.read(3) == 777, "payload must be the published value"
+
+
+def main() -> None:
+    print("Reproducing Figure 1: input incoherence from an intervening store.")
+    for phantom in (PhantomStrength.GLOBAL, PhantomStrength.SHARED, PhantomStrength.NULL):
+        run(phantom)
+    print(
+        "\nIn all three cases the race resolves correctly; weaker phantom"
+        "\nstrengths simply recover more often (Table 3's story)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure from the paper's evaluation.
+
+One command, all results: Figure 5, Figure 6(a) and 6(b), Table 3,
+Figure 7(a) and 7(b), and the Section 5.5 SC-vs-TSO experiment.
+
+Usage::
+
+    python examples/reproduce_paper.py                # quick scale
+    REPRO_SCALE=standard python examples/reproduce_paper.py
+    python examples/reproduce_paper.py --only fig5 table3
+"""
+
+import argparse
+import time
+
+from repro.harness import (
+    Runner,
+    current_scale,
+    run_fig5,
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    run_sc_comparison,
+    run_table3,
+)
+from repro.sim.config import Mode
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=["fig5", "fig6a", "fig6b", "table3", "fig7a", "fig7b", "sc"],
+        help="run a subset of the experiments",
+    )
+    args = parser.parse_args()
+
+    scale = current_scale()
+    runner = Runner(scale)
+    print(
+        f"Scale: {scale.name} (warmup {scale.warmup}, measure {scale.measure}, "
+        f"{len(scale.seeds)} seed(s)).  Set REPRO_SCALE to change."
+    )
+
+    experiments = {
+        "fig5": lambda: run_fig5(runner=runner),
+        "fig6a": lambda: run_fig6(Mode.STRICT, runner=runner),
+        "fig6b": lambda: run_fig6(Mode.REUNION, runner=runner),
+        "table3": lambda: run_table3(runner=runner),
+        "fig7a": lambda: run_fig7a(runner=runner),
+        "fig7b": lambda: run_fig7b(runner=runner),
+        "sc": lambda: run_sc_comparison(runner=runner),
+    }
+    selected = args.only or list(experiments)
+
+    for name in selected:
+        start = time.time()
+        result = experiments[name]()
+        print()
+        print(result.render())
+        print(f"[{name} took {time.time() - start:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Survey the Table 2 workload suite on the scaled CMP.
+
+Runs every workload in the suite on the non-redundant baseline and on
+Reunion, printing the characteristics the paper's evaluation leans on:
+IPC, TLB miss rate, serializing-instruction rate, and (for Reunion)
+input-incoherence recoveries and synchronizing requests.
+
+Usage::
+
+    python examples/workload_character.py [--measure CYCLES]
+"""
+
+import argparse
+
+from repro import DEFAULT_CONFIG, Mode, run_sample
+from repro.workloads import suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--warmup", type=int, default=1500)
+    parser.add_argument("--measure", type=int, default=3000)
+    args = parser.parse_args()
+
+    base_config = DEFAULT_CONFIG.with_redundancy(mode=Mode.NONREDUNDANT)
+    reunion_config = DEFAULT_CONFIG.with_redundancy(
+        mode=Mode.REUNION, comparison_latency=10
+    )
+
+    header = (
+        f"{'workload':<14}{'class':<11}{'IPC':>6}{'tlb/M':>9}{'ser/k':>7}"
+        f"{'R-IPC':>7}{'norm':>6}{'inco/M':>9}{'sync':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for workload in suite():
+        base = run_sample(base_config, workload, args.warmup, args.measure)
+        reunion = run_sample(reunion_config, workload, args.warmup, args.measure)
+        ser_per_k = 1000 * base.serializing / max(1, base.user_instructions)
+        norm = reunion.ipc / base.ipc if base.ipc else 0.0
+        print(
+            f"{workload.name:<14}{workload.category:<11}"
+            f"{base.ipc:>6.2f}{base.tlb_misses_per_minstr:>9.0f}{ser_per_k:>7.2f}"
+            f"{reunion.ipc:>7.2f}{norm:>6.2f}"
+            f"{reunion.incoherence_per_minstr:>9.1f}{reunion.sync_requests:>6}"
+        )
+    print(
+        "\nColumns: baseline IPC (4 logical CPUs), TLB misses and serializing"
+        "\ninstructions per retired user instruction, Reunion IPC, normalized"
+        "\nIPC, input-incoherence recoveries per 1M instructions, and"
+        "\nsynchronizing requests in the window."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Reunion: complexity-effective multicore redundancy — a reproduction.
+
+A from-scratch, cycle-level reproduction of Smolens et al., "Reunion:
+Complexity-Effective Multicore Redundancy" (MICRO-39, 2006): a chip
+multiprocessor simulator with out-of-order cores and a coherent cache
+hierarchy, the Reunion execution model (vocal/mute pairs, relaxed input
+replication, phantom and synchronizing requests, fingerprint checking,
+and the re-execution protocol), the strict-input-replication oracle
+baseline, the paper's workload suite, and a harness regenerating every
+table and figure in the evaluation.
+
+Quickstart::
+
+    from repro import CMPSystem, DEFAULT_CONFIG, Mode, assemble
+
+    program = assemble('''
+        movi r1, 10
+        movi r2, 0
+    loop:
+        add r2, r2, r1
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    ''')
+    config = DEFAULT_CONFIG.replace(n_logical=1).with_redundancy(mode=Mode.REUNION)
+    system = CMPSystem(config, [program])
+    system.run_until_idle()
+    print(system.vocal_cores[0].arf.read(2))  # 55, redundantly computed
+"""
+
+from repro.core import FaultInjector, FingerprintAccumulator, LogicalPair
+from repro.isa import Instruction, Op, Program, ProgramBuilder, RegisterFile, assemble
+from repro.sim import (
+    DEFAULT_CONFIG,
+    PAPER_TABLE1,
+    Consistency,
+    Mode,
+    PhantomStrength,
+    RedundancyConfig,
+    Stats,
+    SystemConfig,
+    TLBMode,
+)
+from repro.sim.cmp import CMPSystem
+from repro.sim.sampling import Sample, matched_pair, run_sample
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CMPSystem",
+    "Consistency",
+    "DEFAULT_CONFIG",
+    "FaultInjector",
+    "FingerprintAccumulator",
+    "Instruction",
+    "LogicalPair",
+    "Mode",
+    "Op",
+    "PAPER_TABLE1",
+    "PhantomStrength",
+    "Program",
+    "ProgramBuilder",
+    "RedundancyConfig",
+    "RegisterFile",
+    "Sample",
+    "Stats",
+    "SystemConfig",
+    "TLBMode",
+    "assemble",
+    "matched_pair",
+    "run_sample",
+    "__version__",
+]

@@ -1,0 +1,197 @@
+"""Command-line interface: run workloads, assemble programs, reproduce figures.
+
+Installed as the ``repro`` console script::
+
+    repro list                          # the workload suite
+    repro run "DB2 OLTP" --mode reunion --latency 10
+    repro asm program.s --mode reunion  # assemble, run to halt, dump state
+    repro reproduce --only fig5 table3  # regenerate paper artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.isa import assemble
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import (
+    DEFAULT_CONFIG,
+    Consistency,
+    Mode,
+    PhantomStrength,
+    TLBMode,
+)
+from repro.sim.sampling import run_sample
+from repro.workloads import by_name, suite
+from repro.workloads.micro import micro_suite
+
+
+def _config_from_args(args) -> "SystemConfig":
+    config = DEFAULT_CONFIG.replace(
+        n_logical=args.cpus,
+        consistency=Consistency(args.consistency),
+    ).with_redundancy(
+        mode=Mode(args.mode),
+        comparison_latency=args.latency,
+        phantom=PhantomStrength(args.phantom),
+        fingerprint_interval=args.interval,
+    )
+    if args.software_tlb:
+        config = config.with_tlb(mode=TLBMode.SOFTWARE)
+    return config
+
+
+def _add_system_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--mode", choices=[m.value for m in Mode], default="reunion")
+    parser.add_argument("--latency", type=int, default=10, help="comparison latency")
+    parser.add_argument(
+        "--phantom", choices=[p.value for p in PhantomStrength], default="global"
+    )
+    parser.add_argument("--interval", type=int, default=1, help="fingerprint interval")
+    parser.add_argument(
+        "--consistency", choices=[c.value for c in Consistency], default="tso"
+    )
+    parser.add_argument("--software-tlb", action="store_true")
+    parser.add_argument("--cpus", type=int, default=4, help="logical processors")
+
+
+def cmd_list(_args) -> int:
+    print(f"{'workload':<16}{'class':<12}")
+    print("-" * 28)
+    for workload in suite():
+        print(f"{workload.name:<16}{workload.category:<12}")
+    for workload in micro_suite():
+        print(f"{workload.name:<16}{workload.category:<12}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    all_workloads = {w.name.lower(): w for w in [*suite(), *micro_suite()]}
+    workload = all_workloads.get(args.workload.lower())
+    if workload is None:
+        try:
+            workload = by_name(args.workload)
+        except KeyError:
+            print(f"unknown workload {args.workload!r}; try `repro list`", file=sys.stderr)
+            return 2
+    config = _config_from_args(args)
+    sample = run_sample(config, workload, args.warmup, args.measure, args.seed)
+    print(f"workload            : {workload.name} ({workload.category})")
+    print(f"mode                : {args.mode} @ {args.latency}-cycle comparison")
+    print(f"cycles measured     : {sample.cycles}")
+    print(f"user instructions   : {sample.user_instructions}")
+    print(f"aggregate IPC       : {sample.ipc:.3f}")
+    print(f"TLB misses / Minstr : {sample.tlb_misses_per_minstr:,.0f}")
+    print(f"serializing instrs  : {sample.serializing}")
+    if args.mode == "reunion":
+        print(f"incoherence / Minstr: {sample.incoherence_per_minstr:,.1f}")
+        print(f"sync requests       : {sample.sync_requests}")
+    return 0
+
+
+def cmd_asm(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.file)
+    config = _config_from_args(args).replace(n_logical=1)
+    system = CMPSystem(config, [program])
+    tracer = None
+    if args.trace:
+        from repro.pipeline.trace import PipelineTracer
+
+        tracer = PipelineTracer()
+        system.vocal_cores[0].tracer = tracer
+    cycles = system.run_until_idle(max_cycles=args.max_cycles)
+    core = system.vocal_cores[0]
+    print(f"halted after {cycles} cycles; {core.user_retired} instructions, "
+          f"IPC {core.user_retired / cycles:.3f}")
+    nonzero = {f"r{i}": core.arf.read(i) for i in range(32) if core.arf.read(i)}
+    for name, value in nonzero.items():
+        print(f"  {name:<4} = {value:#x} ({value})")
+    if system.pairs:
+        pair = system.pairs[0]
+        print(f"  recoveries={pair.recoveries} sync_requests={pair.sync_requests}")
+    if tracer is not None:
+        print()
+        print(tracer.render())
+        print(f"mean dispatch-to-retire: {tracer.mean_lifetime():.1f} cycles")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.harness import (
+        Runner,
+        current_scale,
+        run_fig5,
+        run_fig6,
+        run_fig7a,
+        run_fig7b,
+        run_sc_comparison,
+        run_table3,
+    )
+
+    scale = current_scale()
+    runner = Runner(scale)
+    experiments = {
+        "fig5": lambda: run_fig5(runner=runner),
+        "fig6a": lambda: run_fig6(Mode.STRICT, runner=runner),
+        "fig6b": lambda: run_fig6(Mode.REUNION, runner=runner),
+        "table3": lambda: run_table3(runner=runner),
+        "fig7a": lambda: run_fig7a(runner=runner),
+        "fig7b": lambda: run_fig7b(runner=runner),
+        "sc": lambda: run_sc_comparison(runner=runner),
+    }
+    selected = args.only or list(experiments)
+    for name in selected:
+        if name not in experiments:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 2
+        print(experiments[name]().render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reunion multicore-redundancy reproduction (MICRO-39, 2006)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available workloads").set_defaults(
+        func=cmd_list
+    )
+
+    run_parser = subparsers.add_parser("run", help="measure one workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--warmup", type=int, default=1500)
+    run_parser.add_argument("--measure", type=int, default=3000)
+    run_parser.add_argument("--seed", type=int, default=0)
+    _add_system_args(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    asm_parser = subparsers.add_parser("asm", help="assemble and run a .s file")
+    asm_parser.add_argument("file")
+    asm_parser.add_argument("--max-cycles", type=int, default=1_000_000)
+    asm_parser.add_argument("--trace", action="store_true", help="print a pipeline waterfall")
+    _add_system_args(asm_parser)
+    asm_parser.set_defaults(func=cmd_asm)
+
+    repro_parser = subparsers.add_parser(
+        "reproduce", help="regenerate the paper's tables and figures"
+    )
+    repro_parser.add_argument(
+        "--only", nargs="*", help="fig5 fig6a fig6b table3 fig7a fig7b sc"
+    )
+    repro_parser.set_defaults(func=cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Reunion core: fingerprints, check stage, logical pairs, recovery."""
+
+from repro.core.bandwidth import BandwidthMeter
+from repro.core.check_stage import CheckGate, IntervalRecord
+from repro.core.coverage import (
+    DetectionBound,
+    aliasing_probability,
+    meets_budget,
+    minimum_crc_bits,
+    undetected_fit,
+)
+from repro.core.faults import FaultInjector, FaultRecord
+from repro.core.fingerprint import FingerprintAccumulator, fingerprint_words
+from repro.core.pair import LogicalPair, PairState
+from repro.core.strict import StrictCheckGate
+
+__all__ = [
+    "BandwidthMeter",
+    "CheckGate",
+    "DetectionBound",
+    "aliasing_probability",
+    "meets_budget",
+    "minimum_crc_bits",
+    "undetected_fit",
+    "FaultInjector",
+    "FaultRecord",
+    "FingerprintAccumulator",
+    "IntervalRecord",
+    "LogicalPair",
+    "PairState",
+    "StrictCheckGate",
+    "fingerprint_words",
+]

@@ -1,0 +1,190 @@
+"""The check stage: fingerprint intervals gating retirement.
+
+Each redundant core owns one :class:`CheckGate`, plugged into the
+pipeline as its retire gate (Figure 3(b) of the paper: a *check* stage
+between mis-speculation detection and architectural writeback).
+
+Completed instructions enter the gate in program order.  User
+instructions accumulate into the current *fingerprint interval*; the
+interval closes when it reaches the configured length, at serializing
+instructions, at HALT, or — during re-execution — after every single
+instruction.  A closed interval's fingerprint is "sent" to the partner;
+the pair controller (or the strict oracle) later marks the interval
+cleared with a retire time, and the gate releases its instructions to
+architectural retirement.
+
+Injected instructions (software TLB handlers) pass through transparently:
+they retire as soon as everything older has cleared, contribute nothing
+to fingerprints, and never close intervals.  See
+:mod:`repro.pipeline.tlb_handler` for why.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.pipeline.rob import DynInstr
+from repro.sim.config import RedundancyConfig
+
+
+@dataclass
+class IntervalRecord:
+    """A closed fingerprint interval, ready for comparison."""
+
+    index: int
+    fingerprint: int
+    count: int  # user instructions summarized
+    close_cycle: int
+    serializing: bool
+    has_sync: bool  # contains a synchronizing-request instruction
+    has_halt: bool
+
+
+class CheckGate:
+    """One core's side of the output-comparison machinery."""
+
+    def __init__(self, config: RedundancyConfig) -> None:
+        from repro.core.fingerprint import FingerprintAccumulator
+
+        self.config = config
+        self._accum = FingerprintAccumulator(
+            config.fingerprint_bits, config.two_stage_compression
+        )
+        # (entry, interval index or None for injected pass-through, offer cycle)
+        self._pending: deque[tuple[DynInstr, int | None, int]] = deque()
+        self._closed: deque[IntervalRecord] = deque()
+        self._count = 0
+        self._has_sync = False
+        self._has_halt = False
+        self._index = 0
+        self._last_offer = 0
+        self._retire_time: dict[int, int] = {}
+        self.single_step = False
+        #: Monotone counters for statistics.
+        self.intervals_closed = 0
+        self.fingerprints_compared = 0
+
+    # -- pipeline side ------------------------------------------------------
+    def offer(self, entry: DynInstr, now: int) -> None:
+        """A completed instruction, oldest first, enters the check stage."""
+        if entry.injected:
+            # Injected handler instructions are not fingerprinted (they
+            # keep the vocal/mute user streams aligned), but serializing
+            # ones still pay a full comparison-latency stall at the front
+            # of the queue — see pop_retirable.
+            self._pending.append((entry, None, now))
+            return
+        self._accum.add_instruction(entry)
+        self._count += 1
+        self._has_sync = self._has_sync or entry.was_sync
+        is_halt = entry.inst.op.value == "halt"
+        self._has_halt = self._has_halt or is_halt
+        self._pending.append((entry, self._index, now))
+        self._last_offer = now
+        if (
+            self._count >= self.config.fingerprint_interval
+            or entry.serializing
+            or is_halt
+            or self.single_step
+        ):
+            self._close(now)
+
+    def close_open(self, now: int) -> None:
+        """Serializing instruction encountered: end the interval early.
+
+        Section 4.4 — older instructions must be able to retire before
+        the serializing instruction executes, so a partial interval is
+        closed and sent immediately.
+        """
+        if self._count:
+            self._close(now)
+
+    def maybe_timeout_close(self, now: int) -> None:
+        """Close a lingering partial interval so its instructions can retire.
+
+        With long fingerprint intervals a drained pipeline would otherwise
+        strand its last few instructions in check forever.
+        """
+        limit = max(8, self.config.fingerprint_interval // 2)
+        if self._count and now - self._last_offer > limit:
+            self._close(now)
+
+    def _close(self, now: int) -> None:
+        self._closed.append(
+            IntervalRecord(
+                index=self._index,
+                fingerprint=self._accum.digest(),
+                count=self._count,
+                close_cycle=now,
+                serializing=False,
+                has_sync=self._has_sync,
+                has_halt=self._has_halt,
+            )
+        )
+        self._accum.reset()
+        self._count = 0
+        self._has_sync = False
+        self._has_halt = False
+        self._index += 1
+        self.intervals_closed += 1
+
+    def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
+        out: list[DynInstr] = []
+        pending = self._pending
+        while pending and len(out) < limit:
+            entry, index, offered = pending[0]
+            if entry.squashed:
+                pending.popleft()
+                continue
+            if index is None:
+                # Injected handler instruction.  Serializing ones (the
+                # handler's traps and MMU operations) must be compared
+                # with the partner before younger instructions proceed —
+                # Section 4.4 applies to them exactly as to user code —
+                # so they wait a full comparison latency at the front.
+                if entry.serializing and now < offered + self.config.comparison_latency:
+                    break
+                pending.popleft()
+                out.append(entry)
+                continue
+            retire_at = self._retire_time.get(index)
+            if retire_at is None or retire_at > now:
+                break
+            pending.popleft()
+            out.append(entry)
+        return out
+
+    # -- partner side (driven by the pair controller / oracle) ----------------
+    def peek_closed(self) -> IntervalRecord | None:
+        """Oldest closed-but-uncompared interval, if any."""
+        return self._closed[0] if self._closed else None
+
+    def pop_closed(self) -> IntervalRecord:
+        return self._closed.popleft()
+
+    def clear_interval(self, index: int, retire_time: int) -> None:
+        """Comparison matched: interval ``index`` may retire at ``retire_time``."""
+        self._retire_time[index] = retire_time
+        self.fingerprints_compared += 1
+
+    @property
+    def open_count(self) -> int:
+        """User instructions in the currently-open interval."""
+        return self._count
+
+    @property
+    def waiting(self) -> int:
+        """Instructions buffered in check (resource-occupancy metric)."""
+        return len(self._pending)
+
+    def flush(self) -> None:
+        """Recovery: drop all pending state and restart interval numbering."""
+        self._pending.clear()
+        self._closed.clear()
+        self._retire_time.clear()
+        self._accum.reset()
+        self._count = 0
+        self._has_sync = False
+        self._has_halt = False
+        self._index = 0

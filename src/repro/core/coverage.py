@@ -1,0 +1,108 @@
+"""Analytic soft-error coverage model (Sections 2.1 and 4.3).
+
+Microprocessors are engineered to *soft-error budgets* (Section 2.1,
+citing Mukherjee et al. [13]): a maximum rate of undetected corruptions,
+usually expressed in FIT (failures in 10^9 device-hours).  Reunion's
+residual undetected-error rate is the raw upset rate times the
+fingerprint's aliasing probability — a mismatch that hashes to the same
+CRC value slips through phase one *and* phase two of the re-execution
+protocol and becomes either silent corruption or a detected-unrecoverable
+failure.
+
+This module provides the closed-form pieces of that budget calculation,
+matching the analysis of the fingerprinting paper [21]:
+
+* aliasing probability ``2^-N`` for an ``N``-bit CRC, doubled to
+  ``2^-(N-1)`` by the two-stage parity front end;
+* the undetected-FIT computation and budget check;
+* the detection-latency bound: an upset is exposed no later than its
+  interval's comparison completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def aliasing_probability(bits: int, two_stage: bool = True) -> float:
+    """Probability a random corruption produces a matching fingerprint.
+
+    Assuming all combinations of bit flips are equally likely, a CRC of
+    width ``bits`` aliases with probability ``2^-bits``; parity-tree
+    space compression is linear, so it exactly doubles this (Section
+    4.3): at most ``2^-(bits-1)``.
+    """
+    if not 1 <= bits <= 64:
+        raise ValueError("CRC width must be in [1, 64]")
+    return 2.0 ** -(bits - 1) if two_stage else 2.0**-bits
+
+
+def undetected_fit(
+    upset_fit: float, bits: int = 16, two_stage: bool = True
+) -> float:
+    """Residual undetected-error rate after fingerprint checking.
+
+    ``upset_fit`` is the raw rate of architecturally-visible datapath
+    upsets (failures per 10^9 hours) for the protected pair.
+    """
+    if upset_fit < 0:
+        raise ValueError("upset rate cannot be negative")
+    return upset_fit * aliasing_probability(bits, two_stage)
+
+
+def meets_budget(
+    upset_fit: float,
+    budget_fit: float,
+    bits: int = 16,
+    two_stage: bool = True,
+) -> bool:
+    """Does a fingerprint configuration meet a soft-error budget?
+
+    The paper (via [21]): a 16-bit CRC already exceeds industry system
+    error-coverage goals by an order of magnitude.
+    """
+    return undetected_fit(upset_fit, bits, two_stage) <= budget_fit
+
+
+def minimum_crc_bits(
+    upset_fit: float, budget_fit: float, two_stage: bool = True
+) -> int:
+    """Smallest CRC width meeting the budget (the sizing calculation)."""
+    if budget_fit <= 0:
+        raise ValueError("budget must be positive")
+    for bits in range(4, 65):
+        if meets_budget(upset_fit, budget_fit, bits, two_stage):
+            return bits
+    raise ValueError("no CRC width up to 64 bits meets this budget")
+
+
+@dataclass(frozen=True)
+class DetectionBound:
+    """Worst-case cycles from upset to detection (Section 4.3 timing)."""
+
+    fingerprint_interval: int
+    comparison_latency: int
+    retire_width: int = 4
+
+    @property
+    def cycles(self) -> int:
+        """Interval drain + fingerprint exchange + comparison.
+
+        An upset lands at worst at the start of an interval; detection
+        happens when that interval's fingerprints have been exchanged
+        and compared: the remaining interval must retire (at best
+        ``retire_width`` per cycle) and the comparison costs one full
+        one-way latency.
+        """
+        drain = (self.fingerprint_interval + self.retire_width - 1) // self.retire_width
+        return self.fingerprint_interval + drain + self.comparison_latency
+
+    def bounds(self, observed_latencies: list[int], slack: float = 8.0) -> bool:
+        """Check observed latencies against the bound (with pipeline slack).
+
+        Real detections include pipeline-drain and loose-coupling time
+        the closed form abstracts; ``slack`` scales the bound to a
+        usable assertion threshold for simulation output.
+        """
+        limit = slack * self.cycles + 60
+        return all(latency <= limit for latency in observed_latencies)

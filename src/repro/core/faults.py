@@ -1,0 +1,112 @@
+"""Transient-fault (soft error) injection.
+
+The paper's fault model (Section 2.1): single-event upsets flip bits in
+the unprotected datapath between fetch and retirement; architectural
+arrays are ECC-protected.  We model this by flipping a bit in an
+instruction's *result* as it is computed — the value that would flow
+through bypass networks and into the fingerprint.
+
+The paper's headline experiments inject no faults (input incoherence,
+comparison, and recovery are the measured phenomena); this module powers
+the reproduction's extension experiments: detection coverage, detection
+latency, and recovery success under injected upsets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.pipeline.ooo_core import OoOCore
+from repro.pipeline.rob import DynInstr
+
+
+@dataclass
+class FaultRecord:
+    """One injected upset, for post-run analysis."""
+
+    core_id: int
+    seq: int
+    pc: int
+    bit: int
+    original: int
+    corrupted: int
+    cycle: int = 0  # core cycle at injection (detection-latency analysis)
+
+
+@dataclass
+class FaultInjector:
+    """Flips one result bit every ``interval`` issued instructions.
+
+    Attach to a core with :meth:`attach`; the injector hooks the core's
+    issue path.  ``interval=0`` disables periodic injection, leaving only
+    :meth:`inject_once`.
+    """
+
+    interval: int = 0
+    seed: int = 0
+    records: list[FaultRecord] = field(default_factory=list)
+    _pending_once: int = field(default=0, repr=False)
+    _count: int = field(default=0, repr=False)
+    _rng: random.Random = field(default=None, repr=False)  # type: ignore[assignment]
+    _core_id: int = field(default=-1, repr=False)
+    _core: OoOCore = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def attach(self, core: OoOCore) -> None:
+        self._rng = random.Random(self.seed ^ core.core_id)
+        self._core_id = core.core_id
+        self._core = core
+        core.fault_hook = self._hook
+
+    def inject_once(self, after: int = 0) -> None:
+        """Arm a single upset, ``after`` more instructions from now."""
+        self._pending_once = self._count + after + 1
+
+    def _hook(self, entry: DynInstr) -> None:
+        if entry.result is None or entry.injected:
+            return
+        self._count += 1
+        fire = False
+        if self.interval and self._count % self.interval == 0:
+            fire = True
+        if self._pending_once and self._count >= self._pending_once:
+            fire = True
+            self._pending_once = 0
+        if not fire:
+            return
+        bit = self._rng.randrange(64)
+        original = entry.result
+        entry.result = original ^ (1 << bit)
+        self.records.append(
+            FaultRecord(
+                core_id=self._core_id,
+                seq=entry.seq,
+                pc=entry.pc,
+                bit=bit,
+                original=original,
+                corrupted=entry.result,
+                cycle=self._core.cycles,
+            )
+        )
+
+
+def detection_latencies(
+    records: list[FaultRecord], recovery_log: list[tuple[int, str]]
+) -> list[int]:
+    """Cycles from each injection to the first subsequent recovery.
+
+    Fingerprinting's selling point (Smolens et al. [21]) is *bounded*
+    detection latency: an upset is caught no later than its fingerprint
+    interval's comparison.  This pairs each injected fault with the
+    first recovery the pair initiated at or after the injection cycle;
+    faults with no subsequent recovery (masked or still in flight) are
+    omitted.
+    """
+    latencies = []
+    recovery_cycles = sorted(cycle for cycle, _cause in recovery_log)
+    for record in records:
+        for cycle in recovery_cycles:
+            if cycle >= record.cycle:
+                latencies.append(cycle - record.cycle)
+                break
+    return latencies

@@ -1,0 +1,131 @@
+"""Fingerprints: hashed summaries of architectural state updates.
+
+Following Smolens et al. [21] (the paper's own prior work), a fingerprint
+compresses the stream of architectural updates — register writebacks,
+store addresses and values, and branch targets — into a small hash that
+two redundant executions exchange and compare.  A CRC is used so the
+aliasing probability is bounded: at most ``2^-(N-1)`` for an ``N``-bit
+CRC with the two-stage front end, ``2^-N`` without.
+
+Two-stage compression (Section 4.3): a wide superscalar can retire more
+update bits per cycle than a hash circuit can consume, so parity trees
+first fold the raw ``M`` bits down to ``N`` bits in one stage ("space
+compression"), and the CRC absorbs those ``N`` bits per step ("time
+compression").  Folding by XOR is linear, so it exactly doubles the
+aliasing probability — the trade the paper quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.rob import DynInstr
+
+
+def _make_crc_table(poly: int, bits: int) -> list[int]:
+    """Precompute a byte-at-a-time CRC table for an ``bits``-wide CRC."""
+    top_bit = 1 << (bits - 1)
+    mask = (1 << bits) - 1
+    table = []
+    for byte in range(256):
+        crc = byte << (bits - 8)
+        for _ in range(8):
+            if crc & top_bit:
+                crc = ((crc << 1) ^ poly) & mask
+            else:
+                crc = (crc << 1) & mask
+        table.append(crc)
+    return table
+
+
+#: CRC generator polynomials by width (CCITT-16, CRC-32, and small CRCs
+#: used only by aliasing experiments).
+_POLYS = {
+    8: 0x07,
+    12: 0x80F,
+    16: 0x1021,
+    24: 0x864CFB,
+    32: 0x04C11DB7,
+}
+
+_TABLES: dict[int, list[int]] = {}
+
+
+def _table_for(bits: int) -> list[int]:
+    if bits not in _POLYS:
+        raise ValueError(f"no CRC polynomial for width {bits}; pick from {sorted(_POLYS)}")
+    table = _TABLES.get(bits)
+    if table is None:
+        table = _make_crc_table(_POLYS[bits], bits)
+        _TABLES[bits] = table
+    return table
+
+
+class FingerprintAccumulator:
+    """Accumulates one fingerprint interval's worth of updates."""
+
+    __slots__ = ("bits", "two_stage", "_crc", "_table", "_mask", "_shift")
+
+    def __init__(self, bits: int = 16, two_stage: bool = True) -> None:
+        self.bits = bits
+        self.two_stage = two_stage
+        self._table = _table_for(bits)
+        self._mask = (1 << bits) - 1
+        self._shift = bits - 8
+        self._crc = 0
+
+    # -- raw update streams ------------------------------------------------
+    def add_word(self, word: int) -> None:
+        """Absorb one 64-bit state update."""
+        word &= (1 << 64) - 1
+        if self.two_stage:
+            # Parity trees: fold 64 bits to `bits` bits in one stage,
+            # then feed the folded value to the CRC.
+            folded = 0
+            while word:
+                folded ^= word & self._mask
+                word >>= self.bits
+            self._absorb(folded)
+        else:
+            for shift in range(0, 64, 8):
+                self._absorb_byte((word >> shift) & 0xFF)
+
+    def _absorb(self, value: int) -> None:
+        for shift in range(0, self.bits, 8):
+            self._absorb_byte((value >> shift) & 0xFF)
+
+    def _absorb_byte(self, byte: int) -> None:
+        self._crc = (
+            (self._crc << 8) ^ self._table[((self._crc >> self._shift) ^ byte) & 0xFF]
+        ) & self._mask
+
+    # -- architectural updates -----------------------------------------------
+    def add_instruction(self, entry: DynInstr) -> None:
+        """Fold in the architectural effects of one retired instruction.
+
+        Logically the fingerprint captures all register updates, branch
+        targets, store addresses, and store values (Section 4.3).
+        """
+        inst = entry.inst
+        if inst.writes_reg and entry.result is not None:
+            self.add_word(entry.result)
+        if inst.is_store and entry.addr is not None:
+            self.add_word(entry.addr)
+            if entry.store_value is not None:
+                self.add_word(entry.store_value)
+        if inst.is_atomic and entry.addr is not None:
+            self.add_word(entry.addr)
+        if inst.is_control and entry.actual_next is not None:
+            self.add_word(entry.actual_next)
+
+    def digest(self) -> int:
+        return self._crc
+
+    def reset(self) -> None:
+        self._crc = 0
+
+
+def fingerprint_words(words: list[int], bits: int = 16, two_stage: bool = True) -> int:
+    """One-shot fingerprint of a list of update words (tests, analysis)."""
+    acc = FingerprintAccumulator(bits, two_stage)
+    for word in words:
+        acc.add_word(word)
+    return acc.digest()

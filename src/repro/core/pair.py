@@ -1,0 +1,313 @@
+"""The logical processor pair: vocal/mute coupling and recovery.
+
+This module implements Section 3's execution model and Section 4.3's
+microarchitecture:
+
+* **fingerprint exchange** — when both cores have closed fingerprint
+  interval *k*, the pair compares them; a match clears the interval for
+  retirement one comparison latency after the *later* close (the cores
+  "swap" fingerprints, so the observed latency includes any vocal/mute
+  skew — the loose-coupling cost of Section 5.3);
+* **synchronizing requests** — atomics always, and the first load during
+  re-execution, are performed once by the shared cache controller when
+  both cores have arrived, and the single coherent value is delivered to
+  both (Definition 10);
+* **the re-execution protocol** (Definition 11, Figure 4) — on mismatch,
+  both cores roll back to safe state and single-step to the first memory
+  read, issued as a synchronizing request; a second mismatch escalates to
+  the vocal-to-mute ARF copy; a third is an unrecoverable failure;
+* **a divergence watchdog** — input incoherence can send the mute down a
+  wild path that never produces a matching interval (e.g. into a halt or
+  a divergent loop); if one side's closed fingerprint waits longer than
+  ``divergence_timeout`` for its partner, the pair treats it as a
+  detected divergence and recovers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.check_stage import CheckGate
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.semantics import atomic_result
+from repro.memory.l2_controller import SharedL2Controller
+from repro.pipeline.ooo_core import OoOCore
+from repro.sim.config import SystemConfig
+
+#: Base address of the (per-core, uncontended) interrupt vector data.
+INTERRUPT_VECTOR_BASE = 0x4800_0000
+
+
+def default_interrupt_handler(vector: int = 0) -> list[Instruction]:
+    """A minimal external-interrupt service routine.
+
+    Trap entry, two vector-table loads, a non-idempotent device
+    acknowledge, trap exit — the serializing mix of a real handler.
+    """
+    base = INTERRUPT_VECTOR_BASE + (vector % 64) * 64
+    return [
+        Instruction(Op.TRAP),
+        Instruction(Op.LOAD, rd=0, rs1=0, imm=base),
+        Instruction(Op.LOAD, rd=0, rs1=0, imm=base + 8),
+        Instruction(Op.MMUOP),
+        Instruction(Op.TRAP),
+    ]
+
+
+class PairState(enum.Enum):
+    NORMAL = "normal"
+    WAIT_RECOVERY = "wait-recovery"  # mismatch seen; fingerprints in flight
+    SINGLE_STEP = "single-step"  # re-execution protocol running
+
+
+class LogicalPair:
+    """One logical processor: a vocal core and a mute core."""
+
+    def __init__(
+        self,
+        pair_id: int,
+        vocal: OoOCore,
+        mute: OoOCore,
+        controller: SharedL2Controller,
+        config: SystemConfig,
+    ) -> None:
+        self.pair_id = pair_id
+        self.vocal = vocal
+        self.mute = mute
+        self.controller = controller
+        self.config = config
+        self.redundancy = config.redundancy
+
+        vocal.gate = CheckGate(config.redundancy)
+        mute.gate = CheckGate(config.redundancy)
+        vocal.pair_sync_atomics = True
+        mute.pair_sync_atomics = True
+
+        self.state = PairState.NORMAL
+        self.phase = 0  # 1 or 2 while recovering
+        self._recovery_at = 0
+        self._recovery_escalate = False
+        self._exit_single_step_at: int | None = None
+        self.failed = False
+
+        # Statistics.
+        self.recoveries = 0
+        self.mismatch_recoveries = 0
+        self.timeout_recoveries = 0
+        self.phase2_recoveries = 0
+        self.sync_requests = 0
+        self.failures = 0
+        #: (cycle, cause) per recovery — detection-latency analysis.
+        self.recovery_log: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        """Advance pair-level machinery; call after both cores stepped."""
+        if self.failed:
+            return
+        vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
+        mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
+        vocal_gate.maybe_timeout_close(now)
+        mute_gate.maybe_timeout_close(now)
+
+        if self.state is PairState.WAIT_RECOVERY:
+            if now >= self._recovery_at:
+                self._begin_recovery(now)
+            return
+
+        self._compare_intervals(now)
+        if self.state is PairState.WAIT_RECOVERY:
+            if now >= self._recovery_at:
+                self._begin_recovery(now)
+            return
+
+        self._service_sync_requests(now)
+        self._watchdog(now)
+
+        if self._exit_single_step_at is not None and now >= self._exit_single_step_at:
+            self._exit_single_step()
+
+    # -- fingerprint comparison ------------------------------------------------
+    def _compare_intervals(self, now: int) -> None:
+        vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
+        mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
+        latency = self.redundancy.comparison_latency
+        while True:
+            a = vocal_gate.peek_closed()
+            b = mute_gate.peek_closed()
+            if a is None or b is None:
+                return
+            vocal_gate.pop_closed()
+            mute_gate.pop_closed()
+            ready = max(a.close_cycle, b.close_cycle) + latency
+            matched = (
+                a.fingerprint == b.fingerprint
+                and a.count == b.count
+                and a.has_halt == b.has_halt
+            )
+            if matched:
+                vocal_gate.clear_interval(a.index, ready)
+                mute_gate.clear_interval(b.index, ready)
+                if self.state is PairState.SINGLE_STEP and (a.has_sync or a.has_halt):
+                    # Recovery has made forward progress through the
+                    # synchronizing access: resume normal execution.
+                    self._exit_single_step_at = ready
+                continue
+            # Divergence detected when the fingerprints arrive.
+            self._schedule_recovery(ready, escalate=self.state is PairState.SINGLE_STEP)
+            self.mismatch_recoveries += 1
+            return
+
+    def _schedule_recovery(self, at: int, escalate: bool) -> None:
+        self.state = PairState.WAIT_RECOVERY
+        self._recovery_at = at
+        self._recovery_escalate = escalate
+        self._exit_single_step_at = None
+
+    # -- the re-execution protocol ------------------------------------------------
+    def _begin_recovery(self, now: int) -> None:
+        """Rollback both cores to safe state and enter single-step mode."""
+        if self._recovery_escalate and self.phase >= 2:
+            # Phase two already failed: unrecoverable (fingerprint
+            # aliasing let a soft error retire).  Signal failure.
+            self.failed = True
+            self.failures += 1
+            self.vocal.halted = True
+            self.mute.halted = True
+            return
+
+        self.recoveries += 1
+        self.recovery_log.append(
+            (now, "phase2" if self._recovery_escalate else "phase1")
+        )
+        # Retire everything already cleared by matching comparisons, so
+        # both ARFs reflect the identical compared prefix.
+        self.vocal.drain_cleared(now)
+        self.mute.drain_cleared(now)
+
+        resume = self.vocal.next_retire_pc()
+        penalty = self.redundancy.rollback_penalty
+        if self._recovery_escalate:
+            # Phase two: initialize the mute ARF from the vocal
+            # (Definition 9) and retry.
+            self.phase = 2
+            self.phase2_recoveries += 1
+            self.mute.arf.copy_from(self.vocal.arf)
+            penalty += self.redundancy.arf_copy_latency
+        else:
+            self.phase = 1
+
+        for core in (self.vocal, self.mute):
+            core.flush_for_recovery(resume, now, penalty)
+            core.single_step = True
+            core.gate.single_step = True  # type: ignore[attr-defined]
+        self.state = PairState.SINGLE_STEP
+        self._exit_single_step_at = None
+
+    def _exit_single_step(self) -> None:
+        for core in (self.vocal, self.mute):
+            core.single_step = False
+            core.gate.single_step = False  # type: ignore[attr-defined]
+        self.state = PairState.NORMAL
+        self.phase = 0
+        self._exit_single_step_at = None
+
+    # -- synchronizing requests ---------------------------------------------------
+    def _service_sync_requests(self, now: int) -> None:
+        """Perform one coherent access on behalf of both cores.
+
+        Atomics park in ``sync_request`` whenever they reach the head of
+        their core's ROB; during single-step, the first load does too.
+        The access happens once, when both cores have arrived.
+        """
+        vocal_entry = self.vocal.sync_request
+        mute_entry = self.mute.sync_request
+        if vocal_entry is None or mute_entry is None:
+            return
+        same_operation = (
+            vocal_entry.pc == mute_entry.pc
+            and vocal_entry.inst is mute_entry.inst
+            and vocal_entry.addr == mute_entry.addr
+            and vocal_entry.val2 == mute_entry.val2
+        )
+        if not same_operation:
+            # The cores disagree before a non-idempotent operation even
+            # executes: recover now, before anything becomes visible.
+            self.vocal.sync_request = None
+            self.mute.sync_request = None
+            self.mismatch_recoveries += 1
+            self._schedule_recovery(now, escalate=self.state is PairState.SINGLE_STEP)
+            return
+
+        self.sync_requests += 1
+        addr = vocal_entry.addr
+        line_shift = self.config.l1.line_bytes.bit_length() - 1
+        reply = self.controller.synchronizing_access(
+            self.vocal.core_id, self.mute.core_id, addr >> line_shift, now
+        )
+        offset = (addr >> 3) & (self.config.l1.line_bytes // 8 - 1)
+        old_value = reply.data[offset]
+
+        op = vocal_entry.inst.op
+        if op in (Op.ATOMIC, Op.CAS):
+            rd_value, new_value = atomic_result(
+                op, old_value, vocal_entry.val2 or 0, vocal_entry.inst.imm
+            )
+            if new_value is not None:
+                # Both L1s hold the line with write permission after the
+                # synchronizing fill; the single RMW updates both.
+                self.vocal.port.rmw_write(addr, new_value)
+                self.mute.port.rmw_write(addr, new_value)
+            value = rd_value
+        else:
+            value = old_value
+
+        vocal_entry.was_sync = True
+        mute_entry.was_sync = True
+        self.vocal.complete_sync(vocal_entry, value, reply.done)
+        self.mute.complete_sync(mute_entry, value, reply.done)
+
+    # -- external interrupts -----------------------------------------------------
+    def post_interrupt(self, handler: list[Instruction] | None = None) -> int:
+        """Replicate an external interrupt to both cores (Section 4.3).
+
+        The vocal chooses a fingerprint-interval boundary far enough out
+        that neither core has retired past it; both cores service the
+        interrupt after comparing and retiring the preceding
+        instructions.  Returns the chosen user-instruction count.
+        """
+        if handler is None:
+            handler = default_interrupt_handler()
+        margin = (
+            self.config.core.rob_size
+            + self.redundancy.fingerprint_interval
+            + 2 * self.config.core.width
+        )
+        target = max(self.vocal.user_retired, self.mute.user_retired) + margin
+        self.vocal.schedule_interrupt(target, handler)
+        self.mute.schedule_interrupt(target, handler)
+        return target
+
+    # -- watchdog --------------------------------------------------------------------
+    def _watchdog(self, now: int) -> None:
+        """Detect one-sided divergence (a partner that stops checking in)."""
+        vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
+        mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
+        a = vocal_gate.peek_closed()
+        b = mute_gate.peek_closed()
+        timeout = self.redundancy.divergence_timeout
+        waiting = a if (a is not None and b is None) else b if (b is not None and a is None) else None
+        if waiting is not None and now - waiting.close_cycle > timeout:
+            self.timeout_recoveries += 1
+            self._schedule_recovery(now, escalate=self.state is PairState.SINGLE_STEP)
+
+    # -- reporting ---------------------------------------------------------------------
+    def collect_stats(self, stats, prefix: str = "") -> None:
+        base = prefix or f"pair{self.pair_id}."
+        stats.set(base + "recoveries", self.recoveries)
+        stats.set(base + "mismatch_recoveries", self.mismatch_recoveries)
+        stats.set(base + "timeout_recoveries", self.timeout_recoveries)
+        stats.set(base + "phase2_recoveries", self.phase2_recoveries)
+        stats.set(base + "sync_requests", self.sync_requests)
+        stats.set(base + "failures", self.failures)

@@ -1,0 +1,49 @@
+"""Experiment harness: one driver per table/figure in the paper.
+
+| Paper artifact | Driver |
+|----------------|--------|
+| Figure 5       | :func:`repro.harness.fig5.run_fig5` |
+| Figure 6(a)    | :func:`repro.harness.fig6.run_fig6` with ``Mode.STRICT`` |
+| Figure 6(b)    | :func:`repro.harness.fig6.run_fig6` with ``Mode.REUNION`` |
+| Table 3        | :func:`repro.harness.table3.run_table3` |
+| Figure 7(a)    | :func:`repro.harness.fig7.run_fig7a` |
+| Figure 7(b)    | :func:`repro.harness.fig7.run_fig7b` |
+| Section 5.5 SC | :func:`repro.harness.fig7.run_sc_comparison` |
+"""
+
+from repro.harness.fig5 import Fig5Result, run_fig5
+from repro.harness.fig6 import Fig6Result, run_fig6
+from repro.harness.fig7 import (
+    Fig7aResult,
+    Fig7bResult,
+    SCResult,
+    run_fig7a,
+    run_fig7b,
+    run_sc_comparison,
+)
+from repro.harness.report import render_series, render_table
+from repro.harness.runs import PAPER, QUICK, STANDARD, Runner, Scale, current_scale
+from repro.harness.table3 import Table3Result, run_table3
+
+__all__ = [
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7aResult",
+    "Fig7bResult",
+    "PAPER",
+    "QUICK",
+    "Runner",
+    "STANDARD",
+    "SCResult",
+    "Scale",
+    "Table3Result",
+    "current_scale",
+    "render_series",
+    "render_table",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "run_sc_comparison",
+    "run_table3",
+]

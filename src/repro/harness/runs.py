@@ -1,0 +1,89 @@
+"""Shared experiment infrastructure: scales, configurations, caching.
+
+Every figure/table driver works at a chosen :class:`Scale`.  The paper
+warms for 100K cycles and measures 50K per sample at Table 1 size; a
+pure-Python reproduction defaults to much shorter windows on the scaled
+:data:`~repro.sim.config.DEFAULT_CONFIG` system.  Set the environment
+variable ``REPRO_SCALE`` to ``quick`` (default), ``standard``, or
+``paper`` to trade wall-clock for fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.sim.config import DEFAULT_CONFIG, PAPER_TABLE1, Mode, SystemConfig
+from repro.sim.sampling import Sample, run_sample
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How long to warm, how long to measure, and how many seeds."""
+
+    name: str
+    warmup: int
+    measure: int
+    seeds: tuple[int, ...]
+    config: SystemConfig = DEFAULT_CONFIG
+
+
+QUICK = Scale("quick", warmup=1200, measure=2500, seeds=(0,))
+STANDARD = Scale("standard", warmup=2000, measure=6000, seeds=(0, 1))
+PAPER = Scale(
+    "paper", warmup=100_000, measure=50_000, seeds=(0, 1, 2), config=PAPER_TABLE1
+)
+
+_SCALES = {scale.name: scale for scale in (QUICK, STANDARD, PAPER)}
+
+
+def current_scale() -> Scale:
+    """The scale selected via ``REPRO_SCALE`` (default: quick)."""
+    name = os.environ.get("REPRO_SCALE", "quick").lower()
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}")
+    return _SCALES[name]
+
+
+@dataclass
+class Runner:
+    """Runs and memoizes samples so figures sharing a config reuse them.
+
+    The cache key covers everything that affects a simulation; figure
+    drivers can therefore freely re-request the non-redundant baseline.
+    """
+
+    scale: Scale
+    _cache: dict = field(default_factory=dict)
+
+    def sample(self, config: SystemConfig, workload: Workload, seed: int) -> Sample:
+        key = (config, workload.name, seed)
+        if key not in self._cache:
+            self._cache[key] = run_sample(
+                config, workload, self.scale.warmup, self.scale.measure, seed
+            )
+        return self._cache[key]
+
+    def samples(self, config: SystemConfig, workload: Workload) -> list[Sample]:
+        return [self.sample(config, workload, seed) for seed in self.scale.seeds]
+
+    def mean_ipc(self, config: SystemConfig, workload: Workload) -> float:
+        samples = self.samples(config, workload)
+        return sum(s.ipc for s in samples) / len(samples)
+
+    def normalized_ipc(self, config: SystemConfig, workload: Workload) -> float:
+        """IPC normalized to the non-redundant baseline, matched by seed."""
+        base_config = self.scale.config.with_redundancy(mode=Mode.NONREDUNDANT)
+        ratios = []
+        for seed in self.scale.seeds:
+            base = self.sample(base_config, workload, seed)
+            test = self.sample(config, workload, seed)
+            ratios.append(test.ipc / base.ipc if base.ipc else 0.0)
+        return sum(ratios) / len(ratios)
+
+
+def category_average(values: dict[str, float], workloads: list[Workload], category: str) -> float:
+    """Average a per-workload metric over one Figure 5 category."""
+    members = [w.name for w in workloads if w.category == category]
+    return sum(values[name] for name in members) / len(members)

@@ -1,0 +1,20 @@
+"""Toy RISC ISA: instructions, registers, semantics, assembler, programs."""
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import NUM_REGS, Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import WORD_MASK, RegisterFile
+
+__all__ = [
+    "AssemblerError",
+    "Instruction",
+    "NUM_REGS",
+    "Op",
+    "Program",
+    "ProgramBuilder",
+    "RegisterFile",
+    "WORD_MASK",
+    "assemble",
+]

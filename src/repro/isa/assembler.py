@@ -1,0 +1,244 @@
+"""A small two-pass text assembler for the toy ISA.
+
+The assembler exists for tests, examples, and hand-written kernels (e.g.
+the spin-lock from the paper's motivating example).  Workload generators
+use the programmatic :class:`repro.isa.builder.ProgramBuilder` instead.
+
+Syntax (one instruction per line, ``;`` or ``#`` start comments)::
+
+    .entry start          ; optional, defaults to first instruction
+    .word 0x1000 42       ; initialize memory word at byte address 0x1000
+    .reg r5 0x1000        ; initial register value
+
+    start:
+        movi  r1, 0x1000
+        load  r2, [r1+8]
+        store r2, [r1]
+        add   r3, r1, r2
+        addi  r3, r3, 4
+        slt   r4, r2, r3
+        beq   r2, r0, done
+        atomic r4, [r1+0], r5
+        cas   r4, [r1], r2, 7
+        membar
+        trap
+        mmuop
+        jump  start
+    done:
+        halt
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import NUM_REGS, Instruction
+from repro.isa.opcodes import BRANCH_OPS, REG_IMM_OPS, REG_REG_OPS, Op
+from repro.isa.program import Program
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input, with the offending line number."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):$")
+_MEM_OPERAND_RE = re.compile(r"^\[\s*(r\d+)\s*(?:([+-])\s*(\w+)\s*)?\]$")
+
+_MNEMONICS = {op.value: op for op in Op}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    if not token.startswith("r"):
+        raise AssemblerError(line_no, f"expected register, got {token!r}")
+    try:
+        index = int(token[1:])
+    except ValueError:
+        raise AssemblerError(line_no, f"bad register {token!r}") from None
+    if not 0 <= index < NUM_REGS:
+        raise AssemblerError(line_no, f"register {token!r} out of range")
+    return index
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(line_no, f"expected integer, got {token!r}") from None
+
+
+def _parse_mem(token: str, line_no: int) -> tuple[int, int]:
+    """Parse a ``[rN+imm]`` operand into (rs1, imm)."""
+    match = _MEM_OPERAND_RE.match(token)
+    if not match:
+        raise AssemblerError(line_no, f"bad memory operand {token!r}")
+    base = _parse_reg(match.group(1), line_no)
+    imm = 0
+    if match.group(3) is not None:
+        imm = _parse_int(match.group(3), line_no)
+        if match.group(2) == "-":
+            imm = -imm
+    return base, imm
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [part.strip() for part in rest.split(",")] if rest.strip() else []
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    lines = source.splitlines()
+
+    # Pass 1: strip comments, collect labels and directives, count instrs.
+    labels: dict[str, int] = {}
+    entry_label: str | None = None
+    memory_image: dict[int, int] = {}
+    initial_regs: dict[int, int] = {}
+    parsed: list[tuple[int, str, str]] = []  # (line_no, mnemonic, rest)
+
+    index = 0
+    for line_no, raw in enumerate(lines, start=1):
+        line = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in labels:
+                raise AssemblerError(line_no, f"duplicate label {label!r}")
+            labels[label] = index
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0]
+            if directive == ".entry":
+                if len(parts) != 2:
+                    raise AssemblerError(line_no, ".entry takes one label")
+                entry_label = parts[1]
+            elif directive == ".word":
+                if len(parts) != 3:
+                    raise AssemblerError(line_no, ".word takes address and value")
+                memory_image[_parse_int(parts[1], line_no)] = _parse_int(
+                    parts[2], line_no
+                )
+            elif directive == ".reg":
+                if len(parts) != 3:
+                    raise AssemblerError(line_no, ".reg takes register and value")
+                initial_regs[_parse_reg(parts[1], line_no)] = _parse_int(
+                    parts[2], line_no
+                )
+            else:
+                raise AssemblerError(line_no, f"unknown directive {directive!r}")
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        if mnemonic not in _MNEMONICS:
+            raise AssemblerError(line_no, f"unknown mnemonic {mnemonic!r}")
+        parsed.append((line_no, mnemonic, rest))
+        index += 1
+
+    # Pass 2: encode instructions with resolved targets.
+    def resolve(token: str, line_no: int) -> int:
+        if token in labels:
+            return labels[token]
+        return _parse_int(token, line_no)
+
+    instructions: list[Instruction] = []
+    for line_no, mnemonic, rest in parsed:
+        op = _MNEMONICS[mnemonic]
+        ops = _split_operands(rest)
+        try:
+            instructions.append(_encode(op, ops, line_no, resolve))
+        except AssemblerError:
+            raise
+        except (ValueError, IndexError) as exc:
+            raise AssemblerError(line_no, str(exc)) from exc
+
+    if not instructions:
+        raise AssemblerError(0, "no instructions")
+    entry = 0
+    if entry_label is not None:
+        if entry_label not in labels:
+            raise AssemblerError(0, f"unknown entry label {entry_label!r}")
+        entry = labels[entry_label]
+    return Program(
+        instructions=instructions,
+        entry=entry,
+        memory_image=memory_image,
+        initial_regs=initial_regs,
+        name=name,
+    )
+
+
+def _encode(op: Op, ops: list[str], line_no: int, resolve) -> Instruction:
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                line_no, f"{op.value} expects {count} operands, got {len(ops)}"
+            )
+
+    if op in REG_REG_OPS:
+        need(3)
+        return Instruction(
+            op,
+            rd=_parse_reg(ops[0], line_no),
+            rs1=_parse_reg(ops[1], line_no),
+            rs2=_parse_reg(ops[2], line_no),
+        )
+    if op is Op.MOVI:
+        need(2)
+        return Instruction(op, rd=_parse_reg(ops[0], line_no), imm=_parse_int(ops[1], line_no))
+    if op in REG_IMM_OPS:
+        need(3)
+        return Instruction(
+            op,
+            rd=_parse_reg(ops[0], line_no),
+            rs1=_parse_reg(ops[1], line_no),
+            imm=_parse_int(ops[2], line_no),
+        )
+    if op is Op.LOAD:
+        need(2)
+        base, imm = _parse_mem(ops[1], line_no)
+        return Instruction(op, rd=_parse_reg(ops[0], line_no), rs1=base, imm=imm)
+    if op is Op.STORE:
+        need(2)
+        base, imm = _parse_mem(ops[1], line_no)
+        return Instruction(op, rs2=_parse_reg(ops[0], line_no), rs1=base, imm=imm)
+    if op is Op.ATOMIC:
+        need(3)
+        base, imm = _parse_mem(ops[1], line_no)
+        return Instruction(
+            op,
+            rd=_parse_reg(ops[0], line_no),
+            rs1=base,
+            imm=imm,
+            rs2=_parse_reg(ops[2], line_no),
+        )
+    if op is Op.CAS:
+        need(4)
+        base, imm = _parse_mem(ops[1], line_no)
+        if imm:
+            raise AssemblerError(line_no, "cas address must have no offset")
+        return Instruction(
+            op,
+            rd=_parse_reg(ops[0], line_no),
+            rs1=base,
+            rs2=_parse_reg(ops[2], line_no),
+            imm=_parse_int(ops[3], line_no),
+        )
+    if op in BRANCH_OPS:
+        need(3)
+        return Instruction(
+            op,
+            rs1=_parse_reg(ops[0], line_no),
+            rs2=_parse_reg(ops[1], line_no),
+            target=resolve(ops[2], line_no),
+        )
+    if op is Op.JUMP:
+        need(1)
+        return Instruction(op, target=resolve(ops[0], line_no))
+    # Zero-operand instructions.
+    need(0)
+    return Instruction(op)

@@ -1,0 +1,142 @@
+"""Programmatic program construction for workload generators.
+
+The text assembler is convenient for humans; workload generators emit
+thousands of instructions and want a fluent, label-based API instead.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+
+class ProgramBuilder:
+    """Builds a :class:`Program` incrementally with forward-label support."""
+
+    def __init__(self, name: str = "program") -> None:
+        self._name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []  # (instruction index, label)
+        self._memory_image: dict[int, int] = {}
+        self._initial_regs: dict[int, int] = {}
+        self._entry: int | str = 0
+
+    # -- structure -----------------------------------------------------
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def entry(self, label: str) -> "ProgramBuilder":
+        self._entry = label
+        return self
+
+    def word(self, addr: int, value: int) -> "ProgramBuilder":
+        """Place an initial memory word at byte address ``addr``."""
+        self._memory_image[addr] = value
+        return self
+
+    def reg(self, index: int, value: int) -> "ProgramBuilder":
+        """Set an initial architectural register value."""
+        self._initial_regs[index] = value
+        return self
+
+    def emit(self, inst: Instruction, target_label: str | None = None) -> "ProgramBuilder":
+        if target_label is not None:
+            self._fixups.append((len(self._instructions), target_label))
+        self._instructions.append(inst)
+        return self
+
+    @property
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    # -- instruction helpers --------------------------------------------
+    def alu(self, op: Op, rd: int, rs1: int = 0, rs2: int = 0, imm: int = 0):
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm))
+
+    def movi(self, rd: int, imm: int):
+        return self.emit(Instruction(Op.MOVI, rd=rd, imm=imm))
+
+    def addi(self, rd: int, rs1: int, imm: int):
+        return self.emit(Instruction(Op.ADDI, rd=rd, rs1=rs1, imm=imm))
+
+    def add(self, rd: int, rs1: int, rs2: int):
+        return self.emit(Instruction(Op.ADD, rd=rd, rs1=rs1, rs2=rs2))
+
+    def load(self, rd: int, base: int, off: int = 0):
+        return self.emit(Instruction(Op.LOAD, rd=rd, rs1=base, imm=off))
+
+    def store(self, src: int, base: int, off: int = 0):
+        return self.emit(Instruction(Op.STORE, rs2=src, rs1=base, imm=off))
+
+    def atomic(self, rd: int, base: int, addend: int, off: int = 0):
+        return self.emit(Instruction(Op.ATOMIC, rd=rd, rs1=base, rs2=addend, imm=off))
+
+    def cas(self, rd: int, base: int, expect: int, new_imm: int):
+        return self.emit(Instruction(Op.CAS, rd=rd, rs1=base, rs2=expect, imm=new_imm))
+
+    def branch(self, op: Op, rs1: int, rs2: int, label: str):
+        return self.emit(Instruction(op, rs1=rs1, rs2=rs2), target_label=label)
+
+    def beq(self, rs1: int, rs2: int, label: str):
+        return self.branch(Op.BEQ, rs1, rs2, label)
+
+    def bne(self, rs1: int, rs2: int, label: str):
+        return self.branch(Op.BNE, rs1, rs2, label)
+
+    def blt(self, rs1: int, rs2: int, label: str):
+        return self.branch(Op.BLT, rs1, rs2, label)
+
+    def bge(self, rs1: int, rs2: int, label: str):
+        return self.branch(Op.BGE, rs1, rs2, label)
+
+    def jump(self, label: str):
+        return self.emit(Instruction(Op.JUMP), target_label=label)
+
+    def membar(self):
+        return self.emit(Instruction(Op.MEMBAR))
+
+    def trap(self):
+        return self.emit(Instruction(Op.TRAP))
+
+    def mmuop(self):
+        return self.emit(Instruction(Op.MMUOP))
+
+    def nop(self):
+        return self.emit(Instruction(Op.NOP))
+
+    def halt(self):
+        return self.emit(Instruction(Op.HALT))
+
+    # -- finalization ----------------------------------------------------
+    def build(self) -> Program:
+        instructions = list(self._instructions)
+        for index, label in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label {label!r}")
+            old = instructions[index]
+            instructions[index] = Instruction(
+                old.op,
+                rd=old.rd,
+                rs1=old.rs1,
+                rs2=old.rs2,
+                imm=old.imm,
+                target=self._labels[label],
+            )
+        entry = self._entry
+        if isinstance(entry, str):
+            if entry not in self._labels:
+                raise ValueError(f"undefined entry label {entry!r}")
+            entry = self._labels[entry]
+        return Program(
+            instructions=instructions,
+            entry=entry,
+            memory_image=dict(self._memory_image),
+            initial_regs=dict(self._initial_regs),
+            name=self._name,
+        )

@@ -1,0 +1,139 @@
+"""Instruction representation for the toy ISA.
+
+Instructions are immutable records.  The timing model (``repro.pipeline``)
+annotates *dynamic* instances separately; the static instruction never
+changes, so one :class:`Instruction` object can be shared by both cores of
+a logical processor pair and by every dynamic execution of a loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    MEM_READ_OPS,
+    MEM_WRITE_OPS,
+    REG_IMM_OPS,
+    REG_REG_OPS,
+    SERIALIZING_OPS,
+    Op,
+)
+
+#: Number of architectural integer registers.  ``r0`` is hard-wired to zero,
+#: as in SPARC/MIPS.
+NUM_REGS = 32
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """A single static instruction.
+
+    Fields not used by a given opcode are left at zero.  Memory operands
+    compute their effective address as ``R[rs1] + imm`` (byte address,
+    word aligned).  Branch/jump targets are absolute instruction indices
+    into the program, resolved by the assembler.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"{name}={reg} out of range [0, {NUM_REGS})")
+
+    # -- classification ------------------------------------------------
+    @property
+    def is_alu(self) -> bool:
+        return self.op in REG_REG_OPS or self.op in REG_IMM_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEM_READ_OPS or self.op in MEM_WRITE_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in MEM_READ_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in MEM_WRITE_OPS
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.op in (Op.ATOMIC, Op.CAS)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in BRANCH_OPS or self.op in (Op.JUMP, Op.HALT)
+
+    @property
+    def is_serializing(self) -> bool:
+        """True for traps, membars, atomics and non-idempotent accesses.
+
+        These are the instructions that Section 4.4 of the paper shows
+        stall retirement for a full comparison latency under any
+        redundant-execution checking scheme.
+        """
+        return self.op in SERIALIZING_OPS
+
+    @property
+    def writes_reg(self) -> bool:
+        """True when the instruction produces an architectural register value."""
+        if self.op in REG_REG_OPS or self.op in REG_IMM_OPS:
+            return self.rd != 0
+        if self.op in (Op.LOAD, Op.ATOMIC, Op.CAS):
+            return self.rd != 0
+        return False
+
+    @property
+    def reads(self) -> tuple[int, ...]:
+        """Architectural source registers (excluding the hard-wired r0)."""
+        op = self.op
+        if op in REG_REG_OPS:
+            srcs: tuple[int, ...] = (self.rs1, self.rs2)
+        elif op in REG_IMM_OPS:
+            srcs = () if op is Op.MOVI else (self.rs1,)
+        elif op is Op.LOAD:
+            srcs = (self.rs1,)
+        elif op is Op.STORE:
+            srcs = (self.rs1, self.rs2)
+        elif op in (Op.ATOMIC, Op.CAS):
+            srcs = (self.rs1, self.rs2)
+        elif op in BRANCH_OPS:
+            srcs = (self.rs1, self.rs2)
+        else:
+            srcs = ()
+        return tuple(s for s in srcs if s != 0)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        op = self.op
+        if op in REG_REG_OPS:
+            return f"{op.value} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if op is Op.MOVI:
+            return f"movi r{self.rd}, {self.imm}"
+        if op in REG_IMM_OPS:
+            return f"{op.value} r{self.rd}, r{self.rs1}, {self.imm}"
+        if op is Op.LOAD:
+            return f"load r{self.rd}, [r{self.rs1}+{self.imm}]"
+        if op is Op.STORE:
+            return f"store r{self.rs2}, [r{self.rs1}+{self.imm}]"
+        if op is Op.ATOMIC:
+            return f"atomic r{self.rd}, [r{self.rs1}+{self.imm}], r{self.rs2}"
+        if op is Op.CAS:
+            return f"cas r{self.rd}, [r{self.rs1}], r{self.rs2}, {self.imm}"
+        if op in BRANCH_OPS:
+            return f"{op.value} r{self.rs1}, r{self.rs2}, @{self.target}"
+        if op is Op.JUMP:
+            return f"jump @{self.target}"
+        return op.value

@@ -1,0 +1,121 @@
+"""A simple in-order functional interpreter for the toy ISA.
+
+The interpreter is the *golden model*: single-core programs executed by
+the out-of-order timing simulator must produce exactly the same
+architectural state.  Tests use it for differential testing of the
+pipeline, and workload generators use it to sanity-check emitted kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile
+from repro.isa.semantics import (
+    alu_result,
+    atomic_result,
+    branch_taken,
+    effective_address,
+)
+
+
+@dataclass
+class InterpreterResult:
+    """Final architectural state after functional execution."""
+
+    registers: RegisterFile
+    memory: dict[int, int]
+    retired: int
+    halted: bool
+    pc: int
+    trap_count: int = 0
+    membar_count: int = 0
+    load_count: int = 0
+    store_count: int = 0
+    trace: list[int] = field(default_factory=list)
+
+
+def run(
+    program: Program,
+    max_instructions: int = 1_000_000,
+    memory: dict[int, int] | None = None,
+    collect_trace: bool = False,
+) -> InterpreterResult:
+    """Execute ``program`` functionally and return the final state.
+
+    ``memory`` lets callers share a memory image across sequential runs;
+    the program's own image is applied on top of it.
+    """
+    regs = RegisterFile()
+    for index, value in program.initial_regs.items():
+        regs.write(index, value)
+    mem: dict[int, int] = dict(memory) if memory else {}
+    mem.update(program.memory_image)
+
+    pc = program.entry
+    retired = 0
+    halted = False
+    traps = membars = loads = stores = 0
+    trace: list[int] = []
+
+    while retired < max_instructions:
+        inst = program.fetch(pc)
+        if collect_trace:
+            trace.append(pc)
+        next_pc = pc + 1
+        op = inst.op
+
+        if inst.is_alu:
+            regs.write(inst.rd, alu_result(op, regs.read(inst.rs1), regs.read(inst.rs2), inst.imm))
+        elif op is Op.LOAD:
+            addr = effective_address(regs.read(inst.rs1), inst.imm)
+            regs.write(inst.rd, mem.get(addr, 0))
+            loads += 1
+        elif op is Op.STORE:
+            addr = effective_address(regs.read(inst.rs1), inst.imm)
+            mem[addr] = regs.read(inst.rs2)
+            stores += 1
+        elif op in (Op.ATOMIC, Op.CAS):
+            addr = effective_address(regs.read(inst.rs1), inst.imm)
+            old = mem.get(addr, 0)
+            rd_value, new = atomic_result(op, old, regs.read(inst.rs2), inst.imm)
+            regs.write(inst.rd, rd_value)
+            if new is not None:
+                mem[addr] = new
+            loads += 1
+            stores += 1
+        elif inst.is_branch:
+            if branch_taken(op, regs.read(inst.rs1), regs.read(inst.rs2)):
+                next_pc = inst.target
+        elif op is Op.JUMP:
+            next_pc = inst.target
+        elif op is Op.HALT:
+            halted = True
+            retired += 1
+            break
+        elif op is Op.TRAP:
+            traps += 1
+        elif op is Op.MEMBAR:
+            membars += 1
+        elif op in (Op.MMUOP, Op.NOP):
+            pass
+        else:  # pragma: no cover - exhaustive over Op
+            raise NotImplementedError(op)
+
+        retired += 1
+        pc = next_pc
+
+    return InterpreterResult(
+        registers=regs,
+        memory=mem,
+        retired=retired,
+        halted=halted,
+        pc=pc,
+        trap_count=traps,
+        membar_count=membars,
+        load_count=loads,
+        store_count=stores,
+        trace=trace,
+    )

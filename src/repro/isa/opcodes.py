@@ -1,0 +1,90 @@
+"""Opcode definitions for the toy RISC ISA used by the Reunion reproduction.
+
+The paper evaluates Reunion on UltraSPARC III binaries under full-system
+simulation.  This reproduction substitutes a small, regular RISC ISA that
+keeps the features the evaluation actually exercises:
+
+* ALU operations (register-register and register-immediate),
+* word loads and stores through the cache hierarchy,
+* conditional branches resolved on real register values (so input
+  incoherence can redirect control flow, as in Figure 1 of the paper),
+* the full set of *serializing* instructions the paper calls out in
+  Section 4.4: traps, memory barriers, atomic memory operations, and
+  non-idempotent memory accesses (modelled as MMU operations, matching the
+  UltraSPARC III software TLB-miss handler).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Op(enum.Enum):
+    """Operation codes of the toy ISA.
+
+    Members carry no behaviour; classification helpers live in
+    :mod:`repro.isa.instructions` and execution semantics in
+    :mod:`repro.isa.semantics`.
+    """
+
+    # ALU, register-register.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"  # shift left logical
+    SRL = "srl"  # shift right logical
+    MUL = "mul"
+    SLT = "slt"  # set if less-than (signed)
+
+    # ALU, register-immediate.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    MOVI = "movi"  # rd <- imm
+
+    # Memory operations (word-granular, through the cache hierarchy).
+    LOAD = "load"  # rd <- M[rs1 + imm]
+    STORE = "store"  # M[rs1 + imm] <- rs2
+    ATOMIC = "atomic"  # rd <- M[rs1 + imm]; M[rs1 + imm] <- rd + rs2 (fetch-add)
+    CAS = "cas"  # compare-and-swap: if M[a]==rs2 then M[a]<-imm; rd<-old
+
+    # Control flow.  Targets are instruction indices.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JUMP = "jump"
+    HALT = "halt"
+
+    # Serializing, non-memory.
+    MEMBAR = "membar"  # memory barrier
+    TRAP = "trap"  # system trap (e.g. TLB handler entry/exit)
+    MMUOP = "mmuop"  # non-idempotent access to the MMU (uncacheable)
+
+    NOP = "nop"
+
+
+#: ALU operations taking two register sources.
+REG_REG_OPS = frozenset(
+    {Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.MUL, Op.SLT}
+)
+
+#: ALU operations taking one register source and an immediate.
+REG_IMM_OPS = frozenset({Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.MOVI})
+
+#: Conditional branches (compare rs1 against rs2).
+BRANCH_OPS = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE})
+
+#: Memory operations that read from the memory system.
+MEM_READ_OPS = frozenset({Op.LOAD, Op.ATOMIC, Op.CAS})
+
+#: Memory operations that write to the memory system.
+MEM_WRITE_OPS = frozenset({Op.STORE, Op.ATOMIC, Op.CAS})
+
+#: Instructions with serializing semantics (Section 4.4 of the paper):
+#: they stall retirement for a full comparison latency in any redundant
+#: checking microarchitecture.
+SERIALIZING_OPS = frozenset({Op.TRAP, Op.MEMBAR, Op.ATOMIC, Op.CAS, Op.MMUOP})

@@ -1,0 +1,74 @@
+"""Program container: code, entry point, and an initial memory image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.registers import WORD_MASK
+
+
+@dataclass
+class Program:
+    """A static program plus the data it runs over.
+
+    Attributes
+    ----------
+    instructions:
+        The code, indexed by instruction index (the program counter).
+    entry:
+        Instruction index at which execution starts.
+    memory_image:
+        Initial contents of main memory: word-aligned byte address -> value.
+        Cores in a system share one memory, so images from the programs of
+        all cores are merged when the system is built (later images win on
+        conflicts, which workloads avoid by construction).
+    initial_regs:
+        Optional initial architectural register values (index -> value).
+    name:
+        Human-readable label used in statistics and reports.
+    """
+
+    instructions: list[Instruction]
+    entry: int = 0
+    memory_image: dict[int, int] = field(default_factory=dict)
+    initial_regs: dict[int, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("program has no instructions")
+        if not 0 <= self.entry < len(self.instructions):
+            raise ValueError(f"entry {self.entry} out of range")
+        for index, inst in enumerate(self.instructions):
+            if inst.is_control and inst.op is not Op.HALT:
+                if not 0 <= inst.target < len(self.instructions):
+                    raise ValueError(
+                        f"instruction {index} ({inst}) targets {inst.target}, "
+                        f"outside program of length {len(self.instructions)}"
+                    )
+        for addr in self.memory_image:
+            if addr % 8:
+                raise ValueError(f"memory image address {addr:#x} not word aligned")
+        self.memory_image = {
+            addr: value & WORD_MASK for addr, value in self.memory_image.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Instruction:
+        """Return the instruction at ``pc``.
+
+        A PC that runs past the end of the program (e.g. a mute core sent
+        down a wild path by input incoherence) sees a HALT rather than an
+        exception, so the checking machinery — not the simulator — catches
+        the divergence.
+        """
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        return _OUT_OF_RANGE_HALT
+
+
+_OUT_OF_RANGE_HALT = Instruction(Op.HALT)

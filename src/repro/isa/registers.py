@@ -1,0 +1,66 @@
+"""Architectural register file.
+
+The register file holds the *safe state* of a core (Definition 4 of the
+paper): values only enter it at retirement, after output comparison in
+redundant modes.  It therefore supports cheap snapshot/restore, used by
+precise-exception rollback, and wholesale copy, used by phase two of the
+re-execution protocol (the vocal copies its ARF to the mute).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import NUM_REGS
+
+#: All register values are 64-bit unsigned; arithmetic wraps.
+WORD_MASK = (1 << 64) - 1
+
+
+class RegisterFile:
+    """A bank of :data:`NUM_REGS` 64-bit registers with ``r0`` wired to zero."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self, values: list[int] | None = None) -> None:
+        if values is None:
+            self._regs = [0] * NUM_REGS
+        else:
+            if len(values) != NUM_REGS:
+                raise ValueError(f"expected {NUM_REGS} values, got {len(values)}")
+            self._regs = [v & WORD_MASK for v in values]
+            self._regs[0] = 0
+
+    def read(self, index: int) -> int:
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if index != 0:
+            self._regs[index] = value & WORD_MASK
+
+    def snapshot(self) -> list[int]:
+        """Return a copy of the register values (for rollback)."""
+        return list(self._regs)
+
+    def restore(self, snapshot: list[int]) -> None:
+        """Restore register values from a snapshot taken earlier."""
+        if len(snapshot) != NUM_REGS:
+            raise ValueError("snapshot has wrong length")
+        self._regs = list(snapshot)
+        self._regs[0] = 0
+
+    def copy_from(self, other: "RegisterFile") -> None:
+        """Overwrite this file with ``other``'s values.
+
+        This is the mute-register-initialization mechanism of Definition 9:
+        phase two of the re-execution protocol copies the vocal ARF into
+        the mute ARF.
+        """
+        self._regs = list(other._regs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterFile):
+            return NotImplemented
+        return self._regs == other._regs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = {i: v for i, v in enumerate(self._regs) if v}
+        return f"RegisterFile({nonzero})"

@@ -1,0 +1,100 @@
+"""Value-accurate execution semantics for the toy ISA.
+
+These helpers are *pure*: the out-of-order timing model calls them at
+execute time with whatever operand values it has in hand (forwarded from
+the ROB, read from the ARF, or returned by the memory system).  Keeping
+semantics value-accurate — rather than statistically modelled — is what
+lets input incoherence in this reproduction be a *real* event: a mute core
+that loads a stale value computes genuinely different results, takes
+genuinely different branches, and produces a genuinely different
+fingerprint, exactly as in Figure 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Op
+from repro.isa.registers import WORD_MASK
+
+#: Sign bit used for signed comparisons on 64-bit values.
+_SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as signed."""
+    value &= WORD_MASK
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+def alu_result(op: Op, a: int, b: int, imm: int) -> int:
+    """Compute the result of an ALU operation.
+
+    ``a`` is the rs1 value, ``b`` the rs2 value; immediate forms ignore
+    ``b``.  All arithmetic wraps at 64 bits.
+    """
+    if op is Op.ADD:
+        return (a + b) & WORD_MASK
+    if op is Op.SUB:
+        return (a - b) & WORD_MASK
+    if op is Op.AND:
+        return a & b
+    if op is Op.OR:
+        return a | b
+    if op is Op.XOR:
+        return a ^ b
+    if op is Op.SLL:
+        return (a << (b & 63)) & WORD_MASK
+    if op is Op.SRL:
+        return (a >> (b & 63)) & WORD_MASK
+    if op is Op.MUL:
+        return (a * b) & WORD_MASK
+    if op is Op.SLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op is Op.ADDI:
+        return (a + imm) & WORD_MASK
+    if op is Op.ANDI:
+        return a & (imm & WORD_MASK)
+    if op is Op.ORI:
+        return a | (imm & WORD_MASK)
+    if op is Op.XORI:
+        return a ^ (imm & WORD_MASK)
+    if op is Op.MOVI:
+        return imm & WORD_MASK
+    raise ValueError(f"{op} is not an ALU operation")
+
+
+def branch_taken(op: Op, a: int, b: int) -> bool:
+    """Resolve a conditional branch on real operand values."""
+    if op is Op.BEQ:
+        return a == b
+    if op is Op.BNE:
+        return a != b
+    if op is Op.BLT:
+        return to_signed(a) < to_signed(b)
+    if op is Op.BGE:
+        return to_signed(a) >= to_signed(b)
+    raise ValueError(f"{op} is not a conditional branch")
+
+
+def effective_address(rs1_value: int, imm: int) -> int:
+    """Compute a memory operand's effective byte address (word aligned)."""
+    return ((rs1_value + imm) & WORD_MASK) & ~0x7
+
+
+def atomic_result(op: Op, old: int, rs2_value: int, imm: int) -> tuple[int, int | None]:
+    """Compute an atomic read-modify-write.
+
+    Returns ``(rd_value, new_memory_value)``; ``new_memory_value`` is
+    ``None`` when the atomic does not write (failed CAS).
+
+    * ``ATOMIC`` is fetch-and-add: rd gets the old value, memory gets
+      ``old + rs2``.
+    * ``CAS`` compares memory against rs2 and stores ``imm`` on success;
+      rd always gets the old value.
+    """
+    if op is Op.ATOMIC:
+        return old, (old + rs2_value) & WORD_MASK
+    if op is Op.CAS:
+        if old == (rs2_value & WORD_MASK):
+            return old, imm & WORD_MASK
+        return old, None
+    raise ValueError(f"{op} is not an atomic operation")

@@ -1,0 +1,168 @@
+"""Set-associative write-back cache with true LRU replacement.
+
+Caches here hold *data* as well as tags: values matter in this
+reproduction, because input incoherence is a real stale value observed by
+a mute core, not a modelled probability.  A line's data is a list of
+word-sized integers (line_bytes / 8 of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import WORD_MASK
+
+
+class LineState:
+    """MESI-style line states (plain ints for speed)."""
+
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+    NAMES = {0: "I", 1: "S", 2: "E", 3: "M"}
+
+
+@dataclass
+class CacheLine:
+    """One resident line: coherence state plus word data."""
+
+    line_addr: int
+    state: int
+    data: list[int]
+
+    @property
+    def dirty(self) -> bool:
+        return self.state == LineState.MODIFIED
+
+
+@dataclass
+class Eviction:
+    """A victim pushed out by a fill."""
+
+    line_addr: int
+    data: list[int]
+    dirty: bool
+
+
+class Cache:
+    """A set-associative cache keyed by line address.
+
+    Line addresses are byte addresses right-shifted by the line-offset
+    bits; callers do the shifting once so hot paths stay integer-only.
+    """
+
+    __slots__ = ("name", "n_sets", "assoc", "words_per_line", "_sets", "_stamp")
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ) -> None:
+        n_lines = size_bytes // line_bytes
+        if n_lines % assoc:
+            raise ValueError("line count must be a multiple of associativity")
+        self.name = name
+        self.n_sets = n_lines // assoc
+        self.assoc = assoc
+        self.words_per_line = line_bytes // 8
+        # set index -> {line_addr: (CacheLine, lru_stamp)}
+        self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.n_sets)]
+        # LRU stamps; the monotonically increasing counter lives under key -1
+        # (an impossible line address) so the class keeps tight __slots__.
+        self._stamp: dict[int, int] = {}
+
+    def _bump(self) -> int:
+        value = self._stamp.get(-1, 0) + 1
+        self._stamp[-1] = value
+        return value
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.n_sets
+
+    # -- lookups ---------------------------------------------------------
+    def lookup(self, line_addr: int) -> CacheLine | None:
+        """Return the resident line, or ``None``.  Does not update LRU."""
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line is not None and line.state != LineState.INVALID:
+            return line
+        return None
+
+    def touch(self, line_addr: int) -> None:
+        """Mark a line most-recently used."""
+        self._stamp[line_addr] = self._bump()
+
+    def access(self, line_addr: int) -> CacheLine | None:
+        """Lookup plus LRU update — the normal load/store path."""
+        line = self.lookup(line_addr)
+        if line is not None:
+            self.touch(line_addr)
+        return line
+
+    # -- mutation ---------------------------------------------------------
+    def fill(self, line_addr: int, data: list[int], state: int) -> Eviction | None:
+        """Install a line, evicting the LRU victim if the set is full.
+
+        Returns the eviction (with data, for write-back) or ``None``.
+        """
+        index = self._set_index(line_addr)
+        cache_set = self._sets[index]
+        evicted: Eviction | None = None
+        if line_addr not in cache_set and len(cache_set) >= self.assoc:
+            victim_addr = min(cache_set, key=lambda a: self._stamp.get(a, 0))
+            victim = cache_set.pop(victim_addr)
+            self._stamp.pop(victim_addr, None)
+            evicted = Eviction(victim_addr, victim.data, victim.dirty)
+        cache_set[line_addr] = CacheLine(line_addr, state, list(data))
+        self.touch(line_addr)
+        return evicted
+
+    def invalidate(self, line_addr: int) -> CacheLine | None:
+        """Remove a line (external invalidation); returns it if present."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        line = cache_set.pop(line_addr, None)
+        self._stamp.pop(line_addr, None)
+        return line
+
+    def downgrade(self, line_addr: int) -> list[int] | None:
+        """Drop a line to SHARED; returns its data if it was dirty."""
+        line = self.lookup(line_addr)
+        if line is None:
+            return None
+        dirty_data = list(line.data) if line.dirty else None
+        line.state = LineState.SHARED
+        return dirty_data
+
+    # -- word access -------------------------------------------------------
+    def read_word(self, addr: int) -> int:
+        """Read a word from a resident line (caller ensures residence)."""
+        line_addr, offset = divmod(addr // 8, self.words_per_line)
+        line = self.lookup(line_addr)
+        if line is None:
+            raise KeyError(f"{self.name}: line {line_addr:#x} not resident")
+        return line.data[offset]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Write a word into a resident line and mark it MODIFIED."""
+        line_addr, offset = divmod(addr // 8, self.words_per_line)
+        line = self.lookup(line_addr)
+        if line is None:
+            raise KeyError(f"{self.name}: line {line_addr:#x} not resident")
+        line.data[offset] = value & WORD_MASK
+        line.state = LineState.MODIFIED
+
+    # -- introspection -----------------------------------------------------
+    def resident_lines(self) -> list[int]:
+        """All resident line addresses (tests and debugging)."""
+        out: list[int] = []
+        for cache_set in self._sets:
+            out.extend(a for a, l in cache_set.items() if l.state != LineState.INVALID)
+        return out
+
+    def clear(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._stamp.clear()

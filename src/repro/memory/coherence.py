@@ -1,0 +1,53 @@
+"""Directory state for the shared-cache coherence protocol.
+
+The reproduction models a Piranha-style inclusive shared cache controller
+that tracks, per line, which *vocal* L1s hold the line and whether one of
+them owns it exclusively.  Mute caches are deliberately invisible here —
+that is the Reunion vocal/mute semantics of Definition 2: the coherence
+protocol behaves as if mute cores were absent from the system.
+"""
+
+from __future__ import annotations
+
+
+class DirectoryEntry:
+    """Sharers and owner for one cache line, vocal cores only."""
+
+    __slots__ = ("owner", "sharers")
+
+    def __init__(self) -> None:
+        self.owner: int | None = None  # core with E/M permission
+        self.sharers: set[int] = set()
+
+    def is_idle(self) -> bool:
+        return self.owner is None and not self.sharers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirectoryEntry(owner={self.owner}, sharers={sorted(self.sharers)})"
+
+
+class Directory:
+    """Line address -> :class:`DirectoryEntry`, materialized on demand."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line_addr] = entry
+        return entry
+
+    def peek(self, line_addr: int) -> DirectoryEntry | None:
+        return self._entries.get(line_addr)
+
+    def drop_if_idle(self, line_addr: int) -> None:
+        entry = self._entries.get(line_addr)
+        if entry is not None and entry.is_idle():
+            del self._entries[line_addr]
+
+    def __len__(self) -> int:
+        return len(self._entries)

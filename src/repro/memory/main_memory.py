@@ -1,0 +1,62 @@
+"""Flat main memory, lazily materialized by line."""
+
+from __future__ import annotations
+
+from repro.isa.registers import WORD_MASK
+
+
+class MainMemory:
+    """Word-addressable backing store, organized as cache lines.
+
+    Lines are materialized on first touch from an initial word image
+    (the merged memory images of every core's program); untouched words
+    read as zero, like freshly mapped pages.
+    """
+
+    __slots__ = ("words_per_line", "latency", "_lines", "_image")
+
+    def __init__(self, latency: int = 240, line_bytes: int = 64) -> None:
+        self.latency = latency
+        self.words_per_line = line_bytes // 8
+        self._lines: dict[int, list[int]] = {}
+        self._image: dict[int, int] = {}
+
+    def load_image(self, image: dict[int, int]) -> None:
+        """Install initial word values (byte address -> value)."""
+        for addr, value in image.items():
+            if addr % 8:
+                raise ValueError(f"image address {addr:#x} not word aligned")
+            self._image[addr] = value & WORD_MASK
+        self._lines.clear()
+
+    def _materialize(self, line_addr: int) -> list[int]:
+        base = line_addr * self.words_per_line * 8
+        data = [self._image.get(base + 8 * i, 0) for i in range(self.words_per_line)]
+        self._lines[line_addr] = data
+        return data
+
+    def read_line(self, line_addr: int) -> list[int]:
+        """Return a copy of a line's words."""
+        data = self._lines.get(line_addr)
+        if data is None:
+            data = self._materialize(line_addr)
+        return list(data)
+
+    def write_line(self, line_addr: int, data: list[int]) -> None:
+        if len(data) != self.words_per_line:
+            raise ValueError("line data has wrong length")
+        self._lines[line_addr] = [v & WORD_MASK for v in data]
+
+    def read_word(self, addr: int) -> int:
+        line_addr, offset = divmod(addr // 8, self.words_per_line)
+        data = self._lines.get(line_addr)
+        if data is None:
+            data = self._materialize(line_addr)
+        return data[offset]
+
+    def write_word(self, addr: int, value: int) -> None:
+        line_addr, offset = divmod(addr // 8, self.words_per_line)
+        data = self._lines.get(line_addr)
+        if data is None:
+            data = self._materialize(line_addr)
+        data[offset] = value & WORD_MASK

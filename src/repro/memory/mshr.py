@@ -1,0 +1,53 @@
+"""Miss status holding registers: bound outstanding misses per cache."""
+
+from __future__ import annotations
+
+import heapq
+
+
+class MSHRFile:
+    """Tracks outstanding misses as (release_cycle) entries.
+
+    A miss occupies one MSHR from issue until its fill completes.  When
+    every register is busy the requester must stall and retry — a real
+    source of back-pressure on memory-level parallelism, which matters
+    for the paper's scientific workloads (Section 5.2).
+    """
+
+    __slots__ = ("capacity", "_busy")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("need at least one MSHR")
+        self.capacity = capacity
+        self._busy: list[int] = []  # min-heap of release cycles
+
+    def _drain(self, now: int) -> None:
+        busy = self._busy
+        while busy and busy[0] <= now:
+            heapq.heappop(busy)
+
+    def available(self, now: int) -> bool:
+        self._drain(now)
+        return len(self._busy) < self.capacity
+
+    def allocate(self, now: int, release_cycle: int) -> None:
+        """Occupy one MSHR until ``release_cycle``.
+
+        Callers must have checked :meth:`available` this cycle.
+        """
+        self._drain(now)
+        if len(self._busy) >= self.capacity:
+            raise RuntimeError("MSHR overflow: allocate() without available()")
+        heapq.heappush(self._busy, release_cycle)
+
+    def next_release(self) -> int | None:
+        """Earliest cycle at which an MSHR frees up, or None if all free."""
+        return self._busy[0] if self._busy else None
+
+    def outstanding(self, now: int) -> int:
+        self._drain(now)
+        return len(self._busy)
+
+    def clear(self) -> None:
+        self._busy.clear()

@@ -1,0 +1,165 @@
+"""Per-core memory port: private L1 data cache + TLBs + MSHRs.
+
+The port is the pipeline's window onto the memory system.  A vocal port
+speaks the ordinary coherence protocol through the shared controller; a
+mute port issues phantom reads, keeps its fills invisible to the
+directory, and lets its evictions be dropped — the Reunion relaxed input
+replication of Definition 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import Cache, LineState
+from repro.memory.l2_controller import SharedL2Controller
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLBPair
+from repro.sim.config import L1Config, PhantomStrength, TLBConfig
+from repro.sim.stats import Stats
+
+
+@dataclass
+class Access:
+    """Outcome of a load or store drain.
+
+    ``retry`` means no MSHR was free: the requester must try again later
+    (the port does not queue).  ``value`` is meaningful for loads only.
+    """
+
+    value: int = 0
+    done: int = 0
+    retry: bool = False
+    miss: bool = False
+
+
+class CoreMemPort:
+    """One core's L1 D-cache, TLBs and MSHRs, wired to the shared L2."""
+
+    def __init__(
+        self,
+        core_id: int,
+        l1_config: L1Config,
+        tlb_config: TLBConfig,
+        controller: SharedL2Controller,
+        stats: Stats,
+        is_mute: bool = False,
+        phantom: PhantomStrength = PhantomStrength.GLOBAL,
+    ) -> None:
+        self.core_id = core_id
+        self.config = l1_config
+        self.controller = controller
+        self.stats = stats
+        self.is_mute = is_mute
+        self.phantom = phantom
+        self.l1 = Cache(
+            l1_config.size_bytes,
+            l1_config.assoc,
+            l1_config.line_bytes,
+            name=f"L1d{core_id}",
+        )
+        self.mshrs = MSHRFile(l1_config.mshrs)
+        self.tlbs = TLBPair(tlb_config)
+        self._line_shift = l1_config.line_bytes.bit_length() - 1
+        self._word_mask = l1_config.line_bytes // 8 - 1
+        controller.register_l1(core_id, self.l1, is_mute)
+        self._prefix = f"core{core_id}."
+
+    # -- TLB ----------------------------------------------------------------
+    def dtlb_hit(self, addr: int) -> bool:
+        return self.tlbs.dtlb.lookup(addr)
+
+    def dtlb_fill(self, addr: int) -> None:
+        self.tlbs.dtlb.fill(addr)
+
+    # -- loads ----------------------------------------------------------------
+    def load(self, addr: int, now: int) -> Access:
+        """Read a word; misses go to the L2 (coherent or phantom)."""
+        line_addr = addr >> self._line_shift
+        offset = (addr >> 3) & self._word_mask
+        line = self.l1.access(line_addr)
+        if line is not None:
+            self.stats.inc(self._prefix + "l1_load_hits")
+            return Access(value=line.data[offset], done=now + self.config.load_to_use)
+
+        if not self.mshrs.available(now):
+            self.stats.inc(self._prefix + "mshr_stalls")
+            return Access(retry=True)
+
+        self.stats.inc(self._prefix + "l1_load_misses")
+        if self.is_mute:
+            reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)
+            self._install_mute(line_addr, reply.data)
+        else:
+            reply = self.controller.vocal_read(self.core_id, line_addr, now)
+        self.mshrs.allocate(now, reply.done)
+        return Access(value=reply.data[offset], done=reply.done, miss=True)
+
+    # -- stores (non-speculative drain) -----------------------------------------
+    def store(self, addr: int, value: int, now: int) -> Access:
+        """Drain one checked store into the cache hierarchy."""
+        line_addr = addr >> self._line_shift
+        line = self.l1.access(line_addr)
+
+        if line is not None and (
+            line.state in (LineState.MODIFIED, LineState.EXCLUSIVE) or self.is_mute
+        ):
+            # Mute hierarchies have blanket write permission (phantom
+            # replies grant it); vocal needs E/M for a silent write.
+            self.l1.write_word(addr, value)
+            self.stats.inc(self._prefix + "l1_store_hits")
+            return Access(done=now + 1)
+
+        if not self.mshrs.available(now):
+            self.stats.inc(self._prefix + "mshr_stalls")
+            return Access(retry=True)
+
+        if self.is_mute:
+            self.stats.inc(self._prefix + "l1_store_misses")
+            reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)
+            self._install_mute(line_addr, reply.data)
+        else:
+            if line is not None:
+                self.stats.inc(self._prefix + "l1_store_upgrades")
+            else:
+                self.stats.inc(self._prefix + "l1_store_misses")
+            reply = self.controller.vocal_write(self.core_id, line_addr, now)
+        self.mshrs.allocate(now, reply.done)
+        self.l1.write_word(addr, value)
+        return Access(done=reply.done, miss=True)
+
+    # -- atomics (coherent read-modify-write, non-Reunion path) --------------------
+    def rmw_read(self, addr: int, now: int) -> Access:
+        """Acquire the line with write permission and return the old word.
+
+        Used by non-redundant and strict modes; Reunion atomics instead go
+        through the pair's synchronizing request.
+        """
+        line_addr = addr >> self._line_shift
+        offset = (addr >> 3) & self._word_mask
+        line = self.l1.access(line_addr)
+        if line is not None and (
+            line.state in (LineState.MODIFIED, LineState.EXCLUSIVE) or self.is_mute
+        ):
+            return Access(value=line.data[offset], done=now + self.config.load_to_use)
+        if not self.mshrs.available(now):
+            self.stats.inc(self._prefix + "mshr_stalls")
+            return Access(retry=True)
+        if self.is_mute:
+            reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)
+            self._install_mute(line_addr, reply.data)
+        else:
+            reply = self.controller.vocal_write(self.core_id, line_addr, now)
+        self.mshrs.allocate(now, reply.done)
+        return Access(value=reply.data[offset], done=reply.done, miss=True)
+
+    def rmw_write(self, addr: int, value: int) -> None:
+        """Complete an RMW: the line is resident with write permission."""
+        self.l1.write_word(addr, value)
+
+    # -- helpers ---------------------------------------------------------------
+    def _install_mute(self, line_addr: int, data: list[int]) -> None:
+        """Fill a phantom reply into the mute L1 with write permission."""
+        evicted = self.l1.fill(line_addr, data, LineState.EXCLUSIVE)
+        if evicted is not None:
+            self.controller.mute_evict(self.core_id, evicted.line_addr)

@@ -1,0 +1,40 @@
+"""A gshare-style branch direction predictor.
+
+Targets come from the static instruction (the toy ISA has only direct
+branches), so no BTB is modelled — only direction prediction, which is
+what redirects fetch and creates squash/refill penalties.
+"""
+
+from __future__ import annotations
+
+
+class BranchPredictor:
+    """Global-history-XOR-PC indexed table of 2-bit saturating counters."""
+
+    __slots__ = ("_table", "_mask", "_history")
+
+    def __init__(self, entries: int = 1024) -> None:
+        if entries & (entries - 1):
+            raise ValueError("predictor entries must be a power of two")
+        self._table = [2] * entries  # weakly taken
+        self._mask = entries - 1
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift global history."""
+        index = self._index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        else:
+            if counter > 0:
+                self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask

@@ -1,0 +1,70 @@
+"""Retire gates: the policy boundary between pipeline and redundancy.
+
+The out-of-order core hands completed instructions, in program order, to
+its *retire gate*.  The gate decides when each may update architectural
+state:
+
+* :class:`ImmediateGate` — non-redundant execution: instructions retire
+  the cycle after they are offered.
+* ``StrictCheckGate`` (in :mod:`repro.core.strict`) — oracle strict input
+  replication: fingerprints are compared against a virtual partner with
+  identical timing, so only the comparison latency and the resulting
+  buffering are modelled.
+* ``ReunionCheckGate`` (in :mod:`repro.core.check_stage`) — real
+  fingerprint exchange between the vocal and mute cores of a pair.
+
+Keeping the gate abstract lets one pipeline implementation serve all
+three execution models, which is exactly the paper's dual-use argument.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol
+
+from repro.pipeline.rob import DynInstr
+
+
+class RetireGate(Protocol):
+    """What the core needs from a retirement-checking policy."""
+
+    def offer(self, entry: DynInstr, now: int) -> None:
+        """An instruction (oldest, completed) enters the check stage."""
+
+    def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
+        """Entries cleared for architectural retirement, oldest first."""
+
+    def close_open(self, now: int) -> None:
+        """A serializing instruction is waiting: end the open interval now.
+
+        Section 4.4: "the fingerprint interval immediately ends to allow
+        older instructions to retire" when a serializing instruction is
+        encountered.
+        """
+
+    def flush(self) -> None:
+        """Drop all pending check state (squash / recovery)."""
+
+
+class ImmediateGate:
+    """Non-redundant retirement: no checking, no added latency."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue: deque[DynInstr] = deque()
+
+    def offer(self, entry: DynInstr, now: int) -> None:
+        self._queue.append(entry)
+
+    def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
+        out: list[DynInstr] = []
+        while self._queue and len(out) < limit:
+            out.append(self._queue.popleft())
+        return out
+
+    def close_open(self, now: int) -> None:
+        pass  # no intervals without checking
+
+    def flush(self) -> None:
+        self._queue.clear()

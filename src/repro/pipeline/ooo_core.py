@@ -1,0 +1,836 @@
+"""The out-of-order core timing model.
+
+A simplified but value-accurate out-of-order pipeline in the style of the
+paper's baseline (Section 4.1, Figure 3): in-order fetch/decode into a
+register-update-unit (ROB), out-of-order issue and execution, and
+in-order retirement through a pluggable *retire gate* that implements
+non-redundant, strict, or Reunion checking.
+
+Key behaviours the evaluation depends on:
+
+* **Value accuracy** — operands and load values are real; a mute core fed
+  a stale value computes and branches differently, which is how input
+  incoherence becomes a detectable fingerprint mismatch.
+* **Serializing instructions** (traps, membars, atomics, non-idempotent
+  MMU ops; every store under SC) execute only when they are the oldest
+  instruction in the machine — i.e. after all older instructions have
+  been compared and retired — and no younger instruction may begin
+  execution until they retire (Section 4.4).
+* **Store buffering** — stores sit speculatively in the ROB, move to a
+  non-speculative drain queue at retirement (after checking), and drain
+  to the L1 in order; loads forward from both.
+* **Software TLB misses** inject the UltraSPARC-style fast-miss handler
+  into the pipeline (see :mod:`repro.pipeline.tlb_handler`).
+* **Pair coordination hooks** — in Reunion mode, atomics (and loads
+  during single-step re-execution) park in ``sync_request`` until the
+  pair controller performs the synchronizing access.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import islice
+from typing import Callable
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile
+from repro.isa.semantics import (
+    alu_result,
+    atomic_result,
+    branch_taken,
+    effective_address,
+)
+from repro.memory.port import CoreMemPort
+from repro.pipeline.branch_predictor import BranchPredictor
+from repro.pipeline.gates import ImmediateGate, RetireGate
+from repro.pipeline.rob import DynInstr, DynState
+from repro.pipeline.tlb_handler import handler_sequence
+from repro.sim.config import Consistency, SystemConfig, TLBMode
+
+
+class _Fetched:
+    """A fetched, pre-decoded instruction waiting for dispatch."""
+
+    __slots__ = ("ready_cycle", "pc", "inst", "injected", "predicted_next", "fill_addr")
+
+    def __init__(self, ready_cycle, pc, inst, injected, predicted_next, fill_addr=None):
+        self.ready_cycle = ready_cycle
+        self.pc = pc
+        self.inst = inst
+        self.injected = injected
+        self.predicted_next = predicted_next
+        self.fill_addr = fill_addr
+
+
+class OoOCore:
+    """One physical core: frontend, ROB, execution, store buffer, retire."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SystemConfig,
+        program: Program,
+        port: CoreMemPort,
+        gate: RetireGate | None = None,
+        synthetic_itlb: Callable[[int], bool] | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.core_cfg = config.core
+        self.program = program
+        self.port = port
+        self.gate: RetireGate = gate if gate is not None else ImmediateGate()
+        self.synthetic_itlb = synthetic_itlb
+        self.sc_mode = config.consistency is Consistency.SC
+        self.sw_tlb = config.tlb.mode is TLBMode.SOFTWARE
+
+        self.arf = RegisterFile()
+        for index, value in program.initial_regs.items():
+            self.arf.write(index, value)
+
+        # Frontend.
+        self.pc = program.entry
+        self.fetch_queue: deque[_Fetched] = deque()
+        self.injection: deque[tuple[Instruction, int | None]] = deque()
+        self._injection_resume: int | None = None
+        self.predictor = BranchPredictor(self.core_cfg.branch_predictor_entries)
+        self.fetch_stalled = False  # set after fetching HALT
+
+        # Backend.
+        self.rob: deque[DynInstr] = deque()
+        self.rename: dict[int, DynInstr] = {}
+        self._prev_producer: dict[int, DynInstr | None] = {}
+        self.ready: list[DynInstr] = []
+        self.completions: list[tuple[int, int, DynInstr]] = []  # heap
+        self._store_entries: list[DynInstr] = []
+        self._ser_heap: list[tuple[int, DynInstr]] = []
+        self._next_seq = 0
+
+        # Store buffer: speculative stores live in the ROB; checked stores
+        # wait in `drain` and leave one at a time through the L1 write port.
+        self.drain: deque[tuple[int, int]] = deque()
+        self.sb_count = 0
+        self._drain_inflight: tuple[int, int, int] | None = None  # (addr, val, done)
+
+        # Pair-coordination state (Reunion).
+        self.pair_sync_atomics = False  # pair controller flips this on
+        self.single_step = False
+        self.sync_request: DynInstr | None = None
+        self.resume_normal_after: DynInstr | None = None
+
+        # External interrupts: (service at user-instruction count, handler).
+        # Both cores of a pair schedule the same count, so they service at
+        # an identical point in the retired instruction stream (Sec. 4.3).
+        self._interrupts: deque[tuple[int, list[Instruction]]] = deque()
+        self.interrupts_serviced = 0
+
+        self.halted = False
+        self.stall_fetch_until = 0
+        self._check_pending = 0  # offered-but-unretired prefix of the ROB
+
+        #: Optional fault-injection hook, called with each entry right
+        #: after its result is computed (see repro.core.faults).
+        self.fault_hook: Callable[[DynInstr], None] | None = None
+        #: Optional retirement observer (see repro.core.bandwidth).
+        self.retire_hook: Callable[[DynInstr], None] | None = None
+        #: Optional pipeline tracer (see repro.pipeline.trace).
+        self.tracer = None
+
+        # Counters (plain attributes: hot path).
+        self.cycles = 0
+        self.user_retired = 0
+        self.total_retired = 0
+        self.injected_retired = 0
+        self.dtlb_misses = 0
+        self.itlb_misses = 0
+        self.mispredicts = 0
+        self.serializing_retired = 0
+        self.user_mem_retired = 0
+
+    # ------------------------------------------------------------------
+    # Per-cycle step: completions -> drain -> retire -> issue -> dispatch
+    # -> fetch.
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        self.cycles += 1
+        self._do_completions(now)
+        self._do_drain(now)
+        self._do_retire(now)
+        self._do_issue(now)
+        self._do_dispatch(now)
+        self._do_fetch(now)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is in flight and the core has halted."""
+        return self.halted and not self.rob and not self.drain and self._drain_inflight is None
+
+    # -- completions ----------------------------------------------------
+    def _do_completions(self, now: int) -> None:
+        heap = self.completions
+        while heap and heap[0][0] <= now:
+            _, _, entry = heapq.heappop(heap)
+            if entry.squashed:
+                continue
+            entry.state = DynState.COMPLETED
+            entry.complete_cycle = now
+            if self.tracer is not None:
+                self.tracer.complete(entry, now)
+            if entry.result is not None:
+                for dependent, slot in entry.dependents:
+                    if not dependent.squashed:
+                        dependent.set_src(slot, entry.result)
+                        if dependent.pending == 0 and dependent.state == DynState.DISPATCHED:
+                            self.ready.append(dependent)
+                entry.dependents = []
+            if entry.inst.is_branch:
+                self.predictor.update(entry.pc, entry.actual_next != entry.pc + 1)
+                if entry.actual_next != entry.predicted_next:
+                    self.mispredicts += 1
+                    self._squash_after(entry)
+                    self._redirect_fetch(entry.actual_next)
+
+    # -- store drain ------------------------------------------------------
+    def _do_drain(self, now: int) -> None:
+        inflight = self._drain_inflight
+        if inflight is not None:
+            if now < inflight[2]:
+                return
+            self._drain_inflight = None
+            self.sb_count -= 1
+        if self.drain:
+            addr, value = self.drain[0]
+            access = self.port.store(addr, value, now)
+            if access.retry:
+                return
+            self.drain.popleft()
+            self._drain_inflight = (addr, value, access.done)
+
+    @property
+    def drain_empty(self) -> bool:
+        return not self.drain and self._drain_inflight is None
+
+    # -- retirement -------------------------------------------------------
+    def _do_retire(self, now: int) -> None:
+        width = self.core_cfg.width
+        # 1. Architecturally retire entries the gate has cleared.
+        for entry in self.gate.pop_retirable(now, width):
+            if entry.squashed:
+                continue
+            self._retire(entry, now)
+        # 2. Offer the oldest completed-but-unchecked entries to the gate.
+        # The first `_check_pending` ROB entries are already in check.
+        offered = 0
+        for entry in islice(self.rob, self._check_pending, None):
+            if entry.state != DynState.COMPLETED or offered >= width:
+                break
+            entry.state = DynState.IN_CHECK
+            self.gate.offer(entry, now)
+            self._check_pending += 1
+            offered += 1
+
+    def _retire(self, entry: DynInstr, now: int) -> None:
+        """Update architectural state for one checked instruction."""
+        assert self.rob and self.rob[0] is entry, "retirement must be in order"
+        self.rob.popleft()
+        self._check_pending -= 1
+        self._prev_producer.pop(entry.seq, None)
+        entry.state = DynState.RETIRED
+        if self.tracer is not None:
+            self.tracer.retire(entry, now)
+        inst = entry.inst
+        self.total_retired += 1
+        if inst.op is Op.STORE and self._store_entries and self._store_entries[0] is entry:
+            self._store_entries.pop(0)
+
+        if inst.writes_reg and entry.result is not None:
+            self.arf.write(inst.rd, entry.result)
+        if self.rename.get(inst.rd) is entry:
+            del self.rename[inst.rd]
+
+        if inst.op is Op.STORE:
+            self.drain.append((entry.addr, entry.store_value))
+            # sb_count is released when the drain completes.
+        elif inst.op is Op.HALT:
+            self.halted = True
+
+        if entry.injected:
+            self.injected_retired += 1
+            if entry.fill_addr is not None:
+                self.port.dtlb_fill(entry.fill_addr)
+            return
+
+        self.user_retired += 1
+        if self.retire_hook is not None:
+            self.retire_hook(entry)
+        if inst.is_mem:
+            self.user_mem_retired += 1
+        if entry.serializing:
+            self.serializing_retired += 1
+
+        if inst.op is Op.TRAP:
+            # User-level traps redirect fetch through the trap vector:
+            # model as a full pipeline flush and refetch.
+            self._squash_after(entry)
+            self._redirect_fetch(entry.pc + 1)
+        elif not self.single_step:
+            if (
+                self._interrupts
+                and self.user_retired >= self._interrupts[0][0]
+            ):
+                self._service_interrupt(entry)
+            elif self.synthetic_itlb is not None and self.synthetic_itlb(
+                self.user_retired
+            ):
+                self.itlb_misses += 1
+                self._take_synthetic_tlb_miss(entry, now)
+
+    # -- external interrupts ----------------------------------------------
+    def schedule_interrupt(self, at_user_count: int, handler: list[Instruction]) -> None:
+        """Service an interrupt after retiring ``at_user_count`` user instrs.
+
+        The pair controller schedules the *same* count on vocal and mute,
+        so both service the interrupt at an identical program point —
+        the paper's fingerprint-comparison-based alignment (Section 4.3).
+        """
+        self._interrupts.append((at_user_count, handler))
+
+    def _service_interrupt(self, entry: DynInstr) -> None:
+        _, handler = self._interrupts.popleft()
+        self.interrupts_serviced += 1
+        resume = entry.actual_next if entry.actual_next is not None else entry.pc + 1
+        self._squash_after(entry)
+        self.fetch_queue.clear()
+        self.injection.clear()
+        for inst in handler:
+            self.injection.append((inst, None))
+        self._injection_resume = resume
+        self.fetch_stalled = False
+
+    def _take_synthetic_tlb_miss(self, entry: DynInstr, now: int) -> None:
+        """Instruction-fetch TLB miss charged at retirement of instr n."""
+        resume = entry.actual_next if entry.actual_next is not None else entry.pc + 1
+        if self.config.tlb.mode is TLBMode.SOFTWARE:
+            self._squash_after(entry)
+            self._inject_handler(page=self.user_retired, fill_addr=None, resume_pc=resume)
+        else:
+            self.stall_fetch_until = max(
+                self.stall_fetch_until, now + self.config.tlb.hw_fill_latency
+            )
+
+    # -- issue ---------------------------------------------------------------
+    def _do_issue(self, now: int) -> None:
+        self._issue_serializing(now)
+
+        if not self.ready:
+            return
+        self.ready.sort(key=lambda e: e.seq)
+        issue_budget = self.core_cfg.width
+        load_ports = self.core_cfg.load_ports
+        ser_limit = self._oldest_active_serializing()
+        remaining: list[DynInstr] = []
+
+        for entry in self.ready:
+            if entry.squashed or entry.state != DynState.DISPATCHED:
+                continue
+            if issue_budget == 0:
+                remaining.append(entry)
+                continue
+            if entry.serializing or entry.inst.op is Op.HALT:
+                remaining.append(entry)  # handled by _issue_serializing
+                continue
+            if ser_limit is not None and entry.seq > ser_limit:
+                remaining.append(entry)  # blocked behind a serializing op
+                continue
+            op = entry.inst.op
+            if op is Op.LOAD:
+                if load_ports == 0:
+                    remaining.append(entry)
+                    continue
+                outcome = self._issue_load(entry, now)
+                if outcome == "trap":
+                    return  # pipeline flushed; ready list rebuilt
+                if outcome == "wait":
+                    remaining.append(entry)
+                    continue
+                load_ports -= 1
+            elif op is Op.STORE:
+                if not self._issue_store(entry, now):
+                    return  # TLB trap flush
+            else:
+                self._issue_simple(entry, now)
+            issue_budget -= 1
+
+        self.ready = remaining
+
+    def _issue_simple(self, entry: DynInstr, now: int) -> None:
+        """ALU ops, branches, jumps, nops: compute and schedule completion."""
+        inst = entry.inst
+        op = inst.op
+        latency = self.core_cfg.alu_latency
+        if inst.is_alu:
+            entry.result = alu_result(op, entry.val1 or 0, entry.val2 or 0, inst.imm)
+            if op is Op.MUL:
+                latency = self.core_cfg.mul_latency
+        elif inst.is_branch:
+            taken = branch_taken(op, entry.val1 or 0, entry.val2 or 0)
+            entry.actual_next = inst.target if taken else entry.pc + 1
+        elif op is Op.JUMP:
+            entry.actual_next = inst.target
+        if self.fault_hook is not None:
+            self.fault_hook(entry)
+        entry.state = DynState.ISSUED
+        self._schedule(entry, now + latency, now)
+
+    def _issue_load(self, entry: DynInstr, now: int) -> str:
+        """Try to issue a load; returns 'done', 'wait', or 'trap'."""
+        inst = entry.inst
+        entry.addr = effective_address(entry.val1 or 0, inst.imm)
+
+        if self.single_step and self.pair_sync_atomics and not entry.injected:
+            # Re-execution protocol: the first load is issued by both
+            # cores as a synchronizing request (Definition 11).
+            if not self.drain_empty:
+                return "wait"
+            self.port.dtlb_fill(entry.addr)
+            entry.state = DynState.ISSUED
+            self.sync_request = entry
+            return "done"
+
+        forwarded = self._forward_from_stores(entry)
+        if forwarded == "blocked":
+            return "wait"
+        if isinstance(forwarded, int):
+            entry.result = forwarded
+            if self.fault_hook is not None:
+                # Store-to-load forwarding is unprotected datapath — one of
+                # the coverage gaps of a strict LVQ that relaxed input
+                # replication closes (Section 2.3).
+                self.fault_hook(entry)
+            entry.state = DynState.ISSUED
+            self._schedule(entry, now + 1, now)
+            return "done"
+
+        extra = 0
+        if not entry.injected and not self.port.dtlb_hit(entry.addr):
+            self.dtlb_misses += 1
+            if self.sw_tlb:
+                self._take_dtlb_trap(entry, now)
+                return "trap"
+            extra = self.config.tlb.hw_fill_latency
+            self.port.dtlb_fill(entry.addr)
+
+        access = self.port.load(entry.addr, now)
+        if access.retry:
+            return "wait"
+        entry.result = access.value
+        if self.fault_hook is not None:
+            self.fault_hook(entry)
+        entry.state = DynState.ISSUED
+        self._schedule(entry, access.done + extra, now)
+        return "done"
+
+    def _issue_store(self, entry: DynInstr, now: int) -> bool:
+        """Compute a store's address and value (no memory access yet)."""
+        inst = entry.inst
+        entry.addr = effective_address(entry.val1 or 0, inst.imm)
+        entry.store_value = entry.val2 or 0
+        if not entry.injected and not self.port.dtlb_hit(entry.addr):
+            self.dtlb_misses += 1
+            if self.sw_tlb:
+                self._take_dtlb_trap(entry, now)
+                return False
+            self.port.dtlb_fill(entry.addr)
+            # Hardware fill overlaps with the store's time in the buffer.
+        entry.state = DynState.ISSUED
+        self._schedule(entry, now + 1, now)
+        return True
+
+    def _forward_from_stores(self, load: DynInstr) -> int | str | None:
+        """Store-to-load forwarding across ROB stores and the drain queue.
+
+        Returns a value when forwarding succeeds, "blocked" when an older
+        store is unresolved (conservative disambiguation), or None when
+        the load may go to memory.
+        """
+        addr = load.addr
+        for store in reversed(self._store_entries):
+            if store.squashed:
+                continue
+            if store.seq >= load.seq:
+                continue
+            if store.state == DynState.RETIRED:
+                break  # retired stores are visible via the drain queue
+            if store.addr is None:
+                return "blocked"
+            if store.addr == addr:
+                if store.store_value is None:
+                    return "blocked"
+                return store.store_value
+        for drain_addr, drain_value in reversed(self.drain):
+            if drain_addr == addr:
+                return drain_value
+        inflight = self._drain_inflight
+        if inflight is not None and inflight[0] == addr:
+            return inflight[1]
+        return None
+
+    def _issue_serializing(self, now: int) -> None:
+        """Serializing ops (and HALT) execute only at the head of the ROB.
+
+        Being at the head means every older instruction has been compared
+        and retired — requirement (1) of Section 4.4.  Requirement (2),
+        that younger instructions stall, is enforced in ``_do_issue`` via
+        ``_oldest_active_serializing``.
+        """
+        if not self.rob:
+            return
+        # When the next unchecked instruction is serializing and ready,
+        # end the open fingerprint interval immediately so the older
+        # instructions ahead of it can compare and retire (Section 4.4).
+        if self._check_pending < len(self.rob):
+            waiting = self.rob[self._check_pending]
+            if (
+                (waiting.serializing or waiting.inst.op is Op.HALT)
+                and waiting.pending == 0
+                and waiting.state == DynState.DISPATCHED
+            ):
+                self.gate.close_open(now)
+        entry = self.rob[0]
+        if entry.state != DynState.DISPATCHED or entry.pending != 0:
+            return
+        inst = entry.inst
+        if not (entry.serializing or inst.op is Op.HALT):
+            return
+
+        op = inst.op
+        if op in (Op.MEMBAR, Op.ATOMIC, Op.CAS) and not self.drain_empty:
+            return
+        if self.sc_mode and op is Op.STORE and not self.drain_empty:
+            return
+
+        if op is Op.HALT or op is Op.MEMBAR or op is Op.TRAP:
+            entry.state = DynState.ISSUED
+            self._schedule(entry, now + 1, now)
+        elif op is Op.MMUOP:
+            entry.state = DynState.ISSUED
+            self._schedule(entry, now + self.core_cfg.mmuop_latency, now)
+        elif op is Op.STORE:  # SC-mode serializing store
+            self._issue_store(entry, now)
+        elif op in (Op.ATOMIC, Op.CAS):
+            self._issue_atomic(entry, now)
+
+    def _issue_atomic(self, entry: DynInstr, now: int) -> None:
+        inst = entry.inst
+        entry.addr = effective_address(entry.val1 or 0, inst.imm)
+        if not entry.injected and not self.port.dtlb_hit(entry.addr):
+            self.dtlb_misses += 1
+            if self.sw_tlb:
+                self._take_dtlb_trap(entry, now)
+                return
+            self.port.dtlb_fill(entry.addr)
+        if self.pair_sync_atomics:
+            # Reunion: atomics are synchronizing requests, performed once
+            # by the shared cache controller when both cores arrive.
+            entry.state = DynState.ISSUED
+            self.sync_request = entry
+            return
+        access = self.port.rmw_read(entry.addr, now)
+        if access.retry:
+            return
+        rd_value, new_value = atomic_result(inst.op, access.value, entry.val2 or 0, inst.imm)
+        entry.result = rd_value
+        if new_value is not None:
+            self.port.rmw_write(entry.addr, new_value)
+        entry.state = DynState.ISSUED
+        self._schedule(entry, access.done, now)
+
+    def complete_sync(self, entry: DynInstr, value: int, done: int) -> None:
+        """Pair controller delivers a synchronizing-request reply.
+
+        For atomics the controller has already applied the memory update;
+        ``value`` is the single coherent value returned to both cores.
+        """
+        if entry.squashed:
+            self.sync_request = None
+            return
+        entry.result = value
+        self.sync_request = None
+        self._schedule(entry, done)
+
+    def _oldest_active_serializing(self) -> int | None:
+        """Smallest seq of an unretired serializing instruction, if any."""
+        heap = self._ser_heap
+        while heap:
+            seq, entry = heap[0]
+            if entry.squashed or entry.state == DynState.RETIRED:
+                heapq.heappop(heap)
+                continue
+            return seq
+        return None
+
+    def _schedule(self, entry: DynInstr, cycle: int, now: int | None = None) -> None:
+        if self.tracer is not None:
+            self.tracer.issue(entry, cycle if now is None else now)
+        heapq.heappush(self.completions, (cycle, entry.seq, entry))
+
+    # -- TLB traps -------------------------------------------------------------
+    def _take_dtlb_trap(self, entry: DynInstr, now: int) -> None:
+        """Software TLB miss on a data access: flush and run the handler."""
+        page = entry.addr >> self.config.tlb.page_bits
+        self._squash_from(entry)
+        self._inject_handler(page=page, fill_addr=entry.addr, resume_pc=entry.pc)
+
+    def _inject_handler(self, page: int, fill_addr: int | None, resume_pc: int) -> None:
+        """Queue the software fast-miss handler for injection at fetch."""
+        self.fetch_queue.clear()
+        self.injection.clear()
+        sequence = handler_sequence(page)
+        for index, inst in enumerate(sequence):
+            is_last = index == len(sequence) - 1
+            self.injection.append((inst, fill_addr if is_last else None))
+        self._injection_resume = resume_pc
+        self.fetch_stalled = False
+
+    # -- dispatch ----------------------------------------------------------------
+    def _do_dispatch(self, now: int) -> None:
+        width = self.core_cfg.width
+        rob_size = self.core_cfg.rob_size
+        sb_size = self.core_cfg.store_buffer_size
+        dispatched = 0
+        while dispatched < width and self.fetch_queue:
+            fetched = self.fetch_queue[0]
+            if fetched.ready_cycle > now or len(self.rob) >= rob_size:
+                break
+            inst = fetched.inst
+            if inst.op is Op.STORE and self.sb_count >= sb_size:
+                break
+            if self.single_step and self.rob:
+                break  # one instruction at a time during re-execution
+            self.fetch_queue.popleft()
+            self._dispatch_one(fetched, now)
+            dispatched += 1
+
+    def _dispatch_one(self, fetched: _Fetched, now: int) -> None:
+        inst = fetched.inst
+        entry = DynInstr(self._next_seq, fetched.pc, inst, injected=fetched.injected)
+        self._next_seq += 1
+        entry.predicted_next = fetched.predicted_next
+        entry.fill_addr = fetched.fill_addr
+        entry.serializing = inst.is_serializing or (self.sc_mode and inst.op is Op.STORE)
+
+        # Capture operands / subscribe to producers.
+        op = inst.op
+        if op is not Op.MOVI:
+            needs1 = inst.rs1 != 0 and (
+                inst.is_alu or inst.is_mem or inst.is_branch
+            )
+            needs2 = inst.rs2 != 0 and (
+                (inst.is_alu and not op.name.endswith("I"))
+                or inst.is_branch
+                or op in (Op.STORE, Op.ATOMIC, Op.CAS)
+            )
+            if needs1:
+                self._capture(entry, 1, inst.rs1)
+            else:
+                entry.val1 = 0 if inst.rs1 == 0 else None
+                if entry.val1 is None:
+                    entry.val1 = self.arf.read(inst.rs1)
+            if needs2:
+                self._capture(entry, 2, inst.rs2)
+            else:
+                entry.val2 = 0
+
+        if inst.writes_reg:
+            self._prev_producer[entry.seq] = self.rename.get(inst.rd)
+            self.rename[inst.rd] = entry
+
+        if op is Op.STORE:
+            self.sb_count += 1
+            self._store_entries.append(entry)
+        if entry.serializing or op is Op.HALT:
+            heapq.heappush(self._ser_heap, (entry.seq, entry))
+
+        # Non-branch control flow resolves immediately; branches carry the
+        # prediction and verify at completion.
+        if not inst.is_control or op is Op.HALT:
+            entry.actual_next = entry.pc + 1
+        elif op is Op.JUMP:
+            entry.actual_next = inst.target
+
+        self.rob.append(entry)
+        if self.tracer is not None:
+            self.tracer.dispatch(entry, now)
+        if entry.pending == 0:
+            self.ready.append(entry)
+
+    def _capture(self, entry: DynInstr, slot: int, reg: int) -> None:
+        producer = self.rename.get(reg)
+        if producer is not None and not producer.squashed:
+            producer.consumed = True
+        if producer is None or producer.squashed:
+            value = self.arf.read(reg)
+            if slot == 1:
+                entry.val1 = value
+            else:
+                entry.val2 = value
+        elif producer.result is not None:
+            if slot == 1:
+                entry.val1 = producer.result
+            else:
+                entry.val2 = producer.result
+        else:
+            entry.pending += 1
+            producer.dependents.append((entry, slot))
+
+    # -- fetch ---------------------------------------------------------------------
+    def _do_fetch(self, now: int) -> None:
+        if self.halted or now < self.stall_fetch_until:
+            return
+        width = self.core_cfg.width
+        cap = self.core_cfg.fetch_queue_size
+        fetched = 0
+        ready = now + self.core_cfg.frontend_latency
+        while fetched < width and len(self.fetch_queue) < cap and not self.fetch_stalled:
+            if self.injection:
+                inst, fill_addr = self.injection.popleft()
+                self.fetch_queue.append(
+                    _Fetched(ready, self._injection_resume or 0, inst, True, None, fill_addr)
+                )
+                if not self.injection and self._injection_resume is not None:
+                    self.pc = self._injection_resume
+                    self._injection_resume = None
+                fetched += 1
+                continue
+            inst = self.program.fetch(self.pc)
+            predicted_next = None
+            pc = self.pc
+            if inst.is_branch:
+                taken = self.predictor.predict(pc)
+                predicted_next = inst.target if taken else pc + 1
+                self.pc = predicted_next
+            elif inst.op is Op.JUMP:
+                self.pc = inst.target
+            elif inst.op is Op.HALT:
+                self.fetch_stalled = True
+            else:
+                self.pc = pc + 1
+            self.fetch_queue.append(_Fetched(ready, pc, inst, False, predicted_next))
+            fetched += 1
+            if self.single_step:
+                break
+
+    # -- squash / recovery -------------------------------------------------------------
+    def _squash_after(self, entry: DynInstr) -> None:
+        """Squash everything younger than ``entry`` (branch/trap redirect)."""
+        self._squash_to(entry.seq + 1)
+
+    def _squash_from(self, entry: DynInstr) -> None:
+        """Squash ``entry`` and everything younger (TLB trap)."""
+        self._squash_to(entry.seq)
+
+    def _squash_to(self, first_bad_seq: int) -> None:
+        rob = self.rob
+        while rob and rob[-1].seq >= first_bad_seq:
+            victim = rob.pop()
+            victim.squashed = True
+            if self.tracer is not None:
+                self.tracer.squash(victim)
+            if victim.state == DynState.IN_CHECK:
+                self._check_pending -= 1
+            inst = victim.inst
+            if inst.op is Op.STORE and victim.state != DynState.RETIRED:
+                self.sb_count -= 1
+            if inst.writes_reg and self.rename.get(inst.rd) is victim:
+                previous = self._prev_producer.get(victim.seq)
+                if previous is not None and not previous.squashed and previous.state != DynState.RETIRED:
+                    self.rename[inst.rd] = previous
+                else:
+                    del self.rename[inst.rd]
+            self._prev_producer.pop(victim.seq, None)
+        self._store_entries = [s for s in self._store_entries if not s.squashed]
+        if self.sync_request is not None and self.sync_request.squashed:
+            self.sync_request = None
+        self.ready = [e for e in self.ready if not e.squashed]
+        self.fetch_queue.clear()
+        self.injection.clear()
+        self._injection_resume = None
+        self.fetch_stalled = False
+
+    def _redirect_fetch(self, new_pc: int) -> None:
+        self.pc = new_pc
+        self.fetch_stalled = False
+
+    def hard_reset(self, program: Program, now: int) -> None:
+        """Reset all architectural and microarchitectural state for a new
+        program — used when a core is repurposed (dual-use switching)."""
+        if self.rob:
+            self._squash_to(self.rob[0].seq)
+        self.gate.flush()
+        self.completions.clear()
+        self.rename.clear()
+        self._prev_producer.clear()
+        self.ready.clear()
+        self._store_entries.clear()
+        self._ser_heap.clear()
+        self.drain.clear()
+        self._drain_inflight = None
+        self.sb_count = 0
+        self._check_pending = 0
+        self.sync_request = None
+        self.single_step = False
+        self._interrupts.clear()
+        self.program = program
+        self.arf = RegisterFile()
+        for index, value in program.initial_regs.items():
+            self.arf.write(index, value)
+        self.pc = program.entry
+        self.halted = False
+        self.fetch_stalled = False
+        self.stall_fetch_until = max(self.stall_fetch_until, now + 1)
+
+    # -- recovery support (called by the pair controller) ----------------------------
+    def drain_cleared(self, now: int) -> None:
+        """Retire every instruction the gate has already cleared.
+
+        Used at the start of recovery so both cores' architectural state
+        reflects the full compared prefix before rollback.
+        """
+        while True:
+            cleared = self.gate.pop_retirable(now, 1 << 30)
+            if not cleared:
+                return
+            for entry in cleared:
+                if not entry.squashed:
+                    self._retire(entry, now)
+
+    def next_retire_pc(self) -> int:
+        """PC of the oldest unretired instruction (rollback target)."""
+        if self.rob:
+            return self.rob[0].pc
+        if self.fetch_queue:
+            return self.fetch_queue[0].pc
+        return self.pc
+
+    def flush_for_recovery(self, resume_pc: int, now: int, penalty: int) -> None:
+        """Precise-exception rollback to the last safe state.
+
+        Discards every unretired instruction and all check state; the ARF
+        and non-speculative store buffer (drain queue) are untouched —
+        they *are* the safe state.
+        """
+        if self.rob:
+            self._squash_to(self.rob[0].seq)
+        else:
+            self._squash_to(0)
+        self.gate.flush()
+        self.completions.clear()
+        self._check_pending = 0
+        self.pc = resume_pc
+        self.fetch_stalled = False
+        self.halted = False
+        self.stall_fetch_until = max(self.stall_fetch_until, now + penalty)
+        self.sync_request = None

@@ -1,0 +1,57 @@
+"""The software TLB-miss handler, as an injectable instruction sequence.
+
+Section 5.5 of the paper identifies the UltraSPARC III software-managed
+TLB's fast-miss handler as the dominant source of system-specific
+serializing instructions in commercial workloads: the handler "includes
+two traps, for entry and exit, and executes three non-idempotent memory
+requests to the memory management unit", around the TSB loads that fetch
+the translation.
+
+The pipeline injects this sequence when a memory operation misses a
+software-managed TLB.  Injected instructions:
+
+* are real dynamic instructions — they occupy ROB entries, access the
+  cache hierarchy (the TSB loads), and their traps/MMU operations stall
+  retirement for a full comparison latency under redundant checking;
+* write only ``r0`` so user architectural state is untouched;
+* are *not* fingerprinted and do not count as user instructions.  The
+  paper measures user instructions per cycle, and keeping handlers out of
+  the fingerprint stream makes vocal/mute TLB-timing divergence (possible
+  after a recovery) a pure timing event rather than a spurious mismatch.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Op
+
+#: Base byte address of the software TSB / page-table region.  High enough
+#: to stay clear of every workload's data; handler loads hit real cache
+#: lines here, so hot pages keep their TSB entries L1-resident, as on
+#: real hardware.
+TSB_BASE = 0x4000_0000
+
+#: Number of distinct TSB lines; translations hash onto these.
+TSB_LINES = 4096
+
+
+def tsb_address(page: int, which: int) -> int:
+    """Address of a TSB entry word for ``page`` (two words per entry)."""
+    return TSB_BASE + (page % TSB_LINES) * 16 + 8 * which
+
+
+def handler_sequence(page: int) -> list[Instruction]:
+    """The fast-miss handler for a miss on ``page``.
+
+    Two traps (entry/exit), two TSB loads, three non-idempotent MMU
+    operations — seven instructions, five of them serializing.
+    """
+    return [
+        Instruction(Op.TRAP),
+        Instruction(Op.LOAD, rd=0, rs1=0, imm=tsb_address(page, 0)),
+        Instruction(Op.LOAD, rd=0, rs1=0, imm=tsb_address(page, 1)),
+        Instruction(Op.MMUOP),
+        Instruction(Op.MMUOP),
+        Instruction(Op.MMUOP),
+        Instruction(Op.TRAP),
+    ]

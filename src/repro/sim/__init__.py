@@ -1,0 +1,39 @@
+"""Simulation kernel: configuration, statistics, engine, CMP assembly."""
+
+from repro.sim.config import (
+    BusConfig,
+    CacheStyle,
+    DEFAULT_CONFIG,
+    PAPER_TABLE1,
+    Consistency,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    MemoryConfig,
+    Mode,
+    PhantomStrength,
+    RedundancyConfig,
+    SystemConfig,
+    TLBConfig,
+    TLBMode,
+)
+from repro.sim.stats import Stats
+
+__all__ = [
+    "BusConfig",
+    "CacheStyle",
+    "Consistency",
+    "CoreConfig",
+    "DEFAULT_CONFIG",
+    "L1Config",
+    "L2Config",
+    "MemoryConfig",
+    "Mode",
+    "PAPER_TABLE1",
+    "PhantomStrength",
+    "RedundancyConfig",
+    "Stats",
+    "SystemConfig",
+    "TLBConfig",
+    "TLBMode",
+]

@@ -1,0 +1,306 @@
+"""CMP system assembly: cores, pairs, shared cache, main memory.
+
+Builds one simulated chip multiprocessor in any of the three execution
+models the paper evaluates:
+
+* ``Mode.NONREDUNDANT`` — `n_logical` plain cores (the baseline that
+  every figure normalizes against);
+* ``Mode.STRICT`` — `n_logical` cores, each checked against an ideally
+  timed virtual partner (the strict-input-replication oracle);
+* ``Mode.REUNION`` — `2 * n_logical` cores in vocal/mute pairs with
+  relaxed input replication, phantom requests, and the re-execution
+  protocol.
+
+The paper assumes on-chip cache bandwidth scales with the core count
+(Section 5), so Reunion systems double the shared-cache banks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.core.pair import LogicalPair
+from repro.core.strict import StrictCheckGate
+from repro.isa.program import Program
+from repro.memory.main_memory import MainMemory
+from repro.memory.l2_controller import SharedL2Controller
+from repro.memory.port import CoreMemPort
+from repro.memory.snoopy import SnoopyBus
+from repro.pipeline.gates import ImmediateGate
+from repro.pipeline.ooo_core import OoOCore
+from repro.sim.config import CacheStyle, Mode, SystemConfig
+from repro.sim.stats import Stats
+
+#: Type of a synthetic instruction-TLB miss schedule: a *pure* function of
+#: the retired user-instruction index, so the vocal and mute cores of a
+#: pair (which share the schedule) trigger at identical program points.
+ITLBSchedule = Callable[[int], bool]
+
+
+class CMPSystem:
+    """One simulated CMP running one program per logical processor."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        programs: Sequence[Program],
+        itlb_schedules: Sequence[ITLBSchedule | None] | None = None,
+    ) -> None:
+        if len(programs) != config.n_logical:
+            raise ValueError(
+                f"need {config.n_logical} programs, got {len(programs)}"
+            )
+        if itlb_schedules is None:
+            itlb_schedules = [None] * config.n_logical
+        if len(itlb_schedules) != config.n_logical:
+            raise ValueError("need one ITLB schedule (or None) per logical processor")
+
+        self.config = config
+        self.stats = Stats()
+        self.now = 0
+
+        mode = config.redundancy.mode
+        self.memory = MainMemory(config.memory.latency, config.l2.line_bytes)
+        merged_image: dict[int, int] = {}
+        for program in programs:
+            merged_image.update(program.memory_image)
+        self.memory.load_image(merged_image)
+
+        if config.cache_style is CacheStyle.SNOOPY:
+            self.controller = SnoopyBus(config.bus, self.memory, self.stats)
+        else:
+            l2_config = config.l2
+            if mode is Mode.REUNION:
+                # The paper assumes on-chip cache bandwidth scales with
+                # the core count (Section 5).
+                l2_config = dataclasses.replace(l2_config, banks=2 * l2_config.banks)
+            self.controller = SharedL2Controller(l2_config, self.memory, self.stats)
+
+        self.cores: list[OoOCore] = []
+        self.pairs: list[LogicalPair] = []
+        self.vocal_cores: list[OoOCore] = []
+
+        n = config.n_logical
+        for logical in range(n):
+            port = CoreMemPort(
+                logical,
+                config.l1,
+                config.tlb,
+                self.controller,
+                self.stats,
+                is_mute=False,
+                phantom=config.redundancy.phantom,
+            )
+            if mode is Mode.STRICT:
+                gate = StrictCheckGate(config.redundancy)
+            else:
+                gate = ImmediateGate()
+            core = OoOCore(
+                logical,
+                config,
+                programs[logical],
+                port,
+                gate=gate,
+                synthetic_itlb=itlb_schedules[logical],
+            )
+            self.cores.append(core)
+            self.vocal_cores.append(core)
+
+        if mode is Mode.REUNION:
+            for logical in range(n):
+                mute_id = n + logical
+                port = CoreMemPort(
+                    mute_id,
+                    config.l1,
+                    config.tlb,
+                    self.controller,
+                    self.stats,
+                    is_mute=True,
+                    phantom=config.redundancy.phantom,
+                )
+                mute = OoOCore(
+                    mute_id,
+                    config,
+                    programs[logical],
+                    port,
+                    synthetic_itlb=itlb_schedules[logical],
+                )
+                self.cores.append(mute)
+                pair = LogicalPair(
+                    logical, self.vocal_cores[logical], mute, self.controller, config
+                )
+                self.pairs.append(pair)
+
+    # -- simulation loop ----------------------------------------------------
+    def step(self) -> None:
+        now = self.now
+        for core in self.cores:
+            core.step(now)
+        for pair in self.pairs:
+            pair.step(now)
+        self.now = now + 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
+        """Run until every logical processor has halted; returns cycles."""
+        while not self.idle:
+            if self.now >= max_cycles:
+                raise RuntimeError(f"system did not halt within {max_cycles} cycles")
+            self.step()
+        return self.now
+
+    @property
+    def idle(self) -> bool:
+        if any(pair.failed for pair in self.pairs):
+            return True
+        return all(core.idle for core in self.vocal_cores)
+
+    @property
+    def failed(self) -> bool:
+        return any(pair.failed for pair in self.pairs)
+
+    # -- external interrupts -----------------------------------------------------
+    def post_interrupt(self, logical_id: int, handler=None) -> int:
+        """Deliver an external interrupt to one logical processor.
+
+        In Reunion mode the request is replicated to both cores of the
+        pair and aligned on a fingerprint-interval boundary; otherwise
+        the single core services it after its in-flight window drains.
+        """
+        for pair in self.pairs:
+            if pair.pair_id == logical_id:
+                return pair.post_interrupt(handler)
+        from repro.core.pair import default_interrupt_handler
+
+        core = self.vocal_cores[logical_id]
+        target = core.user_retired + self.config.core.rob_size
+        core.schedule_interrupt(target, handler or default_interrupt_handler())
+        return target
+
+    # -- dual-use reconfiguration -------------------------------------------------
+    def decouple(self, logical_id: int, program: Program) -> OoOCore:
+        """Split a Reunion pair into two independent logical processors.
+
+        The paper's introduction motivates a dual-use design: "a single
+        design can provide a dual-use capability by supporting both
+        redundant and non-redundant execution."  The pair is quiesced at
+        its last compared instruction; the vocal continues its program
+        without checking, and the freed mute core is promoted to vocal,
+        its (potentially incoherent) L1 discarded, and started on
+        ``program``.  Returns the promoted core.
+        """
+        pair = self._pair_for(logical_id)
+        now = self.now
+        vocal, mute = pair.vocal, pair.mute
+        # Quiesce at the last compared instruction (safe state).
+        vocal.drain_cleared(now)
+        mute.drain_cleared(now)
+        resume = vocal.next_retire_pc()
+        penalty = self.config.redundancy.rollback_penalty
+        vocal.flush_for_recovery(resume, now, penalty)
+
+        # The vocal becomes a plain, unchecked core.
+        vocal.gate = ImmediateGate()
+        vocal.pair_sync_atomics = False
+
+        # The mute is promoted: wipe incoherent cache state, rejoin the
+        # coherence protocol, and start the new program.
+        mute.port.l1.clear()
+        mute.port.mshrs.clear()
+        mute.port.is_mute = False
+        self.controller.set_role(mute.core_id, is_mute=False)
+        self.controller.install_image(program.memory_image)
+        mute.hard_reset(program, now)
+        mute.gate = ImmediateGate()
+        mute.pair_sync_atomics = False
+        mute.synthetic_itlb = None  # the new program has its own TLB character
+
+        self.pairs.remove(pair)
+        self.vocal_cores.append(mute)
+        return mute
+
+    def couple(self, logical_id: int, partner: OoOCore) -> LogicalPair:
+        """Re-form a logical pair: ``partner`` becomes the mute again.
+
+        The partner's current work is abandoned; it is demoted out of the
+        coherence protocol (dirty lines written back first), initialized
+        from the vocal's architectural state, and redundant execution
+        resumes from the vocal's next instruction.
+        """
+        vocal = self.vocal_cores[logical_id]
+        if partner is vocal or any(p.vocal is partner or p.mute is partner for p in self.pairs):
+            raise ValueError("partner core is not available for coupling")
+        now = self.now
+
+        # Demote the partner: leave the directory cleanly.
+        for line_addr in partner.port.l1.resident_lines():
+            line = partner.port.l1.invalidate(line_addr)
+            self.controller.vocal_evict(
+                partner.core_id, line_addr, line.data, line.dirty
+            )
+        partner.port.mshrs.clear()
+        partner.port.is_mute = True
+        self.controller.set_role(partner.core_id, is_mute=True)
+
+        # Quiesce the vocal and initialize the mute from its safe state.
+        vocal.drain_cleared(now)
+        resume = vocal.next_retire_pc()
+        penalty = (
+            self.config.redundancy.rollback_penalty
+            + self.config.redundancy.arf_copy_latency
+        )
+        vocal.flush_for_recovery(resume, now, penalty)
+        partner.hard_reset(vocal.program, now)
+        partner.arf.copy_from(vocal.arf)
+        partner.pc = resume
+        partner.synthetic_itlb = vocal.synthetic_itlb
+        partner.stall_fetch_until = max(partner.stall_fetch_until, now + penalty)
+
+        pair = LogicalPair(logical_id, vocal, partner, self.controller, self.config)
+        if partner in self.vocal_cores:
+            self.vocal_cores.remove(partner)
+        self.pairs.append(pair)
+        return pair
+
+    def _pair_for(self, logical_id: int) -> LogicalPair:
+        for pair in self.pairs:
+            if pair.pair_id == logical_id:
+                return pair
+        raise KeyError(f"no active pair for logical processor {logical_id}")
+
+    # -- metrics ---------------------------------------------------------------
+    def user_instructions(self) -> int:
+        """Aggregate user instructions committed (the paper's throughput metric)."""
+        return sum(core.user_retired for core in self.vocal_cores)
+
+    def ipc(self) -> float:
+        return self.user_instructions() / self.now if self.now else 0.0
+
+    def recoveries(self) -> int:
+        return sum(pair.recoveries for pair in self.pairs)
+
+    def tlb_misses(self) -> int:
+        """Data + (synthetic) instruction TLB misses on the vocal cores."""
+        return sum(core.dtlb_misses + core.itlb_misses for core in self.vocal_cores)
+
+    def collect_stats(self) -> Stats:
+        """Fold per-core counters into the shared Stats bag and return it."""
+        for core in self.cores:
+            prefix = f"core{core.core_id}."
+            self.stats.set(prefix + "cycles", core.cycles)
+            self.stats.set(prefix + "user_retired", core.user_retired)
+            self.stats.set(prefix + "total_retired", core.total_retired)
+            self.stats.set(prefix + "injected_retired", core.injected_retired)
+            self.stats.set(prefix + "dtlb_misses", core.dtlb_misses)
+            self.stats.set(prefix + "itlb_misses", core.itlb_misses)
+            self.stats.set(prefix + "mispredicts", core.mispredicts)
+            self.stats.set(prefix + "serializing_retired", core.serializing_retired)
+        for pair in self.pairs:
+            pair.collect_stats(self.stats)
+        self.stats.set("system.cycles", self.now)
+        self.stats.set("system.user_instructions", self.user_instructions())
+        return self.stats

@@ -1,0 +1,225 @@
+"""System configuration dataclasses (the reproduction's Table 1).
+
+Two presets are provided:
+
+* :data:`PAPER_TABLE1` — the paper's exact CMP parameters (Table 1).
+  Faithful, but a pure-Python simulation of 16 MB caches and 150K-cycle
+  samples is slow; use it when fidelity matters more than wall clock.
+* :data:`DEFAULT_CONFIG` — a scaled-down system that preserves the
+  *ratios* driving the paper's effects (L1 much smaller than commercial
+  working sets, L2 hit latency much larger than L1, memory much larger
+  than L2) so the reproduced figures keep their shape at laptop scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+
+
+class Mode(enum.Enum):
+    """Redundancy execution model of a simulated system."""
+
+    NONREDUNDANT = "nonredundant"
+    STRICT = "strict"  # oracle strict input replication (Section 5.1)
+    REUNION = "reunion"
+
+
+class PhantomStrength(enum.Enum):
+    """Phantom request strengths from Section 4.2 of the paper."""
+
+    NULL = "null"  # arbitrary data on any mute L1 miss
+    SHARED = "shared"  # check shared L2; arbitrary data on L2 miss
+    GLOBAL = "global"  # check L2, vocal L1s, and main memory
+
+
+class Consistency(enum.Enum):
+    """Memory consistency model (Section 5.5)."""
+
+    TSO = "tso"  # total store order: store buffer drains in order
+    SC = "sc"  # sequential consistency: every store serializes retirement
+
+
+class TLBMode(enum.Enum):
+    """TLB-miss handling (Section 5.5, Figure 7(b))."""
+
+    HARDWARE = "hardware"  # hardware walker: fill latency only
+    SOFTWARE = "software"  # UltraSPARC-style handler: traps + MMU ops
+
+
+class CacheStyle(enum.Enum):
+    """On-chip memory organization (Section 4.1).
+
+    The paper's primary design uses a Piranha-style shared cache with a
+    directory at the shared controller; it notes the execution model
+    "can also be implemented at a snoopy cache interface for
+    microarchitectures with private caches, such as Montecito."
+    """
+
+    SHARED = "shared"  # shared L2 + directory (the paper's main design)
+    SNOOPY = "snoopy"  # private caches on a snoopy bus (Montecito-style)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters."""
+
+    width: int = 4  # dispatch/retire width
+    rob_size: int = 256  # RUU entries
+    store_buffer_size: int = 64
+    frontend_latency: int = 6  # fetch-to-dispatch stages (mispredict penalty)
+    load_ports: int = 2
+    alu_latency: int = 1
+    mul_latency: int = 3
+    mmuop_latency: int = 15  # non-idempotent (uncached) MMU access
+    fetch_queue_size: int = 32
+    branch_predictor_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.rob_size < self.width:
+            raise ValueError("need width >= 1 and rob_size >= width")
+        if self.store_buffer_size < 1:
+            raise ValueError("store buffer must hold at least one store")
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """Private write-back L1 data cache parameters."""
+
+    size_bytes: int = 64 * 1024
+    assoc: int = 2
+    line_bytes: int = 64
+    load_to_use: int = 2
+    mshrs: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError("L1 size must be a multiple of assoc * line size")
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Shared L2 cache / controller parameters."""
+
+    size_bytes: int = 16 * 1024 * 1024
+    assoc: int = 8
+    line_bytes: int = 64
+    banks: int = 4
+    hit_latency: int = 35
+    bank_occupancy: int = 4  # cycles a bank stays busy per access
+    mshrs: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError("L2 size must be a multiple of assoc * line size")
+        if self.banks < 1:
+            raise ValueError("need at least one bank")
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Snoopy-bus parameters (used when ``cache_style`` is SNOOPY)."""
+
+    snoop_latency: int = 15  # address phase + snoop response
+    transfer_latency: int = 25  # cache-to-cache data transfer
+    bus_occupancy: int = 4  # cycles the bus is held per transaction
+    mshrs: int = 16
+
+    def __post_init__(self) -> None:
+        if self.snoop_latency < 1 or self.transfer_latency < 1:
+            raise ValueError("bus latencies must be positive")
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """ITLB/DTLB parameters."""
+
+    itlb_entries: int = 128
+    dtlb_entries: int = 512
+    assoc: int = 2
+    page_bits: int = 13  # 8 KB pages
+    mode: TLBMode = TLBMode.HARDWARE
+    hw_fill_latency: int = 30
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main memory parameters."""
+
+    latency: int = 240  # 60 ns at 4 GHz
+
+
+@dataclass(frozen=True)
+class RedundancyConfig:
+    """Reunion / redundant-execution parameters (Sections 3-4)."""
+
+    mode: Mode = Mode.NONREDUNDANT
+    comparison_latency: int = 10  # one-way fingerprint latency between cores
+    fingerprint_interval: int = 1  # instructions per fingerprint
+    fingerprint_bits: int = 16  # CRC width
+    two_stage_compression: bool = True
+    phantom: PhantomStrength = PhantomStrength.GLOBAL
+    arf_copy_latency: int = 64  # phase-2 vocal->mute register copy cost
+    rollback_penalty: int = 8  # pipeline flush cost on recovery
+    divergence_timeout: int = 10_000  # watchdog: max cycles of pair skew
+
+    def __post_init__(self) -> None:
+        if self.comparison_latency < 0:
+            raise ValueError("comparison latency cannot be negative")
+        if self.fingerprint_interval < 1:
+            raise ValueError("fingerprint interval must be >= 1")
+        if not 4 <= self.fingerprint_bits <= 64:
+            raise ValueError("fingerprint width must be in [4, 64] bits")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete configuration of one simulated CMP."""
+
+    n_logical: int = 4  # logical processors (pairs in redundant modes)
+    core: CoreConfig = CoreConfig()
+    l1: L1Config = L1Config()
+    l2: L2Config = L2Config()
+    bus: BusConfig = BusConfig()
+    tlb: TLBConfig = TLBConfig()
+    memory: MemoryConfig = MemoryConfig()
+    redundancy: RedundancyConfig = RedundancyConfig()
+    consistency: Consistency = Consistency.TSO
+    cache_style: CacheStyle = CacheStyle.SHARED
+
+    @property
+    def n_cores(self) -> int:
+        """Physical cores: redundant modes pair a vocal and a mute."""
+        if self.redundancy.mode is Mode.REUNION:
+            return 2 * self.n_logical
+        return self.n_logical
+
+    def with_redundancy(self, **kwargs) -> "SystemConfig":
+        """Return a copy with redundancy parameters replaced."""
+        return dataclasses.replace(
+            self, redundancy=dataclasses.replace(self.redundancy, **kwargs)
+        )
+
+    def with_tlb(self, **kwargs) -> "SystemConfig":
+        return dataclasses.replace(self, tlb=dataclasses.replace(self.tlb, **kwargs))
+
+    def replace(self, **kwargs) -> "SystemConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+#: The paper's Table 1 parameters, verbatim.
+PAPER_TABLE1 = SystemConfig()
+
+#: Laptop-scale system: same shape, two orders of magnitude less state.
+#: L1 4 KB and L2 128 KB keep "commercial" working sets (hundreds of KB)
+#: L1-resident-hostile and partially L2-resident, as in the paper; 1 KB
+#: pages let modest footprints exercise the TLBs.
+DEFAULT_CONFIG = SystemConfig(
+    n_logical=4,
+    core=CoreConfig(width=4, rob_size=64, store_buffer_size=16, frontend_latency=6),
+    l1=L1Config(size_bytes=4 * 1024, assoc=2, load_to_use=2, mshrs=8),
+    l2=L2Config(size_bytes=128 * 1024, assoc=8, banks=4, hit_latency=20, mshrs=16),
+    tlb=TLBConfig(itlb_entries=16, dtlb_entries=32, page_bits=10, hw_fill_latency=20),
+    memory=MemoryConfig(latency=100),
+)

@@ -1,0 +1,133 @@
+"""Sampling methodology: warmed measurements and matched-pair comparison.
+
+The paper (Section 5, citing SimFlex [24]) launches many brief
+measurements from checkpoints with warmed caches, runs 100K cycles of
+pipeline warm-up and 50K cycles of measurement, and reports performance
+changes with 95% confidence intervals using matched-pair comparison.
+
+This module reproduces that methodology at configurable scale: each
+*sample* builds a system, runs ``warmup`` cycles unmeasured, then
+``measure`` cycles measured; matched pairs share the workload seed so the
+base and test systems execute the same programs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class Sample:
+    """Measurements from one warmed simulation window."""
+
+    cycles: int
+    user_instructions: int
+    recoveries: int
+    tlb_misses: int
+    sync_requests: int
+    serializing: int
+
+    @property
+    def ipc(self) -> float:
+        return self.user_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def incoherence_per_minstr(self) -> float:
+        """Input-incoherence events per million retired user instructions."""
+        if not self.user_instructions:
+            return 0.0
+        return 1e6 * self.recoveries / self.user_instructions
+
+    @property
+    def tlb_misses_per_minstr(self) -> float:
+        if not self.user_instructions:
+            return 0.0
+        return 1e6 * self.tlb_misses / self.user_instructions
+
+
+def run_sample(
+    config: SystemConfig,
+    workload: "Workload",
+    warmup: int,
+    measure: int,
+    seed: int = 0,
+) -> Sample:
+    """Build a system for ``workload`` and measure one window."""
+    programs = workload.programs(config.n_logical, seed)
+    schedules = workload.itlb_schedules(config.n_logical, seed)
+    system = CMPSystem(config, programs, schedules)
+    system.run(warmup)
+
+    start_users = system.user_instructions()
+    start_recoveries = system.recoveries()
+    start_tlb = system.tlb_misses()
+    start_sync = sum(p.sync_requests for p in system.pairs)
+    start_ser = sum(c.serializing_retired for c in system.vocal_cores)
+
+    system.run(measure)
+    return Sample(
+        cycles=measure,
+        user_instructions=system.user_instructions() - start_users,
+        recoveries=system.recoveries() - start_recoveries,
+        tlb_misses=system.tlb_misses() - start_tlb,
+        sync_requests=sum(p.sync_requests for p in system.pairs) - start_sync,
+        serializing=sum(c.serializing_retired for c in system.vocal_cores) - start_ser,
+    )
+
+
+@dataclass(frozen=True)
+class MatchedPairResult:
+    """Normalized performance with a confidence interval."""
+
+    mean: float  # mean of per-seed IPC ratios (test / base)
+    half_interval: float  # 95% CI half-width
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_interval:.3f} (n={self.n})"
+
+
+#: Two-sided 97.5% Student-t quantiles for small sample counts; the
+#: normal value (1.96) serves beyond the table.
+_T_975 = {1: 12.71, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+
+
+def matched_pair(base: Sequence[Sample], test: Sequence[Sample]) -> MatchedPairResult:
+    """95% CI on the mean IPC ratio across matched (same-seed) samples."""
+    if len(base) != len(test) or not base:
+        raise ValueError("matched-pair comparison needs equal, nonzero sample counts")
+    ratios = []
+    for b, t in zip(base, test):
+        if b.ipc == 0:
+            raise ValueError("base sample has zero IPC; widen the window")
+        ratios.append(t.ipc / b.ipc)
+    n = len(ratios)
+    mean = sum(ratios) / n
+    if n == 1:
+        return MatchedPairResult(mean, float("nan"), 1)
+    variance = sum((r - mean) ** 2 for r in ratios) / (n - 1)
+    t_quantile = _T_975.get(n - 1, 1.96)
+    half = t_quantile * math.sqrt(variance / n)
+    return MatchedPairResult(mean, half, n)
+
+
+def normalized_ipc(
+    base_config: SystemConfig,
+    test_config: SystemConfig,
+    workload: "Workload",
+    warmup: int,
+    measure: int,
+    seeds: Sequence[int] = (0,),
+) -> MatchedPairResult:
+    """Matched-pair normalized IPC of ``test_config`` against ``base_config``."""
+    base = [run_sample(base_config, workload, warmup, measure, seed) for seed in seeds]
+    test = [run_sample(test_config, workload, warmup, measure, seed) for seed in seeds]
+    return matched_pair(base, test)

@@ -1,0 +1,67 @@
+"""Statistics collection.
+
+A single :class:`Stats` object is shared by every component of a simulated
+system.  Counters are flat, dot-namespaced strings (``"l2.phantom.global"``,
+``"core0.retired_user"``), which keeps hot-path increments cheap (one dict
+operation) and makes reports trivial to assemble.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class Stats:
+    """A flat bag of named integer/float counters."""
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def items(self, prefix: str = "") -> Iterator[tuple[str, float]]:
+        """Iterate counters, optionally restricted to a dot-prefix."""
+        for name in sorted(self._counters):
+            if name.startswith(prefix):
+                yield name, self._counters[name]
+
+    def total(self, prefix: str) -> float:
+        """Sum of all counters under a prefix (e.g. every core's retires)."""
+        return sum(v for _, v in self.items(prefix))
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def delta_since(self, snapshot: dict[str, float]) -> dict[str, float]:
+        """Counter changes since ``snapshot`` (used to discard warm-up)."""
+        out: dict[str, float] = {}
+        for name, value in self._counters.items():
+            change = value - snapshot.get(name, 0)
+            if change:
+                out[name] = change
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def report(self, prefix: str = "") -> str:
+        """Human-readable dump, for examples and debugging."""
+        width = max((len(n) for n, _ in self.items(prefix)), default=0)
+        lines = [f"{name:<{width}}  {value:,.10g}" for name, value in self.items(prefix)]
+        return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Workloads: the paper's Table 2 application suite, reproduced.
+
+Seven commercial workloads (statistically parameterized synthetic
+generators) and four scientific kernels (real data structures, real
+sharing patterns).  ``suite()`` returns all eleven in Figure 5's order.
+"""
+
+from repro.workloads.base import ITLBSchedule, Workload, hashed_schedule
+from repro.workloads.commercial import (
+    APACHE,
+    COMMERCIAL_PROFILES,
+    DB2_DSS_Q1,
+    DB2_DSS_Q2,
+    DB2_DSS_Q17,
+    DB2_OLTP,
+    ORACLE_OLTP,
+    ZEUS,
+    commercial_suite,
+)
+from repro.workloads.scientific import Em3d, Moldyn, Ocean, Sparse, scientific_suite
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadProfile
+
+
+def suite() -> list[Workload]:
+    """All eleven workloads: Web, OLTP, DSS, then Scientific."""
+    return [*commercial_suite(), *scientific_suite()]
+
+
+def by_name(name: str) -> Workload:
+    """Look a workload up by its Table 2 name (case-insensitive)."""
+    for workload in suite():
+        if workload.name.lower() == name.lower():
+            return workload
+    raise KeyError(f"unknown workload {name!r}")
+
+
+__all__ = [
+    "APACHE",
+    "COMMERCIAL_PROFILES",
+    "DB2_DSS_Q1",
+    "DB2_DSS_Q17",
+    "DB2_DSS_Q2",
+    "DB2_OLTP",
+    "Em3d",
+    "ITLBSchedule",
+    "Moldyn",
+    "ORACLE_OLTP",
+    "Ocean",
+    "Sparse",
+    "SyntheticWorkload",
+    "Workload",
+    "WorkloadProfile",
+    "ZEUS",
+    "by_name",
+    "commercial_suite",
+    "hashed_schedule",
+    "scientific_suite",
+    "suite",
+]

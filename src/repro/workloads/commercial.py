@@ -1,0 +1,150 @@
+"""Commercial workload profiles (Table 2's web, OLTP, and DSS suites).
+
+Each profile is calibrated to reproduce the *relative* character the
+paper reports rather than absolute full-system statistics:
+
+* OLTP (DB2, Oracle): random accesses over a footprint far beyond L1,
+  frequent traps/membars/atomics (locking, syscalls), the highest TLB
+  miss rates (Table 3: 2.5-3.3K per 1M instructions);
+* Web (Apache, Zeus): similar shape, slightly milder rates;
+* DSS (TPC-H Q1/Q2/Q17): Q1 is a streaming scan with few serializing
+  events and the lowest TLB rate (206/1M); Q2 is join-dominated and
+  random; Q17 is balanced.
+
+Scaling note: rates are per-instruction-calibrated to the paper's Table 3
+*ordering* — absolute incoherence counts in this reproduction are higher
+than the paper's because simulated windows are ~1000x shorter and the
+shared heap is proportionally hotter; EXPERIMENTS.md quantifies this.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import SyntheticWorkload, WorkloadProfile
+
+APACHE = WorkloadProfile(
+    name="Apache",
+    category="Web",
+    footprint_bytes=16 * 1024,
+    pct_load=0.24,
+    pct_store=0.09,
+    pct_branch=0.14,
+    trap_per_k=1.4,
+    membar_per_k=0.9,
+    atomic_per_k=0.4,
+    itlb_miss_per_k=1.0,
+    shared_load_per_k=3.0,
+    shared_store_per_k=0.25,
+    branch_entropy=0.12,
+)
+
+ZEUS = WorkloadProfile(
+    name="Zeus",
+    category="Web",
+    footprint_bytes=16 * 1024,
+    pct_load=0.23,
+    pct_store=0.08,
+    pct_branch=0.13,
+    trap_per_k=1.2,
+    membar_per_k=0.8,
+    atomic_per_k=0.3,
+    itlb_miss_per_k=0.8,
+    shared_load_per_k=2.5,
+    shared_store_per_k=0.10,
+    branch_entropy=0.10,
+)
+
+DB2_OLTP = WorkloadProfile(
+    name="DB2 OLTP",
+    category="OLTP",
+    footprint_bytes=96 * 1024,
+    pct_load=0.26,
+    pct_store=0.10,
+    pct_branch=0.14,
+    trap_per_k=1.8,
+    membar_per_k=1.4,
+    atomic_per_k=0.8,
+    itlb_miss_per_k=1.3,
+    shared_load_per_k=4.0,
+    shared_store_per_k=0.25,
+    branch_entropy=0.16,
+)
+
+ORACLE_OLTP = WorkloadProfile(
+    name="Oracle OLTP",
+    category="OLTP",
+    footprint_bytes=96 * 1024,
+    pct_load=0.25,
+    pct_store=0.11,
+    pct_branch=0.14,
+    trap_per_k=2.2,
+    membar_per_k=1.6,
+    atomic_per_k=1.0,
+    itlb_miss_per_k=1.7,
+    shared_load_per_k=4.5,
+    shared_store_per_k=0.22,
+    branch_entropy=0.16,
+)
+
+DB2_DSS_Q1 = WorkloadProfile(
+    name="DB2 DSS Q1",
+    category="DSS",
+    footprint_bytes=192 * 1024,
+    sequential=True,
+    pct_load=0.30,
+    pct_store=0.04,
+    pct_branch=0.10,
+    trap_per_k=0.15,
+    membar_per_k=0.15,
+    atomic_per_k=0.05,
+    itlb_miss_per_k=0.08,
+    shared_load_per_k=5.0,  # shared scan buffers: the paper's Q1 outlier
+    shared_store_per_k=0.45,
+    branch_entropy=0.05,
+)
+
+DB2_DSS_Q2 = WorkloadProfile(
+    name="DB2 DSS Q2",
+    category="DSS",
+    footprint_bytes=24 * 1024,
+    pct_load=0.28,
+    pct_store=0.07,
+    pct_branch=0.13,
+    trap_per_k=0.7,
+    membar_per_k=0.6,
+    atomic_per_k=0.3,
+    itlb_miss_per_k=0.5,
+    shared_load_per_k=3.0,
+    shared_store_per_k=0.20,
+    branch_entropy=0.14,
+)
+
+DB2_DSS_Q17 = WorkloadProfile(
+    name="DB2 DSS Q17",
+    category="DSS",
+    footprint_bytes=28 * 1024,
+    pct_load=0.27,
+    pct_store=0.08,
+    pct_branch=0.13,
+    trap_per_k=0.8,
+    membar_per_k=0.7,
+    atomic_per_k=0.4,
+    itlb_miss_per_k=0.55,
+    shared_load_per_k=3.0,
+    shared_store_per_k=0.22,
+    branch_entropy=0.14,
+)
+
+COMMERCIAL_PROFILES = [
+    APACHE,
+    ZEUS,
+    DB2_OLTP,
+    ORACLE_OLTP,
+    DB2_DSS_Q1,
+    DB2_DSS_Q2,
+    DB2_DSS_Q17,
+]
+
+
+def commercial_suite() -> list[SyntheticWorkload]:
+    """All seven commercial workloads, in the paper's Figure 5 order."""
+    return [SyntheticWorkload(profile) for profile in COMMERCIAL_PROFILES]

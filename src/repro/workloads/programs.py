@@ -1,0 +1,171 @@
+"""Hand-written multiprocessor kernels: locks, barriers, message passing.
+
+The paper's motivating example for input incoherence is "ordinary code
+such as spin-lock routines" (Section 2.3).  This module provides those
+routines as reusable program generators, both as library content for
+users of the simulator and as the sharpest correctness tests of the
+Reunion machinery: mutual exclusion must hold *through* recoveries,
+synchronizing requests, and phantom-fed mute caches.
+
+Memory map (shared across participants):
+
+* ``LOCK_ADDR`` — the spin lock / ticket words
+* ``COUNTER_ADDR`` — the datum the critical sections protect
+* ``BARRIER_ADDR`` — sense-reversing barrier state
+* ``MAILBOX_ADDR`` — producer/consumer mailbox (flag + payload)
+"""
+
+from __future__ import annotations
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+
+LOCK_ADDR = 0x0F00_0000
+COUNTER_ADDR = 0x0F00_0040
+BARRIER_ADDR = 0x0F00_0080
+MAILBOX_ADDR = 0x0F00_00C0
+
+
+def spinlock_increment(core: int, n_cores: int, increments: int) -> Program:
+    """Acquire a CAS spin lock, bump a shared counter, release; repeat.
+
+    With ``n_cores`` participants each performing ``increments`` rounds,
+    mutual exclusion demands the counter end exactly at
+    ``n_cores * increments``.
+    """
+    builder = ProgramBuilder(name=f"spinlock/cpu{core}")
+    builder.reg(1, LOCK_ADDR)
+    builder.reg(2, COUNTER_ADDR)
+    builder.movi(10, increments)
+    builder.label("round")
+    # -- acquire: cas lock 0 -> 1, spin while held ------------------------
+    builder.label("acquire")
+    builder.cas(3, 1, 0, 1)
+    builder.bne(3, 0, "acquire")
+    # -- critical section: non-atomic read-modify-write -------------------
+    builder.load(4, 2)
+    builder.addi(4, 4, 1)
+    builder.store(4, 2)
+    # -- release: membar then store 0 -------------------------------------
+    builder.membar()
+    builder.store(0, 1)
+    builder.addi(10, 10, -1)
+    builder.bne(10, 0, "round")
+    builder.halt()
+    return builder.build()
+
+
+def ticket_lock_increment(core: int, n_cores: int, increments: int) -> Program:
+    """A FIFO ticket lock protecting the same shared counter.
+
+    ``atomic`` (fetch-and-add) takes a ticket; the core spins until the
+    now-serving word reaches it — the classic fair lock, and a constant
+    stream of racy spin loads for the mute cache to go stale on.
+    """
+    next_ticket = LOCK_ADDR
+    now_serving = LOCK_ADDR + 8
+    builder = ProgramBuilder(name=f"ticket/cpu{core}")
+    builder.reg(1, next_ticket)
+    builder.reg(2, now_serving)
+    builder.reg(3, COUNTER_ADDR)
+    builder.reg(9, 1)
+    builder.movi(10, increments)
+    builder.label("round")
+    builder.atomic(4, 1, 9)  # my ticket
+    builder.label("spin")
+    builder.load(5, 2)
+    builder.bne(5, 4, "spin")
+    builder.load(6, 3)  # critical section
+    builder.addi(6, 6, 1)
+    builder.store(6, 3)
+    builder.membar()
+    builder.addi(5, 5, 1)  # pass the lock
+    builder.store(5, 2)
+    builder.addi(10, 10, -1)
+    builder.bne(10, 0, "round")
+    builder.halt()
+    return builder.build()
+
+
+def sense_barrier(core: int, n_cores: int, rounds: int) -> Program:
+    """A sense-reversing centralized barrier.
+
+    Each round: fetch-and-add the arrival count; the last arrival resets
+    the count and flips the sense word; everyone else spins on the sense.
+    Register r20 accumulates the round count so tests can verify every
+    participant completed every round.
+    """
+    count_addr = BARRIER_ADDR
+    sense_addr = BARRIER_ADDR + 8
+    builder = ProgramBuilder(name=f"barrier/cpu{core}")
+    builder.reg(1, count_addr)
+    builder.reg(2, sense_addr)
+    builder.reg(9, 1)
+    builder.movi(10, rounds)
+    builder.movi(11, 0)  # local sense
+    builder.label("round")
+    builder.alu(Op.XORI, 11, 11, imm=1)  # flip local sense
+    builder.atomic(4, 1, 9)  # arrive
+    builder.addi(4, 4, 1)  # my arrival number
+    builder.movi(5, n_cores)
+    builder.bne(4, 5, "spin")
+    # Last arrival: reset the count and publish the new sense.
+    builder.store(0, 1)
+    builder.membar()
+    builder.store(11, 2)
+    builder.jump("depart")
+    builder.label("spin")
+    builder.load(6, 2)
+    builder.bne(6, 11, "spin")
+    builder.label("depart")
+    builder.addi(20, 20, 1)  # rounds completed
+    builder.addi(10, 10, -1)
+    builder.bne(10, 0, "round")
+    builder.halt()
+    return builder.build()
+
+
+def producer(items: int) -> Program:
+    """Publish ``items`` values through a flag-guarded mailbox."""
+    flag = MAILBOX_ADDR
+    slot = MAILBOX_ADDR + 8
+    builder = ProgramBuilder(name="producer")
+    builder.reg(1, flag)
+    builder.reg(2, slot)
+    builder.movi(10, items)
+    builder.movi(11, 1)  # next value: 1, 2, ...
+    builder.label("round")
+    builder.label("wait_empty")
+    builder.load(3, 1)
+    builder.bne(3, 0, "wait_empty")
+    builder.store(11, 2)  # payload first
+    builder.membar()
+    builder.store(11, 1)  # then raise the (nonzero) flag
+    builder.addi(11, 11, 1)
+    builder.addi(10, 10, -1)
+    builder.bne(10, 0, "round")
+    builder.halt()
+    return builder.build()
+
+
+def consumer(items: int) -> Program:
+    """Drain the mailbox; r20 accumulates the received values."""
+    flag = MAILBOX_ADDR
+    slot = MAILBOX_ADDR + 8
+    builder = ProgramBuilder(name="consumer")
+    builder.reg(1, flag)
+    builder.reg(2, slot)
+    builder.movi(10, items)
+    builder.label("round")
+    builder.label("wait_full")
+    builder.load(3, 1)
+    builder.beq(3, 0, "wait_full")
+    builder.load(4, 2)
+    builder.add(20, 20, 4)  # consume
+    builder.membar()
+    builder.store(0, 1)  # mark empty
+    builder.addi(10, 10, -1)
+    builder.bne(10, 0, "round")
+    builder.halt()
+    return builder.build()

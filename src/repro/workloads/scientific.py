@@ -1,0 +1,346 @@
+"""Scientific workloads: em3d, moldyn, ocean, sparse (Table 2).
+
+Unlike the statistically-generated commercial suite, these are real
+kernels: each builds its actual data structure (an irregular bipartite
+graph, a molecule neighbor list, a 2-D grid, a CSR sparse matrix), then
+emits straight-line code whose loads and stores walk that structure.
+The sharing patterns that produce input incoherence are therefore the
+apps' genuine ones:
+
+* **em3d** — irregular graph updates; 15% of edges cross partitions
+  (matching the paper's "15% remote").  Its working set is swept through
+  a region larger than the shared cache, reproducing the paper's note
+  that em3d's working set exceeds the L2 (Figure 7(a) discussion).
+* **moldyn** — pairwise force interactions over a neighbor list; remote
+  neighbors are position reads of molecules owned by other cores.
+* **ocean** — 5-point stencil over a row-partitioned grid; each sweep
+  reads boundary rows owned by adjacent cores.
+* **sparse** — CSR sparse matrix-vector product; the x vector is shared
+  and re-written by its owners each iteration.
+
+Each outer iteration ends with a lightweight synchronization point (an
+atomic fetch-add on a shared counter plus a memory barrier), giving the
+kernels their characteristic low-but-nonzero serializing rate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.workloads.base import Workload
+
+SCI_BASE = 0x0A00_0000  # node values / positions / grid / vectors
+SCI_AUX = 0x0B00_0000  # forces / y vector / matrix values
+SYNC_ADDR = 0x0C00_0000  # barrier-style shared counter
+
+_R_ROT = 3
+_R_ADDR = 28
+_R_ADDR2 = 27
+_R_ACC = 10
+_R_TMP = 11
+_R_TMP2 = 12
+_R_SELF = 13
+_R_ONE = 24
+_R_SYNC = 25
+
+
+_R_ITER = 26
+_R_ITER_TMP = 23
+
+
+def _emit_sync_point(builder: ProgramBuilder, every: int = 4) -> None:
+    """Synchronization point: atomic counter + membar, every N iterations.
+
+    Real scientific codes amortize barriers over large grids; these scaled
+    kernels sync every few sweeps so their serializing-instruction rate
+    stays characteristically low (well under commercial workloads).
+    """
+    label = f"skip_sync_{builder.here}"
+    builder.addi(_R_ITER, _R_ITER, 1)
+    builder.alu(Op.ANDI, _R_ITER_TMP, _R_ITER, imm=every - 1)
+    builder.bne(_R_ITER_TMP, 0, label)
+    builder.movi(_R_SYNC, SYNC_ADDR)
+    builder.atomic(_R_TMP, _R_SYNC, _R_ONE)
+    builder.membar()
+    builder.label(label)
+
+
+def _load_abs(builder: ProgramBuilder, reg: int, addr: int, rot: bool = False) -> None:
+    """Load from an absolute address, optionally shifted by the rotation."""
+    builder.movi(_R_ADDR, addr)
+    if rot:
+        builder.add(_R_ADDR, _R_ADDR, _R_ROT)
+    builder.load(reg, _R_ADDR)
+
+
+def _store_abs(builder: ProgramBuilder, reg: int, addr: int, rot: bool = False) -> None:
+    builder.movi(_R_ADDR2, addr)
+    if rot:
+        builder.add(_R_ADDR2, _R_ADDR2, _R_ROT)
+    builder.store(reg, _R_ADDR2)
+
+
+class Em3d(Workload):
+    """Irregular bipartite graph relaxation with remote edges."""
+
+    name = "em3d"
+    category = "Scientific"
+
+    def __init__(
+        self,
+        nodes_per_core: int = 48,
+        degree: int = 3,
+        remote_fraction: float = 0.15,
+        sweep_bytes: int = 256 * 1024,
+    ) -> None:
+        self.nodes_per_core = nodes_per_core
+        self.degree = degree
+        self.remote_fraction = remote_fraction
+        self.sweep_bytes = sweep_bytes
+
+    def programs(self, n_logical: int, seed: int = 0) -> list[Program]:
+        rng = random.Random(0xE3D ^ seed)
+        n_total = self.nodes_per_core * n_logical
+        # Graph: node -> list of neighbor node ids; ~15% cross partitions.
+        neighbors: list[list[int]] = []
+        for node in range(n_total):
+            part = node // self.nodes_per_core
+            nbrs = []
+            for _ in range(self.degree):
+                if rng.random() < self.remote_fraction and n_logical > 1:
+                    other = rng.randrange(n_logical - 1)
+                    if other >= part:
+                        other += 1
+                    nbrs.append(
+                        other * self.nodes_per_core + rng.randrange(self.nodes_per_core)
+                    )
+                else:
+                    nbrs.append(
+                        part * self.nodes_per_core + rng.randrange(self.nodes_per_core)
+                    )
+            neighbors.append(nbrs)
+
+        programs = []
+        sweep_mask = (self.sweep_bytes - 1) & ~0x7
+        for core in range(n_logical):
+            builder = ProgramBuilder(name=f"em3d/cpu{core}")
+            builder.reg(_R_ONE, 1)
+            builder.label("loop")
+            # Sweep the node arrays through a region larger than the L2:
+            # em3d's working set exceeds the shared cache in the paper.
+            builder.addi(_R_ROT, _R_ROT, 8 * 97)
+            builder.alu(Op.ANDI, _R_ROT, _R_ROT, imm=sweep_mask)
+            lo = core * self.nodes_per_core
+            for node in range(lo, lo + self.nodes_per_core):
+                builder.movi(_R_ACC, 0)
+                for nbr in neighbors[node]:
+                    _load_abs(builder, _R_TMP, SCI_BASE + nbr * 8, rot=True)
+                    builder.add(_R_ACC, _R_ACC, _R_TMP)
+                builder.alu(Op.SRL, _R_ACC, _R_ACC, _R_ONE)  # damping
+                _store_abs(builder, _R_ACC, SCI_BASE + node * 8, rot=True)
+            _emit_sync_point(builder)
+            builder.jump("loop")
+            program = builder.build()
+            program.memory_image.update(
+                {SCI_BASE + i * 8: (i * 7 + 1) & 0xFFFF for i in range(n_total)}
+            )
+            programs.append(program)
+        return programs
+
+
+class Moldyn(Workload):
+    """Molecular dynamics: pairwise forces over a neighbor list."""
+
+    name = "moldyn"
+    category = "Scientific"
+
+    def __init__(
+        self,
+        molecules_per_core: int = 56,
+        neighbors: int = 4,
+        remote_fraction: float = 0.15,
+    ) -> None:
+        self.molecules_per_core = molecules_per_core
+        self.neighbors = neighbors
+        self.remote_fraction = remote_fraction
+
+    def programs(self, n_logical: int, seed: int = 0) -> list[Program]:
+        rng = random.Random(0x301D ^ seed)
+        per_core = self.molecules_per_core
+        n_total = per_core * n_logical
+        # Cutoff-radius locality: most neighbors share the molecule's
+        # spatial partition; the rest sit just across the boundary in an
+        # adjacent partition (the real moldyn communication pattern).
+        nbr_list: list[list[int]] = []
+        for i in range(n_total):
+            part = i // per_core
+            nbrs = []
+            for _ in range(min(self.neighbors, n_total - 1)):
+                if n_logical > 1 and rng.random() < self.remote_fraction:
+                    adjacent = (part + rng.choice([-1, 1])) % n_logical
+                    nbrs.append(adjacent * per_core + rng.randrange(per_core))
+                else:
+                    candidate = part * per_core + rng.randrange(per_core)
+                    if candidate == i:
+                        candidate = part * per_core + (i + 1 - part * per_core) % per_core
+                    nbrs.append(candidate)
+            nbr_list.append(nbrs)
+        programs = []
+        for core in range(n_logical):
+            builder = ProgramBuilder(name=f"moldyn/cpu{core}")
+            builder.reg(_R_ONE, 1)
+            builder.movi(20, 4)  # force damping shift
+            builder.label("loop")
+            lo = core * self.molecules_per_core
+            # Force phase: read own and neighbor positions.
+            for mol in range(lo, lo + self.molecules_per_core):
+                _load_abs(builder, _R_SELF, SCI_BASE + mol * 8)
+                builder.movi(_R_ACC, 0)
+                for nbr in nbr_list[mol]:
+                    _load_abs(builder, _R_TMP, SCI_BASE + nbr * 8)
+                    builder.alu(Op.SUB, _R_TMP2, _R_SELF, _R_TMP)
+                    builder.alu(Op.MUL, _R_TMP2, _R_TMP2, _R_TMP2)
+                    builder.add(_R_ACC, _R_ACC, _R_TMP2)
+                _store_abs(builder, _R_ACC, SCI_AUX + mol * 8)
+            # Update phase every other sweep: positions (the shared data
+            # other partitions read) change at half the force-phase rate,
+            # as in a leapfrog integrator's slower position timescale.
+            skip_update = f"skip_update_{core}"
+            builder.addi(22, 22, 1)  # dedicated update-phase counter
+            builder.alu(Op.ANDI, 19, 22, imm=1)
+            builder.bne(19, 0, skip_update)
+            for mol in range(lo, lo + self.molecules_per_core):
+                _load_abs(builder, _R_TMP, SCI_AUX + mol * 8)
+                builder.alu(Op.SRL, _R_TMP, _R_TMP, 20)
+                _load_abs(builder, _R_SELF, SCI_BASE + mol * 8)
+                builder.add(_R_SELF, _R_SELF, _R_TMP)
+                builder.alu(Op.ANDI, _R_SELF, _R_SELF, imm=0xFFFF)
+                _store_abs(builder, _R_SELF, SCI_BASE + mol * 8)
+            builder.label(skip_update)
+            _emit_sync_point(builder)
+            builder.jump("loop")
+            program = builder.build()
+            program.memory_image.update(
+                {SCI_BASE + i * 8: (i * 13 + 3) & 0xFFF for i in range(n_total)}
+            )
+            programs.append(program)
+        return programs
+
+
+class Ocean(Workload):
+    """5-point stencil relaxation over a row-partitioned grid."""
+
+    name = "ocean"
+    category = "Scientific"
+
+    def __init__(self, rows_per_core: int = 5, cols: int = 16) -> None:
+        self.rows_per_core = rows_per_core
+        self.cols = cols
+
+    def _addr(self, row: int, col: int) -> int:
+        return SCI_BASE + (row * self.cols + col) * 8
+
+    def programs(self, n_logical: int, seed: int = 0) -> list[Program]:
+        total_rows = self.rows_per_core * n_logical + 2  # halo rows
+        programs = []
+        for core in range(n_logical):
+            builder = ProgramBuilder(name=f"ocean/cpu{core}")
+            builder.reg(_R_ONE, 1)
+            builder.movi(21, 2)  # >> 2 = divide by 4
+            builder.label("loop")
+            row_lo = 1 + core * self.rows_per_core
+            for row in range(row_lo, row_lo + self.rows_per_core):
+                for col in range(1, self.cols - 1):
+                    _load_abs(builder, _R_ACC, self._addr(row - 1, col))
+                    _load_abs(builder, _R_TMP, self._addr(row + 1, col))
+                    builder.add(_R_ACC, _R_ACC, _R_TMP)
+                    _load_abs(builder, _R_TMP, self._addr(row, col - 1))
+                    builder.add(_R_ACC, _R_ACC, _R_TMP)
+                    _load_abs(builder, _R_TMP, self._addr(row, col + 1))
+                    builder.add(_R_ACC, _R_ACC, _R_TMP)
+                    builder.alu(Op.SRL, _R_ACC, _R_ACC, 21)
+                    _store_abs(builder, _R_ACC, self._addr(row, col))
+            _emit_sync_point(builder)
+            builder.jump("loop")
+            program = builder.build()
+            program.memory_image.update(
+                {
+                    self._addr(r, c): ((r * 31 + c * 7) & 0xFFF)
+                    for r in range(total_rows)
+                    for c in range(self.cols)
+                }
+            )
+            programs.append(program)
+        return programs
+
+
+class Sparse(Workload):
+    """CSR sparse matrix-vector product with a shared x vector."""
+
+    name = "sparse"
+    category = "Scientific"
+
+    def __init__(self, n: int = 96, nnz_per_row: int = 4) -> None:
+        self.n = n
+        self.nnz_per_row = nnz_per_row
+
+    def programs(self, n_logical: int, seed: int = 0) -> list[Program]:
+        rng = random.Random(0x5BA2 ^ seed)
+        cols = [
+            sorted(rng.sample(range(self.n), self.nnz_per_row)) for _ in range(self.n)
+        ]
+        rows_per_core = self.n // n_logical
+        x_base = SCI_BASE
+        val_base = SCI_AUX
+        y_base = SCI_AUX + 0x0010_0000
+        programs = []
+        for core in range(n_logical):
+            builder = ProgramBuilder(name=f"sparse/cpu{core}")
+            builder.reg(_R_ONE, 1)
+            builder.movi(21, 8)  # scaling shift for the x update
+            builder.label("loop")
+            row_lo = core * rows_per_core
+            for row in range(row_lo, row_lo + rows_per_core):
+                builder.movi(_R_ACC, 0)
+                for k, col in enumerate(cols[row]):
+                    nnz_index = row * self.nnz_per_row + k
+                    _load_abs(builder, _R_TMP, val_base + nnz_index * 8)
+                    _load_abs(builder, _R_TMP2, x_base + col * 8)
+                    builder.alu(Op.MUL, _R_TMP, _R_TMP, _R_TMP2)
+                    builder.add(_R_ACC, _R_ACC, _R_TMP)
+                _store_abs(builder, _R_ACC, y_base + row * 8)
+            # x <- y >> 8 for owned rows: the shared vector other cores
+            # read (the incoherence source).  Updated every fourth sweep,
+            # mirroring how a real-size x spreads its writes thinly over
+            # time relative to the reads of any one cache line.
+            skip_update = f"skip_update_{core}"
+            builder.addi(22, 22, 1)
+            builder.alu(Op.ANDI, 19, 22, imm=3)
+            builder.bne(19, 0, skip_update)
+            for row in range(row_lo, row_lo + rows_per_core):
+                _load_abs(builder, _R_TMP, y_base + row * 8)
+                builder.alu(Op.SRL, _R_TMP, _R_TMP, 21)
+                builder.alu(Op.ANDI, _R_TMP, _R_TMP, imm=0xFFFF)
+                _store_abs(builder, _R_TMP, x_base + row * 8)
+            builder.label(skip_update)
+            _emit_sync_point(builder)
+            builder.jump("loop")
+            program = builder.build()
+            image = {x_base + i * 8: (i * 3 + 1) & 0xFF for i in range(self.n)}
+            image.update(
+                {
+                    val_base + i * 8: (i * 5 + 2) & 0xFF
+                    for i in range(self.n * self.nnz_per_row)
+                }
+            )
+            program.memory_image.update(image)
+            programs.append(program)
+        return programs
+
+
+def scientific_suite() -> list[Workload]:
+    """The four scientific workloads, in the paper's Figure 5 order."""
+    return [Em3d(), Moldyn(), Ocean(), Sparse()]

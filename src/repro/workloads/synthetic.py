@@ -1,0 +1,227 @@
+"""Parameterized synthetic workload generator.
+
+The paper evaluates full-system commercial workloads (TPC-C on DB2 and
+Oracle, TPC-H queries, SPECweb on Apache and Zeus).  Running those is
+impossible inside a toy ISA, but their *evaluation-relevant character*
+is statistical, and the paper itself tells us which statistics matter:
+
+* instruction mix and memory footprint (L1/L2 pressure, MLP),
+* serializing-instruction frequency — traps, memory barriers, atomics
+  (Section 5.2: the dominant penalty for commercial workloads),
+* TLB miss rate (Section 5.5, Table 3),
+* shared-data write rate — the source of input incoherence (Table 3).
+
+:class:`SyntheticWorkload` emits, per logical processor, an infinite
+loop whose body is drawn from a seeded distribution over those knobs.
+Values flow through the real simulated memory system, so data races and
+stale mute-cache lines produce *real* input incoherence.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.workloads.base import ITLBSchedule, Workload, hashed_schedule
+
+#: Memory map: per-core private heaps, one shared heap, one lock table.
+PRIVATE_BASE = 0x0100_0000
+PRIVATE_STRIDE = 0x0100_0000
+SHARED_BASE = 0x0800_0000
+LOCK_BASE = 0x0900_0000
+
+# Register roles inside generated code.
+_R_PRIV_BASE = 1
+_R_SHARED_BASE = 2
+_R_ROT = 3
+_R_PRIV_PTR = 4
+_R_SHARED_ROT = 5
+_R_SHARED_PTR = 6
+_R_LCG = 8
+_R_LCG_MULT = 9
+_DATA_REGS = list(range(10, 18))
+_R_SCRATCH = 20
+_R_LOCK = 22
+_R_ONE = 24
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """The statistical character of one application (Table 2 analogue)."""
+
+    name: str
+    category: str  # Web / OLTP / DSS / Scientific
+    body_size: int = 1000  # static instructions per loop body
+    pct_load: float = 0.22
+    pct_store: float = 0.08
+    pct_branch: float = 0.12
+    pct_mul: float = 0.04
+    footprint_bytes: int = 32 * 1024  # private working set per core
+    sequential: bool = False  # streaming (DSS scan) vs random access
+    shared_load_per_k: float = 3.0  # shared-heap reads per 1000 instrs
+    shared_store_per_k: float = 0.3  # shared-heap writes (race source)
+    trap_per_k: float = 1.5
+    membar_per_k: float = 1.0
+    atomic_per_k: float = 0.4
+    itlb_miss_per_k: float = 2.0  # synthetic instruction-TLB misses
+    branch_entropy: float = 0.15  # fraction of branches that are random
+    shared_bytes: int = 2 * 1024
+
+    def rates_per_instr(self) -> dict[str, float]:
+        return {
+            "shared_load": self.shared_load_per_k / 1000,
+            "shared_store": self.shared_store_per_k / 1000,
+            "trap": self.trap_per_k / 1000,
+            "membar": self.membar_per_k / 1000,
+            "atomic": self.atomic_per_k / 1000,
+        }
+
+
+class SyntheticWorkload(Workload):
+    """Generates one infinite-loop program per logical processor."""
+
+    def __init__(self, profile: WorkloadProfile) -> None:
+        self.profile = profile
+        self.name = profile.name
+        self.category = profile.category
+
+    # -- program generation --------------------------------------------------
+    def programs(self, n_logical: int, seed: int = 0) -> list[Program]:
+        return [
+            self._generate(core, n_logical, seed) for core in range(n_logical)
+        ]
+
+    def itlb_schedules(self, n_logical: int, seed: int = 0) -> list[ITLBSchedule | None]:
+        return [
+            hashed_schedule(self.profile.itlb_miss_per_k, seed * 1000 + core)
+            for core in range(n_logical)
+        ]
+
+    def _generate(self, core: int, n_logical: int, seed: int) -> Program:
+        profile = self.profile
+        rng = random.Random(
+            (seed << 16) ^ (core << 4) ^ (zlib.crc32(profile.name.encode()) & 0xFFFF)
+        )
+        builder = ProgramBuilder(name=f"{profile.name}/cpu{core}")
+
+        private_base = PRIVATE_BASE + core * PRIVATE_STRIDE
+        rot_mask = (profile.footprint_bytes - 1) & ~0x7
+        shared_mask = (profile.shared_bytes - 1) & ~0x7
+        # Streaming workloads advance one line per iteration; random-access
+        # workloads jump by a large odd stride, touching new pages freely.
+        stride = 64 if profile.sequential else 8 * 4093
+
+        builder.reg(_R_PRIV_BASE, private_base)
+        builder.reg(_R_SHARED_BASE, SHARED_BASE)
+        builder.reg(_R_LCG, rng.getrandbits(32) | 1)
+        builder.reg(_R_LCG_MULT, 6364136223846793005)
+        builder.reg(_R_ONE, 1)
+
+        builder.label("loop")
+        # Rotate the private and shared windows so successive iterations
+        # cover the whole footprint.
+        builder.addi(_R_ROT, _R_ROT, stride)
+        builder.alu(Op.ANDI, _R_ROT, _R_ROT, imm=rot_mask)
+        builder.add(_R_PRIV_PTR, _R_PRIV_BASE, _R_ROT)
+        builder.addi(_R_SHARED_ROT, _R_SHARED_ROT, 8 * 61)
+        builder.alu(Op.ANDI, _R_SHARED_ROT, _R_SHARED_ROT, imm=shared_mask)
+        builder.add(_R_SHARED_PTR, _R_SHARED_BASE, _R_SHARED_ROT)
+        # Advance the LCG that feeds unpredictable branches.
+        builder.alu(Op.MUL, _R_LCG, _R_LCG, _R_LCG_MULT)
+        builder.addi(_R_LCG, _R_LCG, 1442695040888963407 & 0xFFFF)
+
+        self._emit_body(builder, rng, profile)
+        builder.jump("loop")
+        return builder.build()
+
+    @staticmethod
+    def _count(rate_per_instr: float, body_size: int, rng: random.Random) -> int:
+        """Expected occurrences in one body, probabilistically rounded."""
+        expected = rate_per_instr * body_size
+        base = int(expected)
+        return base + (1 if rng.random() < expected - base else 0)
+
+    def _emit_body(self, builder: ProgramBuilder, rng: random.Random, profile: WorkloadProfile) -> None:
+        """Emit one loop body with deterministic per-body event counts.
+
+        Rare events (serializing instructions, shared-heap traffic) are
+        placed at shuffled positions with counts matching the profile's
+        rates exactly, rather than sampled per-slot: per-body variance in
+        serializing frequency would otherwise dominate the small-window
+        measurements this reproduction runs.
+        """
+        rates = profile.rates_per_instr()
+        body = profile.body_size
+        slots: list[str] = []
+        for kind in ("trap", "membar", "atomic", "shared_load", "shared_store"):
+            slots.extend([kind] * self._count(rates[kind], body, rng))
+        slots.extend(["plain"] * (body - len(slots)))
+        rng.shuffle(slots)
+
+        data_cursor = 0
+        label_counter = 0
+        window = 2048  # offsets within the rotating private pointer
+        shared_window = 512  # hot shared region: where the races live
+
+        def data_reg() -> int:
+            nonlocal data_cursor
+            reg = _DATA_REGS[data_cursor % len(_DATA_REGS)]
+            data_cursor += 1
+            return reg
+
+        for kind in slots:
+            if kind == "trap":
+                builder.trap()
+            elif kind == "membar":
+                builder.membar()
+            elif kind == "atomic":
+                lock = LOCK_BASE + 64 * rng.randrange(8)
+                builder.movi(_R_LOCK, lock)
+                builder.atomic(_R_SCRATCH, _R_LOCK, _R_ONE)
+            elif kind == "shared_load":
+                builder.load(data_reg(), _R_SHARED_PTR, rng.randrange(0, shared_window, 8))
+            elif kind == "shared_store":
+                # Half the shared stores publish the (always-changing) LCG
+                # value: shared data genuinely changes, so a stale mute
+                # copy is a *value* difference — observable incoherence.
+                src = _R_LCG if rng.random() < 0.5 else _DATA_REGS[rng.randrange(len(_DATA_REGS))]
+                builder.store(src, _R_SHARED_PTR, rng.randrange(0, shared_window, 8))
+            else:
+                roll = rng.random()
+                if roll < profile.pct_load:
+                    builder.load(data_reg(), _R_PRIV_PTR, rng.randrange(0, window, 8))
+                elif roll < profile.pct_load + profile.pct_store:
+                    src = _DATA_REGS[rng.randrange(len(_DATA_REGS))]
+                    builder.store(src, _R_PRIV_PTR, rng.randrange(0, window, 8))
+                elif roll < profile.pct_load + profile.pct_store + profile.pct_branch:
+                    label = f"skip{label_counter}"
+                    label_counter += 1
+                    if rng.random() < profile.branch_entropy:
+                        # Data-dependent, effectively random branch.
+                        builder.alu(Op.ANDI, _R_SCRATCH, _R_LCG, imm=1)
+                        builder.beq(_R_SCRATCH, 0, label)
+                    else:
+                        # Never-taken branch: predictable after warm-up.
+                        builder.bne(_R_ONE, _R_ONE, label)
+                    builder.alu(
+                        Op.ADD,
+                        _DATA_REGS[rng.randrange(len(_DATA_REGS))],
+                        _DATA_REGS[rng.randrange(len(_DATA_REGS))],
+                        _DATA_REGS[rng.randrange(len(_DATA_REGS))],
+                    )
+                    builder.label(label)
+                elif roll < (
+                    profile.pct_load + profile.pct_store + profile.pct_branch + profile.pct_mul
+                ):
+                    a, b = rng.sample(_DATA_REGS, 2)
+                    builder.alu(Op.MUL, data_reg(), a, b)
+                else:
+                    a, b = rng.sample(_DATA_REGS, 2)
+                    if rng.random() < 0.2:
+                        a = _R_LCG  # keep real values churning through the dataflow
+                    op = rng.choice([Op.ADD, Op.SUB, Op.XOR, Op.OR, Op.AND])
+                    builder.alu(op, data_reg(), a, b)

@@ -1,0 +1,54 @@
+"""Helpers for Reunion integration tests: small systems, quick builds."""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import (
+    Consistency,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    MemoryConfig,
+    Mode,
+    PhantomStrength,
+    RedundancyConfig,
+    SystemConfig,
+    TLBConfig,
+)
+
+SMALL = SystemConfig(
+    n_logical=1,
+    core=CoreConfig(width=4, rob_size=32, store_buffer_size=8, frontend_latency=3),
+    l1=L1Config(size_bytes=1024, assoc=2, load_to_use=2, mshrs=4),
+    l2=L2Config(size_bytes=16 * 1024, assoc=8, banks=2, hit_latency=8, mshrs=8),
+    tlb=TLBConfig(itlb_entries=8, dtlb_entries=16, page_bits=10, hw_fill_latency=10),
+    memory=MemoryConfig(latency=40),
+    redundancy=RedundancyConfig(divergence_timeout=2000),
+)
+
+
+def build(
+    sources: list[str] | list[Program],
+    mode: Mode = Mode.REUNION,
+    n_logical: int | None = None,
+    comparison_latency: int = 10,
+    phantom: PhantomStrength = PhantomStrength.GLOBAL,
+    fingerprint_interval: int = 1,
+    consistency: Consistency = Consistency.TSO,
+    config: SystemConfig = SMALL,
+) -> CMPSystem:
+    programs = [
+        source if isinstance(source, Program) else assemble(source)
+        for source in sources
+    ]
+    system_config = config.replace(
+        n_logical=n_logical or len(programs),
+        consistency=consistency,
+    ).with_redundancy(
+        mode=mode,
+        comparison_latency=comparison_latency,
+        phantom=phantom,
+        fingerprint_interval=fingerprint_interval,
+    )
+    return CMPSystem(system_config, programs)

@@ -1,0 +1,90 @@
+"""Vocal/mute asymmetry robustness.
+
+After recoveries (or artificial perturbation) the two cores of a pair
+can diverge *microarchitecturally* — different TLB contents, different
+branch-predictor state, different cache contents.  The execution model
+requires none of that to be architecturally visible: results stay
+golden and no spurious unrecoverable conditions arise.  This is the
+motivation for keeping TLB handlers out of the fingerprint stream
+(DESIGN.md §6.3).
+"""
+
+from repro.isa import assemble
+from repro.isa.interpreter import run as golden_run
+from repro.sim.config import Mode, TLBMode
+from tests.core.helpers import SMALL, build
+
+WORKLOAD = """
+    movi r1, 0x2000
+    movi r2, 0
+    movi r3, 20
+loop:
+    load r4, [r1]
+    add r2, r2, r4
+    addi r1, r1, 1024     ; new page every iteration
+    addi r3, r3, -1
+    bne r3, r0, loop
+    halt
+"""
+
+#: Six pages visited repeatedly: small enough to stay TLB-resident.
+SMALL_PAGES = """
+    movi r5, 5
+outer:
+    movi r1, 0x2000
+    movi r3, 6
+loop:
+    load r4, [r1]
+    add r2, r2, r4
+    addi r1, r1, 1024
+    addi r3, r3, -1
+    bne r3, r0, loop
+    addi r5, r5, -1
+    bne r5, r0, outer
+    halt
+"""
+
+
+class TestTLBAsymmetry:
+    def test_one_sided_dtlb_warmup_is_timing_only(self):
+        """Pre-fill the vocal's DTLB so only the mute takes misses.
+
+        With a software-managed TLB the mute injects handlers the vocal
+        does not; because handlers are not fingerprinted, the pair skews
+        in time but never mismatches.
+        """
+        config = SMALL.with_tlb(mode=TLBMode.SOFTWARE)
+        system = build([SMALL_PAGES], mode=Mode.REUNION, config=config)
+        vocal = system.vocal_cores[0]
+        for page in range(6):
+            vocal.port.dtlb_fill(0x2000 + page * 1024)
+        system.run_until_idle(max_cycles=1_000_000)
+        assert not system.failed
+        golden = golden_run(assemble(SMALL_PAGES)).registers
+        assert vocal.arf.read(2) == golden.read(2)
+        assert vocal.arf == system.cores[1].arf
+        # The mute really did take the one-sided handler path.
+        assert system.cores[1].injected_retired > vocal.injected_retired
+        assert system.recoveries() == 0
+
+    def test_one_sided_branch_predictor_noise(self):
+        """Pre-train the mute's predictor wrongly: timing-only divergence."""
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        mute = system.cores[1]
+        for _ in range(64):
+            mute.predictor.update(4, taken=False)  # poison the loop branch
+        system.run_until_idle(max_cycles=1_000_000)
+        assert not system.failed
+        golden = golden_run(assemble(WORKLOAD)).registers
+        assert system.vocal_cores[0].arf.read(2) == golden.read(2)
+        assert system.recoveries() == 0
+
+    def test_one_sided_cache_pollution(self):
+        """Wipe the mute's L1 mid-run: refills are phantom, results golden."""
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        system.run(150)
+        system.cores[1].port.l1.clear()
+        system.run_until_idle(max_cycles=1_000_000)
+        assert not system.failed
+        golden = golden_run(assemble(WORKLOAD)).registers
+        assert system.vocal_cores[0].arf.read(2) == golden.read(2)

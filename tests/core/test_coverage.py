@@ -1,0 +1,88 @@
+"""Tests for the analytic soft-error coverage model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coverage import (
+    DetectionBound,
+    aliasing_probability,
+    meets_budget,
+    minimum_crc_bits,
+    undetected_fit,
+)
+
+
+class TestAliasing:
+    def test_single_stage_16_bit(self):
+        assert aliasing_probability(16, two_stage=False) == pytest.approx(2**-16)
+
+    def test_two_stage_doubles(self):
+        assert aliasing_probability(16, two_stage=True) == pytest.approx(
+            2 * aliasing_probability(16, two_stage=False)
+        )
+
+    @given(bits=st.integers(min_value=2, max_value=64))
+    def test_monotone_in_width(self, bits):
+        assert aliasing_probability(bits) <= aliasing_probability(bits - 1)
+
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            aliasing_probability(0)
+
+
+class TestBudget:
+    def test_undetected_fit(self):
+        # 1000 FIT of raw upsets through a 16-bit two-stage fingerprint.
+        residual = undetected_fit(1000, bits=16)
+        assert residual == pytest.approx(1000 * 2**-15)
+
+    def test_sixteen_bits_exceeds_typical_budget(self):
+        """The paper (via [21]): 16-bit CRC beats industry goals 10x over.
+
+        Take a datapath upset rate of 10^4 FIT and a budget of 10 FIT of
+        silent corruption: 16 bits leaves ~0.3 FIT, an order of
+        magnitude under budget.
+        """
+        assert meets_budget(upset_fit=1e4, budget_fit=10, bits=16)
+        assert undetected_fit(1e4, bits=16) < 1.0
+
+    def test_tiny_crc_fails_budget(self):
+        assert not meets_budget(upset_fit=1e4, budget_fit=10, bits=4)
+
+    def test_minimum_width_sizing(self):
+        bits = minimum_crc_bits(upset_fit=1e4, budget_fit=10)
+        assert 4 <= bits <= 16
+        assert meets_budget(1e4, 10, bits)
+        assert not meets_budget(1e4, 10, bits - 1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            undetected_fit(-1)
+
+    def test_impossible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_crc_bits(1e4, 0)
+
+    @given(
+        upset=st.floats(min_value=1, max_value=1e9),
+        bits=st.integers(min_value=4, max_value=32),
+    )
+    def test_residual_below_raw_rate(self, upset, bits):
+        assert undetected_fit(upset, bits) < upset
+
+
+class TestDetectionBound:
+    def test_interval_one(self):
+        bound = DetectionBound(fingerprint_interval=1, comparison_latency=10)
+        assert bound.cycles == 1 + 1 + 10
+
+    def test_grows_with_interval(self):
+        short = DetectionBound(1, 10).cycles
+        long = DetectionBound(50, 10).cycles
+        assert long > short
+
+    def test_bounds_check(self):
+        bound = DetectionBound(1, 10)
+        assert bound.bounds([5, 40, 80])
+        assert not bound.bounds([10_000])

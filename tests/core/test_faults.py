@@ -1,0 +1,98 @@
+"""Soft-error injection: detection and recovery through the pair machinery."""
+
+import pytest
+
+from repro.core.faults import FaultInjector
+from repro.isa import assemble
+from repro.isa.interpreter import run as golden_run
+from repro.sim.config import Mode
+from tests.core.helpers import build
+
+WORKLOAD = """
+    movi r1, 30
+    movi r2, 0
+    movi r3, 0x400
+loop:
+    add r2, r2, r1
+    store r2, [r3]
+    load r4, [r3]
+    addi r3, r3, 8
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+def golden_regs():
+    return golden_run(assemble(WORKLOAD)).registers
+
+
+class TestDetectionAndRecovery:
+    @pytest.mark.parametrize("victim", ["vocal", "mute"])
+    def test_single_upset_recovered(self, victim):
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        injector = FaultInjector(seed=7)
+        core = system.vocal_cores[0] if victim == "vocal" else system.cores[1]
+        injector.attach(core)
+        injector.inject_once(after=40)
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        assert len(injector.records) == 1
+        assert system.recoveries() >= 1
+        golden = golden_regs()
+        for reg in range(8):
+            assert system.vocal_cores[0].arf.read(reg) == golden.read(reg)
+
+    def test_periodic_upsets_recovered(self):
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        injector = FaultInjector(interval=50, seed=3)
+        injector.attach(system.cores[1])  # mute
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        assert len(injector.records) >= 2
+        golden = golden_regs()
+        for reg in range(8):
+            assert system.vocal_cores[0].arf.read(reg) == golden.read(reg)
+
+    def test_upsets_on_both_cores_recovered(self):
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        vocal_injector = FaultInjector(interval=70, seed=1)
+        mute_injector = FaultInjector(interval=90, seed=2)
+        vocal_injector.attach(system.vocal_cores[0])
+        mute_injector.attach(system.cores[1])
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        golden = golden_regs()
+        for reg in range(8):
+            assert system.vocal_cores[0].arf.read(reg) == golden.read(reg)
+
+    def test_fault_records_capture_flip(self):
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        injector = FaultInjector(seed=5)
+        injector.attach(system.cores[1])
+        injector.inject_once(after=10)
+        system.run_until_idle(max_cycles=500_000)
+        record = injector.records[0]
+        assert record.original ^ record.corrupted == 1 << record.bit
+
+    def test_nonredundant_system_corrupts_silently(self):
+        """Without redundancy the same upset silently corrupts state.
+
+        This is the negative control: it shows the recovery in the tests
+        above comes from the Reunion machinery, not from luck.
+        """
+        golden = golden_regs()
+        corrupted_runs = 0
+        for after in (20, 40, 60, 80):
+            system = build([WORKLOAD], mode=Mode.NONREDUNDANT)
+            injector = FaultInjector(seed=7)
+            injector.attach(system.vocal_cores[0])
+            injector.inject_once(after=after)
+            system.run_until_idle(max_cycles=500_000)
+            if any(
+                system.vocal_cores[0].arf.read(reg) != golden.read(reg)
+                for reg in range(8)
+            ):
+                corrupted_runs += 1
+        # Some upsets land on dead values; at least one must stick.
+        assert corrupted_runs >= 1

@@ -1,0 +1,127 @@
+"""Tests for fingerprint generation and the two-stage compression."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fingerprint import FingerprintAccumulator, fingerprint_words
+from repro.isa import Instruction, Op
+from repro.pipeline.rob import DynInstr
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestBasics:
+    def test_deterministic(self):
+        assert fingerprint_words([1, 2, 3]) == fingerprint_words([1, 2, 3])
+
+    def test_sensitive_to_value(self):
+        assert fingerprint_words([1, 2, 3]) != fingerprint_words([1, 2, 4])
+
+    def test_sensitive_to_order(self):
+        assert fingerprint_words([1, 2]) != fingerprint_words([2, 1])
+
+    def test_width_respected(self):
+        for bits in (8, 12, 16, 24, 32):
+            digest = fingerprint_words([0xDEADBEEF, 42], bits=bits)
+            assert 0 <= digest < (1 << bits)
+
+    def test_empty_is_zero(self):
+        acc = FingerprintAccumulator()
+        assert acc.digest() == 0
+
+    def test_reset(self):
+        acc = FingerprintAccumulator()
+        acc.add_word(7)
+        acc.reset()
+        assert acc.digest() == 0
+
+    @given(a=words, b=words)
+    @settings(max_examples=100)
+    def test_single_bit_flips_always_detected(self, a, b):
+        """CRCs detect any single-bit error regardless of compression."""
+        if a == b:
+            return
+        diff = a ^ b
+        if diff & (diff - 1):  # not a single-bit difference
+            return
+        assert fingerprint_words([a]) != fingerprint_words([b])
+
+    @given(values=st.lists(words, min_size=1, max_size=8), bit=st.integers(0, 63))
+    @settings(max_examples=100)
+    def test_single_bit_flip_in_stream_detected(self, values, bit):
+        corrupted = list(values)
+        corrupted[0] ^= 1 << bit
+        assert fingerprint_words(values) != fingerprint_words(corrupted)
+
+
+class TestTwoStage:
+    def test_two_stage_differs_from_single_stage(self):
+        values = [0x0123456789ABCDEF, 0xFEDCBA9876543210]
+        assert fingerprint_words(values, two_stage=True) != fingerprint_words(
+            values, two_stage=False
+        )
+
+    def test_two_stage_aliasing_bounded(self):
+        """Empirical aliasing of the folded 16-bit CRC stays near 2^-15.
+
+        The paper proves two-stage compression at most doubles the
+        aliasing probability: <= 2^-(N-1).  With 40k random pairs we
+        expect ~1 collision; assert a loose upper bound.
+        """
+        import random
+
+        rng = random.Random(42)
+        collisions = 0
+        trials = 40_000
+        for _ in range(trials):
+            a = rng.getrandbits(64)
+            b = rng.getrandbits(64)
+            if a != b and fingerprint_words([a]) == fingerprint_words([b]):
+                collisions += 1
+        assert collisions / trials <= 4 * 2**-15  # generous 4x margin
+
+    def test_parity_fold_is_xor_of_chunks(self):
+        # Folding 64 bits to 16: four 16-bit chunks XORed.
+        value = 0x1111_2222_3333_4444
+        folded = 0x1111 ^ 0x2222 ^ 0x3333 ^ 0x4444
+        assert fingerprint_words([value], two_stage=True) == fingerprint_words(
+            [folded], two_stage=True
+        )
+
+
+class TestInstructionUpdates:
+    def _entry(self, inst, result=None, addr=None, store_value=None, actual_next=None):
+        entry = DynInstr(0, 0, inst)
+        entry.result = result
+        entry.addr = addr
+        entry.store_value = store_value
+        entry.actual_next = actual_next
+        return entry
+
+    def _digest(self, entry):
+        acc = FingerprintAccumulator()
+        acc.add_instruction(entry)
+        return acc.digest()
+
+    def test_register_update_captured(self):
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        a = self._digest(self._entry(inst, result=5))
+        b = self._digest(self._entry(inst, result=6))
+        assert a != b
+
+    def test_store_address_and_value_captured(self):
+        inst = Instruction(Op.STORE, rs1=1, rs2=2)
+        base = self._entry(inst, addr=0x100, store_value=7)
+        other_addr = self._entry(inst, addr=0x108, store_value=7)
+        other_value = self._entry(inst, addr=0x100, store_value=8)
+        assert self._digest(base) != self._digest(other_addr)
+        assert self._digest(base) != self._digest(other_value)
+
+    def test_branch_target_captured(self):
+        inst = Instruction(Op.BEQ, rs1=1, rs2=2, target=5)
+        taken = self._entry(inst, actual_next=5)
+        not_taken = self._entry(inst, actual_next=1)
+        assert self._digest(taken) != self._digest(not_taken)
+
+    def test_nop_contributes_nothing(self):
+        assert self._digest(self._entry(Instruction(Op.NOP))) == 0

@@ -1,0 +1,41 @@
+"""Multi-pair stress: random racing programs on a full Reunion CMP.
+
+Two logical processors run hypothesis-generated programs over the SAME
+data region, so stores race freely across pairs.  There is no golden
+interleaving to compare against; the properties that must survive any
+interleaving are:
+
+* no pair ever reaches the unrecoverable-failure state;
+* both logical processors halt (forward progress through every race);
+* within each pair, the mute's architectural registers equal the
+  vocal's at the end (output comparison kept them locked together).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import Mode, PhantomStrength
+from tests.core.helpers import SMALL
+from tests.pipeline.test_differential_random import random_program
+
+
+@given(
+    program_a=random_program(),
+    program_b=random_program(),
+    phantom=st.sampled_from([PhantomStrength.GLOBAL, PhantomStrength.NULL]),
+)
+@settings(max_examples=12, deadline=None)
+def test_racing_pairs_stay_locked_and_finish(program_a, program_b, phantom):
+    config = SMALL.replace(n_logical=2).with_redundancy(
+        mode=Mode.REUNION, comparison_latency=10, phantom=phantom
+    )
+    system = CMPSystem(config, [program_a, program_b])
+    system.run_until_idle(max_cycles=3_000_000)
+
+    assert not system.failed
+    for logical in range(2):
+        vocal = system.vocal_cores[logical]
+        mute = system.cores[2 + logical]
+        assert vocal.halted, f"logical {logical} did not finish"
+        assert vocal.arf == mute.arf, f"pair {logical} diverged silently"

@@ -1,0 +1,262 @@
+"""End-to-end tests of the Reunion execution model on full systems.
+
+These are the paper's scenarios run in miniature: redundant pairs with
+relaxed input replication, racing writers causing input incoherence, weak
+phantom strengths forcing constant recovery, and the forward-progress
+guarantee of the re-execution protocol (Lemma 2).
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.interpreter import run as golden_run
+from repro.sim.config import Consistency, Mode, PhantomStrength
+from tests.core.helpers import build
+
+SIMPLE = """
+    .word 0x100 5
+    movi r1, 0x100
+    load r2, [r1]
+    addi r3, r2, 10
+    store r3, [r1+8]
+    load r4, [r1+8]
+    mul r5, r4, r2
+    halt
+"""
+
+LOOPY = """
+    movi r1, 25
+    movi r2, 0
+    movi r3, 0x400
+loop:
+    add r2, r2, r1
+    store r2, [r3]
+    load r4, [r3]
+    addi r3, r3, 8
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+def assert_golden(system, source, logical=0):
+    golden = golden_run(assemble(source))
+    vocal = system.vocal_cores[logical]
+    for reg in range(8):
+        assert vocal.arf.read(reg) == golden.registers.read(reg), f"r{reg}"
+    assert vocal.user_retired == golden.retired
+
+
+class TestModesProduceIdenticalResults:
+    @pytest.mark.parametrize("mode", [Mode.NONREDUNDANT, Mode.STRICT, Mode.REUNION])
+    def test_simple_program(self, mode):
+        system = build([SIMPLE], mode=mode)
+        system.run_until_idle()
+        assert not system.failed
+        assert_golden(system, SIMPLE)
+
+    @pytest.mark.parametrize("mode", [Mode.NONREDUNDANT, Mode.STRICT, Mode.REUNION])
+    def test_loop_with_memory(self, mode):
+        system = build([LOOPY], mode=mode)
+        system.run_until_idle()
+        assert_golden(system, LOOPY)
+
+    def test_reunion_no_sharing_no_recoveries(self):
+        system = build([LOOPY], mode=Mode.REUNION)
+        system.run_until_idle()
+        assert system.recoveries() == 0
+
+    def test_mute_arf_matches_vocal(self):
+        system = build([LOOPY], mode=Mode.REUNION)
+        system.run_until_idle()
+        vocal, mute = system.vocal_cores[0], system.cores[1]
+        assert vocal.arf == mute.arf
+
+
+class TestCheckingCost:
+    def test_strict_zero_latency_matches_nonredundant(self):
+        base = build([LOOPY], mode=Mode.NONREDUNDANT)
+        base_cycles = base.run_until_idle()
+        strict = build([LOOPY], mode=Mode.STRICT, comparison_latency=0)
+        strict_cycles = strict.run_until_idle()
+        assert abs(strict_cycles - base_cycles) <= 2
+
+    def test_latency_monotonically_slows_strict(self):
+        serial_heavy = """
+            movi r1, 12
+        loop:
+            membar
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """
+        cycles = []
+        for latency in (0, 10, 40):
+            system = build([serial_heavy], mode=Mode.STRICT, comparison_latency=latency)
+            cycles.append(system.run_until_idle())
+        assert cycles[0] < cycles[1] < cycles[2]
+
+    def test_serializing_stall_scales_with_latency(self):
+        # 12 membars * latency delta of 30 cycles should appear directly.
+        serial_heavy = """
+            movi r1, 12
+        loop:
+            membar
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """
+        fast = build([serial_heavy], mode=Mode.STRICT, comparison_latency=0).run_until_idle()
+        slow = build([serial_heavy], mode=Mode.STRICT, comparison_latency=30).run_until_idle()
+        assert slow - fast >= 12 * 30
+
+
+class TestAtomicsViaSyncRequest:
+    def test_atomic_executes_exactly_once(self):
+        source = """
+            .word 0x200 100
+            movi r1, 0x200
+            movi r2, 7
+            atomic r3, [r1], r2
+            load r4, [r1]
+            halt
+        """
+        system = build([source], mode=Mode.REUNION)
+        system.run_until_idle()
+        assert_golden(system, source)
+        vocal = system.vocal_cores[0]
+        assert vocal.arf.read(3) == 100  # old value
+        assert vocal.arf.read(4) == 107  # written exactly once
+        assert system.pairs[0].sync_requests >= 1
+
+    def test_cas_spinlock_under_reunion(self):
+        source = """
+            movi r1, 0x200
+            spin:
+                cas r2, [r1], r0, 1
+                bne r2, r0, spin
+            movi r3, 99
+            halt
+        """
+        system = build([source], mode=Mode.REUNION)
+        system.run_until_idle()
+        assert system.vocal_cores[0].arf.read(3) == 99
+
+
+class TestInputIncoherence:
+    """The Figure 1 race: a competing writer makes the mute stale."""
+
+    #: Logical processor 0 spins until M[0x100] becomes nonzero, then
+    #: reads a payload the writer published before the flag.
+    READER = """
+        movi r1, 0x100
+        wait:
+            load r2, [r1]
+            beq r2, r0, wait
+        load r3, [r1+8]
+        movi r4, 1
+        halt
+    """
+
+    #: Logical processor 1 publishes a payload, then sets the flag.
+    WRITER = """
+        movi r1, 0x100
+        movi r2, 77
+        store r2, [r1+8]
+        membar
+        movi r3, 1
+        store r3, [r1]
+        halt
+    """
+
+    def test_race_resolves_correctly(self):
+        system = build([self.READER, self.WRITER], mode=Mode.REUNION)
+        system.run_until_idle(max_cycles=100_000)
+        assert not system.failed
+        reader = system.vocal_cores[0]
+        assert reader.arf.read(2) == 1  # saw the flag
+        assert reader.arf.read(3) == 77  # and the payload
+        assert reader.arf.read(4) == 1  # reached the end
+
+    def test_reader_mute_matches_vocal_after_race(self):
+        system = build([self.READER, self.WRITER], mode=Mode.REUNION)
+        system.run_until_idle(max_cycles=100_000)
+        vocal, mute = system.vocal_cores[0], system.cores[2]
+        assert vocal.arf == mute.arf
+
+    #: Sums eight cold cache lines: every load is an L1 miss the first
+    #: time, so weak phantom strengths return garbage to the mute.
+    COLD_READER = """
+        .word 0x800 1
+        .word 0x840 2
+        .word 0x880 3
+        .word 0x8c0 4
+        .word 0x900 5
+        .word 0x940 6
+        .word 0x980 7
+        .word 0x9c0 8
+        movi r1, 0x800
+        movi r2, 0
+        movi r3, 8
+    loop:
+        load r4, [r1]
+        add r2, r2, r4
+        addi r1, r1, 64
+        addi r3, r3, -1
+        bne r3, r0, loop
+        halt
+    """
+
+    def test_forward_progress_with_null_phantom(self):
+        """Lemma 2: even arbitrary-data phantom replies cannot livelock."""
+        system = build(
+            [self.COLD_READER], mode=Mode.REUNION, phantom=PhantomStrength.NULL
+        )
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        assert_golden(system, self.COLD_READER)
+        assert system.vocal_cores[0].arf.read(2) == 36
+        assert system.recoveries() >= 8  # every cold line forced a recovery
+
+    def test_forward_progress_with_shared_phantom(self):
+        system = build(
+            [self.COLD_READER], mode=Mode.REUNION, phantom=PhantomStrength.SHARED
+        )
+        system.run_until_idle(max_cycles=500_000)
+        assert_golden(system, self.COLD_READER)
+
+    def test_null_phantom_recovers_more_than_global(self):
+        recoveries = {}
+        for phantom in (PhantomStrength.GLOBAL, PhantomStrength.NULL):
+            system = build([self.COLD_READER], mode=Mode.REUNION, phantom=phantom)
+            system.run_until_idle(max_cycles=500_000)
+            recoveries[phantom] = system.recoveries()
+        assert recoveries[PhantomStrength.GLOBAL] == 0
+        assert recoveries[PhantomStrength.NULL] >= 8
+
+
+class TestConsistencyModels:
+    def test_sc_mode_correct(self):
+        system = build([LOOPY], mode=Mode.REUNION, consistency=Consistency.SC)
+        system.run_until_idle(max_cycles=500_000)
+        assert_golden(system, LOOPY)
+
+    def test_sc_slower_than_tso_under_redundancy(self):
+        tso = build([LOOPY], mode=Mode.REUNION, comparison_latency=20)
+        tso_cycles = tso.run_until_idle(max_cycles=500_000)
+        sc = build(
+            [LOOPY],
+            mode=Mode.REUNION,
+            comparison_latency=20,
+            consistency=Consistency.SC,
+        )
+        sc_cycles = sc.run_until_idle(max_cycles=500_000)
+        assert sc_cycles > tso_cycles
+
+
+class TestFingerprintIntervals:
+    @pytest.mark.parametrize("interval", [1, 4, 16])
+    def test_intervals_preserve_correctness(self, interval):
+        system = build([LOOPY], mode=Mode.REUNION, fingerprint_interval=interval)
+        system.run_until_idle(max_cycles=500_000)
+        assert_golden(system, LOOPY)

@@ -1,0 +1,89 @@
+"""Focused unit tests for pair-controller machinery: watchdog, states, stats."""
+
+from repro.core.pair import PairState
+from repro.isa import assemble
+from repro.sim.config import Mode
+from repro.sim.stats import Stats
+from tests.core.helpers import SMALL, build
+
+LOOP = """
+    movi r1, 60
+loop:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+class TestWatchdog:
+    def test_one_sided_silence_triggers_recovery(self):
+        config = SMALL.with_redundancy(mode=Mode.REUNION, divergence_timeout=300)
+        from repro.sim.cmp import CMPSystem
+
+        system = CMPSystem(config.replace(n_logical=1), [assemble(LOOP)])
+        # Freeze the mute artificially: it stops producing fingerprints.
+        system.cores[1].halted = True
+        system.run(2000)
+        pair = system.pairs[0]
+        assert pair.timeout_recoveries >= 1
+        # Recovery unfroze the mute; the pair finishes correctly.
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        assert system.vocal_cores[0].arf.read(1) == 0
+
+    def test_no_watchdog_when_both_progress(self):
+        system = build([LOOP], mode=Mode.REUNION)
+        system.run_until_idle(max_cycles=500_000)
+        assert system.pairs[0].timeout_recoveries == 0
+
+
+class TestStateMachine:
+    def test_starts_and_ends_normal(self):
+        system = build([LOOP], mode=Mode.REUNION)
+        pair = system.pairs[0]
+        assert pair.state is PairState.NORMAL
+        system.run_until_idle(max_cycles=500_000)
+        assert pair.state is PairState.NORMAL
+
+    def test_recovery_transitions(self):
+        system = build([LOOP], mode=Mode.REUNION)
+        pair = system.pairs[0]
+        system.run(40)
+        pair._schedule_recovery(system.now, escalate=False)
+        assert pair.state is PairState.WAIT_RECOVERY
+        system.run(2)
+        assert pair.state is PairState.SINGLE_STEP
+        system.run_until_idle(max_cycles=500_000)
+        assert pair.state is PairState.NORMAL
+        assert pair.recoveries == 1
+        assert system.vocal_cores[0].arf.read(1) == 0
+
+    def test_recovery_log_records_cause(self):
+        system = build([LOOP], mode=Mode.REUNION)
+        pair = system.pairs[0]
+        system.run(40)
+        pair._schedule_recovery(system.now, escalate=False)
+        system.run(5)
+        assert pair.recovery_log and pair.recovery_log[0][1] == "phase1"
+
+
+class TestStatsCollection:
+    def test_collect_stats_prefix(self):
+        system = build([LOOP], mode=Mode.REUNION)
+        system.run_until_idle(max_cycles=500_000)
+        stats = Stats()
+        system.pairs[0].collect_stats(stats, prefix="p.")
+        assert "p.recoveries" in stats
+        assert "p.sync_requests" in stats
+
+    def test_failed_pair_halts_system(self):
+        system = build([LOOP], mode=Mode.REUNION)
+        pair = system.pairs[0]
+        system.run(30)
+        # Force the unrecoverable path: escalate twice.
+        pair.phase = 2
+        pair._schedule_recovery(system.now, escalate=True)
+        system.run(3)
+        assert pair.failed
+        assert system.failed and system.idle
+        assert pair.failures == 1

@@ -1,0 +1,92 @@
+"""Smoke tests for the figure/table drivers at tiny scale.
+
+These verify plumbing (workload coverage, result structure, rendering),
+not shapes — the benchmarks assert shapes at real scale.
+"""
+
+import pytest
+
+from repro.harness.fig5 import run_fig5
+from repro.harness.fig6 import run_fig6
+from repro.harness.fig7 import run_fig7a, run_fig7b, run_sc_comparison
+from repro.harness.runs import QUICK, Runner, Scale
+from repro.harness.table3 import run_table3
+from repro.sim.config import Mode
+
+TINY = Scale("tiny", warmup=150, measure=300, seeds=(0,), config=QUICK.config)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return Runner(TINY)
+
+
+class TestFig5:
+    def test_covers_all_workloads(self, runner):
+        result = run_fig5(runner=runner)
+        assert len(result.rows) == 11
+        assert {row[1] for row in result.rows} == {"Web", "OLTP", "DSS", "Scientific"}
+        rendered = result.render()
+        assert "Figure 5" in rendered and "Reunion" in rendered
+
+    def test_averages(self, runner):
+        result = run_fig5(runner=runner)
+        averages = result.averages(2)
+        assert set(averages) == {"Web", "OLTP", "DSS", "Scientific"}
+        assert 0 < result.commercial_average(3) <= 1.5
+
+
+class TestFig6:
+    def test_strict_panel(self, runner):
+        result = run_fig6(
+            Mode.STRICT,
+            runner=runner,
+            latencies=(0, 20),
+            representatives={"OLTP": ["DB2 OLTP"]},
+        )
+        assert result.latencies == (0, 20)
+        assert list(result.series) == ["OLTP"]
+        assert len(result.series["OLTP"]) == 2
+        assert "Figure 6(a)" in result.render()
+
+    def test_reunion_panel_renders_b(self, runner):
+        result = run_fig6(
+            Mode.REUNION,
+            runner=runner,
+            latencies=(10,),
+            representatives={"Web": ["Zeus"]},
+        )
+        assert "Figure 6(b)" in result.render()
+
+    def test_rejects_nonredundant(self, runner):
+        with pytest.raises(ValueError):
+            run_fig6(Mode.NONREDUNDANT, runner=runner)
+
+
+class TestTable3:
+    def test_rows_and_lookup(self, runner):
+        result = run_table3(runner=runner)
+        assert len(result.rows) == 11
+        rates = result.row("Apache")
+        assert len(rates) == 4
+        with pytest.raises(KeyError):
+            result.row("nope")
+        assert "Table 3" in result.render()
+
+
+class TestFig7:
+    def test_fig7a(self, runner):
+        result = run_fig7a(runner=runner)
+        assert len(result.rows) == 11
+        assert len(result.row("ocean")) == 3
+        assert "7(a)" in result.render()
+
+    def test_fig7b(self, runner):
+        result = run_fig7b(runner=runner, latencies=(0, 20), workload_names=["Zeus"])
+        assert len(result.hardware) == len(result.software) == 2
+        assert "7(b)" in result.render()
+
+    def test_sc_comparison(self, runner):
+        result = run_sc_comparison(runner=runner, latencies=(10,), workload_names=["Zeus"])
+        assert len(result.tso) == len(result.sc) == 1
+        assert "TSO" in result.render()

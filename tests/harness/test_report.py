@@ -1,0 +1,82 @@
+"""Tests for report rendering and the experiment runner."""
+
+from repro.harness.report import render_series, render_table
+from repro.harness.runs import QUICK, Runner, Scale, category_average, current_scale
+from repro.sim.config import DEFAULT_CONFIG, Mode
+from repro.workloads import by_name, suite
+
+
+class TestRenderTable:
+    def test_basic_table(self):
+        out = render_table(
+            "Title", ["A", "B"], [["x", 1.23456], ["yy", 2.0]], note="footnote"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "A" in lines[2] and "B" in lines[2]
+        assert "1.235" in out  # floats rendered to 3 places
+        assert out.endswith("footnote")
+
+    def test_alignment(self):
+        out = render_table("T", ["name", "v"], [["long-name", 1.0], ["x", 22.0]])
+        rows = out.splitlines()[4:]
+        # First column left-aligned, numeric column right-aligned.
+        assert rows[0].startswith("long-name")
+        assert rows[1].startswith("x ")
+
+    def test_render_series(self):
+        out = render_series(
+            "S", "x", [0, 10], {"a": [1.0, 0.9], "b": [1.0, 0.8]}
+        )
+        assert "0.900" in out and "0.800" in out
+        assert out.splitlines()[2].split()[:3] == ["x", "a", "b"]
+
+
+class TestScale:
+    def test_current_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "quick"
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "standard")
+        assert current_scale().name == "standard"
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        import pytest
+
+        with pytest.raises(ValueError):
+            current_scale()
+
+
+TINY = Scale("tiny", warmup=200, measure=400, seeds=(0,), config=QUICK.config)
+
+
+class TestRunner:
+    def test_sample_memoized(self):
+        runner = Runner(TINY)
+        config = TINY.config.with_redundancy(mode=Mode.NONREDUNDANT)
+        workload = by_name("ocean")
+        first = runner.sample(config, workload, 0)
+        second = runner.sample(config, workload, 0)
+        assert first is second  # cached object, not re-simulated
+
+    def test_normalized_ipc_of_baseline_is_one(self):
+        runner = Runner(TINY)
+        config = TINY.config.with_redundancy(mode=Mode.NONREDUNDANT)
+        assert runner.normalized_ipc(config, by_name("ocean")) == 1.0
+
+    def test_normalized_ipc_reunion_below_one_plus_noise(self):
+        runner = Runner(TINY)
+        config = TINY.config.with_redundancy(mode=Mode.REUNION, comparison_latency=10)
+        value = runner.normalized_ipc(config, by_name("ocean"))
+        assert 0.3 < value < 1.1
+
+
+class TestCategoryAverage:
+    def test_averages_by_class(self):
+        workloads = suite()
+        values = {w.name: (1.0 if w.category == "Web" else 0.0) for w in workloads}
+        assert category_average(values, workloads, "Web") == 1.0
+        assert category_average(values, workloads, "OLTP") == 0.0

@@ -1,0 +1,109 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.isa import AssemblerError, Op, assemble
+
+
+class TestAssemble:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            movi r1, 10
+            addi r1, r1, -1
+            halt
+            """
+        )
+        assert len(program) == 3
+        assert program.instructions[0].op is Op.MOVI
+        assert program.instructions[1].imm == -1
+
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            start:
+                movi r1, 3
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                jump done
+            done:
+                halt
+            """
+        )
+        bne = program.instructions[2]
+        assert bne.op is Op.BNE and bne.target == 1
+        jump = program.instructions[3]
+        assert jump.target == 4
+
+    def test_memory_operands(self):
+        program = assemble(
+            """
+            load r2, [r1+8]
+            store r2, [r1]
+            store r3, [r4-16]
+            atomic r5, [r6+0], r7
+            halt
+            """
+        )
+        load = program.instructions[0]
+        assert (load.rd, load.rs1, load.imm) == (2, 1, 8)
+        store = program.instructions[1]
+        assert (store.rs2, store.rs1, store.imm) == (2, 1, 0)
+        assert program.instructions[2].imm == -16
+        atomic = program.instructions[3]
+        assert (atomic.rd, atomic.rs1, atomic.rs2) == (5, 6, 7)
+
+    def test_directives(self):
+        program = assemble(
+            """
+            .entry start
+            .word 0x1000 42
+            .reg r5 0x1000
+            nop
+            start:
+                halt
+            """
+        )
+        assert program.entry == 1
+        assert program.memory_image[0x1000] == 42
+        assert program.initial_regs[5] == 0x1000
+
+    def test_comments_ignored(self):
+        program = assemble("nop ; trailing\n# whole line\nhalt")
+        assert len(program) == 2
+
+    def test_serializing_mnemonics(self):
+        program = assemble("membar\ntrap\nmmuop\nhalt")
+        assert [i.op for i in program.instructions[:3]] == [Op.MEMBAR, Op.TRAP, Op.MMUOP]
+        assert all(i.is_serializing for i in program.instructions[:3])
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("movi r99, 0")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("jump nowhere\nhalt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a:\nnop\na:\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_branch_target_out_of_range(self):
+        with pytest.raises(ValueError):
+            assemble("beq r1, r2, 99\nhalt")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus op\nhalt")

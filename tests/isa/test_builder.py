@@ -1,0 +1,86 @@
+"""Tests for the programmatic program builder."""
+
+import pytest
+
+from repro.isa import Op, ProgramBuilder
+from repro.isa.interpreter import run as golden_run
+
+
+class TestBuilder:
+    def test_forward_labels_resolved(self):
+        builder = ProgramBuilder()
+        builder.movi(1, 1)
+        builder.beq(1, 1, "end")  # forward reference
+        builder.movi(2, 99)
+        builder.label("end")
+        builder.halt()
+        program = builder.build()
+        assert program.instructions[1].target == 3
+        result = golden_run(program)
+        assert result.registers.read(2) == 0  # skipped
+
+    def test_backward_labels(self):
+        builder = ProgramBuilder()
+        builder.movi(1, 3)
+        builder.label("loop")
+        builder.addi(1, 1, -1)
+        builder.bne(1, 0, "loop")
+        builder.halt()
+        assert golden_run(builder.build()).registers.read(1) == 0
+
+    def test_undefined_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.jump("nowhere")
+        builder.halt()
+        with pytest.raises(ValueError, match="undefined label"):
+            builder.build()
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.label("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            builder.label("a")
+
+    def test_entry_label(self):
+        builder = ProgramBuilder()
+        builder.nop()
+        builder.label("start")
+        builder.halt()
+        builder.entry("start")
+        assert builder.build().entry == 1
+
+    def test_undefined_entry_rejected(self):
+        builder = ProgramBuilder()
+        builder.halt()
+        builder.entry("missing")
+        with pytest.raises(ValueError, match="undefined entry"):
+            builder.build()
+
+    def test_word_and_reg_helpers(self):
+        builder = ProgramBuilder()
+        builder.word(0x100, 7).reg(5, 0x100)
+        builder.load(2, 5)
+        builder.halt()
+        result = golden_run(builder.build())
+        assert result.registers.read(2) == 7
+
+    def test_here_tracks_position(self):
+        builder = ProgramBuilder()
+        assert builder.here == 0
+        builder.nop()
+        assert builder.here == 1
+
+    def test_all_instruction_helpers(self):
+        builder = ProgramBuilder()
+        builder.movi(1, 1).addi(2, 1, 1).add(3, 1, 2)
+        builder.store(3, 1).load(4, 1)
+        builder.atomic(5, 1, 2).cas(6, 1, 2, 9)
+        builder.membar().trap().mmuop().nop()
+        builder.alu(Op.MUL, 7, 3, 3)
+        builder.blt(1, 2, "end").bge(2, 1, "end")
+        builder.beq(0, 0, "end").bne(1, 0, "end")
+        builder.jump("end")
+        builder.label("end")
+        builder.halt()
+        program = builder.build()
+        assert len(program) == 18

@@ -1,0 +1,63 @@
+"""Unit tests for instruction representation and classification."""
+
+import pytest
+
+from repro.isa import Instruction, Op
+
+
+class TestClassification:
+    def test_alu_ops(self):
+        assert Instruction(Op.ADD, rd=1, rs1=2, rs2=3).is_alu
+        assert Instruction(Op.MOVI, rd=1, imm=5).is_alu
+        assert not Instruction(Op.LOAD, rd=1, rs1=2).is_alu
+
+    def test_memory_ops(self):
+        load = Instruction(Op.LOAD, rd=1, rs1=2)
+        store = Instruction(Op.STORE, rs1=2, rs2=3)
+        atomic = Instruction(Op.ATOMIC, rd=1, rs1=2, rs2=3)
+        assert load.is_mem and load.is_load and not load.is_store
+        assert store.is_mem and store.is_store and not store.is_load
+        assert atomic.is_mem and atomic.is_load and atomic.is_store
+
+    def test_serializing_set_matches_paper(self):
+        """Traps, membars, atomics and non-idempotent accesses serialize."""
+        for op in (Op.TRAP, Op.MEMBAR, Op.MMUOP):
+            assert Instruction(op).is_serializing
+        assert Instruction(Op.ATOMIC, rd=1, rs1=2).is_serializing
+        assert Instruction(Op.CAS, rd=1, rs1=2).is_serializing
+        for op in (Op.ADD, Op.NOP, Op.HALT):
+            assert not Instruction(op).is_serializing
+        assert not Instruction(Op.LOAD, rd=1, rs1=2).is_serializing
+        assert not Instruction(Op.STORE, rs1=1, rs2=2).is_serializing
+
+    def test_branches_are_control(self):
+        branch = Instruction(Op.BEQ, rs1=1, rs2=2, target=0)
+        assert branch.is_branch and branch.is_control
+        jump = Instruction(Op.JUMP, target=0)
+        assert jump.is_control and not jump.is_branch
+        assert Instruction(Op.HALT).is_control
+
+    def test_writes_reg(self):
+        assert Instruction(Op.ADD, rd=1, rs1=2, rs2=3).writes_reg
+        assert Instruction(Op.LOAD, rd=4, rs1=2).writes_reg
+        assert not Instruction(Op.ADD, rd=0, rs1=2, rs2=3).writes_reg  # r0 sink
+        assert not Instruction(Op.STORE, rs1=2, rs2=3).writes_reg
+        assert not Instruction(Op.MEMBAR).writes_reg
+
+    def test_reads_excludes_r0(self):
+        assert Instruction(Op.ADD, rd=1, rs1=0, rs2=3).reads == (3,)
+        assert Instruction(Op.MOVI, rd=1, imm=9).reads == ()
+        assert Instruction(Op.STORE, rs1=2, rs2=3).reads == (2, 3)
+        assert Instruction(Op.BEQ, rs1=4, rs2=5).reads == (4, 5)
+
+    def test_register_range_validated(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=32, rs1=1, rs2=2)
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=1, rs1=-1, rs2=2)
+
+    def test_instructions_hashable_and_immutable(self):
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert hash(inst) == hash(Instruction(Op.ADD, rd=1, rs1=2, rs2=3))
+        with pytest.raises(AttributeError):
+            inst.rd = 5  # type: ignore[misc]

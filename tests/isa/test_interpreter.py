@@ -1,0 +1,111 @@
+"""Tests for the functional reference interpreter."""
+
+from repro.isa import ProgramBuilder, assemble
+from repro.isa.interpreter import run
+
+
+class TestInterpreter:
+    def test_countdown_loop(self):
+        program = assemble(
+            """
+            movi r1, 5
+            movi r2, 0
+            loop:
+                add r2, r2, r1
+                addi r1, r1, -1
+                bne r1, r0, loop
+            halt
+            """
+        )
+        result = run(program)
+        assert result.halted
+        assert result.registers.read(2) == 15  # 5+4+3+2+1
+        assert result.registers.read(1) == 0
+
+    def test_memory_round_trip(self):
+        program = assemble(
+            """
+            .word 0x100 7
+            movi r1, 0x100
+            load r2, [r1]
+            addi r2, r2, 1
+            store r2, [r1+8]
+            load r3, [r1+8]
+            halt
+            """
+        )
+        result = run(program)
+        assert result.registers.read(3) == 8
+        assert result.memory[0x108] == 8
+        assert result.load_count == 2 and result.store_count == 1
+
+    def test_atomic_fetch_add(self):
+        program = assemble(
+            """
+            .word 0x40 10
+            movi r1, 0x40
+            movi r2, 3
+            atomic r3, [r1], r2
+            halt
+            """
+        )
+        result = run(program)
+        assert result.registers.read(3) == 10
+        assert result.memory[0x40] == 13
+
+    def test_cas_spinlock_acquires(self):
+        """The paper's motivating spin-lock: CAS on a free lock succeeds."""
+        program = assemble(
+            """
+            movi r1, 0x200
+            spin:
+                cas r2, [r1], r0, 1
+                bne r2, r0, spin
+            halt
+            """
+        )
+        result = run(program)
+        assert result.halted
+        assert result.memory[0x200] == 1
+
+    def test_max_instructions_bounds_infinite_loop(self):
+        program = assemble("loop:\njump loop\nhalt")
+        result = run(program, max_instructions=100)
+        assert not result.halted
+        assert result.retired == 100
+
+    def test_event_counters(self):
+        program = assemble("trap\nmembar\ntrap\nhalt")
+        result = run(program)
+        assert result.trap_count == 2
+        assert result.membar_count == 1
+
+    def test_builder_and_assembler_agree(self):
+        text = assemble(
+            """
+            movi r1, 4
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+            halt
+            """
+        )
+        builder = ProgramBuilder()
+        builder.movi(1, 4)
+        builder.label("loop")
+        builder.addi(1, 1, -1)
+        builder.bne(1, 0, "loop")
+        builder.halt()
+        built = builder.build()
+        assert built.instructions == text.instructions
+        assert run(built).retired == run(text).retired
+
+    def test_trace_collection(self):
+        program = assemble("movi r1, 2\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt")
+        result = run(program, collect_trace=True)
+        assert result.trace == [0, 1, 2, 1, 2, 3]
+
+    def test_out_of_range_pc_halts(self):
+        program = assemble("jump 1\nnop")  # runs off the end
+        result = run(program)
+        assert result.halted

@@ -1,0 +1,99 @@
+"""Tests for the register file and program container."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import NUM_REGS, Instruction, Op, Program, RegisterFile, WORD_MASK
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+regs = st.integers(min_value=1, max_value=NUM_REGS - 1)
+
+
+class TestRegisterFile:
+    def test_r0_hardwired(self):
+        rf = RegisterFile()
+        rf.write(0, 123)
+        assert rf.read(0) == 0
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write(5, 42)
+        assert rf.read(5) == 42
+
+    @given(reg=regs, value=st.integers(min_value=-(1 << 70), max_value=1 << 70))
+    def test_values_masked_to_64_bits(self, reg, value):
+        rf = RegisterFile()
+        rf.write(reg, value)
+        assert 0 <= rf.read(reg) <= WORD_MASK
+
+    def test_snapshot_restore(self):
+        rf = RegisterFile()
+        rf.write(3, 7)
+        snap = rf.snapshot()
+        rf.write(3, 9)
+        rf.restore(snap)
+        assert rf.read(3) == 7
+
+    def test_restore_validates_length(self):
+        with pytest.raises(ValueError):
+            RegisterFile().restore([0] * 3)
+
+    def test_copy_from(self):
+        """Definition 9: mute register initialization."""
+        vocal, mute = RegisterFile(), RegisterFile()
+        vocal.write(7, 99)
+        mute.write(7, 1)
+        mute.copy_from(vocal)
+        assert mute == vocal
+        vocal.write(7, 50)  # no aliasing afterwards
+        assert mute.read(7) == 99
+
+    def test_equality(self):
+        a, b = RegisterFile(), RegisterFile()
+        assert a == b
+        a.write(1, 5)
+        assert a != b
+        assert (a == object()) is False or True  # NotImplemented path
+
+    def test_init_from_values(self):
+        rf = RegisterFile([9] * NUM_REGS)
+        assert rf.read(0) == 0  # r0 forced to zero
+        assert rf.read(1) == 9
+
+    def test_init_wrong_length(self):
+        with pytest.raises(ValueError):
+            RegisterFile([1, 2, 3])
+
+
+class TestProgram:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Program(instructions=[])
+
+    def test_entry_bounds(self):
+        with pytest.raises(ValueError):
+            Program(instructions=[Instruction(Op.HALT)], entry=5)
+
+    def test_branch_target_validated(self):
+        with pytest.raises(ValueError):
+            Program(instructions=[Instruction(Op.BEQ, rs1=1, rs2=2, target=9)])
+
+    def test_unaligned_image_rejected(self):
+        with pytest.raises(ValueError):
+            Program(instructions=[Instruction(Op.HALT)], memory_image={3: 1})
+
+    def test_image_values_masked(self):
+        program = Program(
+            instructions=[Instruction(Op.HALT)], memory_image={0: -1}
+        )
+        assert program.memory_image[0] == WORD_MASK
+
+    def test_out_of_range_fetch_halts(self):
+        program = Program(instructions=[Instruction(Op.NOP)])
+        assert program.fetch(99).op is Op.HALT
+        assert program.fetch(-1).op is Op.HALT
+
+    def test_len(self):
+        program = Program(instructions=[Instruction(Op.NOP), Instruction(Op.HALT)])
+        assert len(program) == 2

@@ -1,0 +1,102 @@
+"""Unit and property tests for ISA execution semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import WORD_MASK, Op
+from repro.isa.semantics import (
+    alu_result,
+    atomic_result,
+    branch_taken,
+    effective_address,
+    to_signed,
+)
+
+words = st.integers(min_value=0, max_value=WORD_MASK)
+
+
+class TestAlu:
+    def test_basic_arithmetic(self):
+        assert alu_result(Op.ADD, 2, 3, 0) == 5
+        assert alu_result(Op.SUB, 2, 3, 0) == WORD_MASK  # wraps to -1
+        assert alu_result(Op.MUL, 7, 6, 0) == 42
+        assert alu_result(Op.AND, 0b1100, 0b1010, 0) == 0b1000
+        assert alu_result(Op.OR, 0b1100, 0b1010, 0) == 0b1110
+        assert alu_result(Op.XOR, 0b1100, 0b1010, 0) == 0b0110
+
+    def test_shifts_mask_amount(self):
+        assert alu_result(Op.SLL, 1, 4, 0) == 16
+        assert alu_result(Op.SRL, 16, 4, 0) == 1
+        # Shift amounts use only the low 6 bits, like real 64-bit ISAs.
+        assert alu_result(Op.SLL, 1, 64, 0) == 1
+
+    def test_slt_is_signed(self):
+        minus_one = WORD_MASK
+        assert alu_result(Op.SLT, minus_one, 0, 0) == 1
+        assert alu_result(Op.SLT, 0, minus_one, 0) == 0
+
+    def test_immediates(self):
+        assert alu_result(Op.ADDI, 10, 0, -3) == 7
+        assert alu_result(Op.MOVI, 0, 0, 99) == 99
+        assert alu_result(Op.ORI, 0b01, 0, 0b10) == 0b11
+
+    def test_non_alu_raises(self):
+        with pytest.raises(ValueError):
+            alu_result(Op.LOAD, 1, 2, 0)
+
+    @given(a=words, b=words)
+    def test_results_always_fit_in_word(self, a, b):
+        for op in (Op.ADD, Op.SUB, Op.MUL, Op.SLL):
+            assert 0 <= alu_result(op, a, b, 0) <= WORD_MASK
+
+    @given(a=words, b=words)
+    def test_xor_involutive(self, a, b):
+        assert alu_result(Op.XOR, alu_result(Op.XOR, a, b, 0), b, 0) == a
+
+
+class TestBranches:
+    def test_eq_ne(self):
+        assert branch_taken(Op.BEQ, 5, 5)
+        assert not branch_taken(Op.BEQ, 5, 6)
+        assert branch_taken(Op.BNE, 5, 6)
+
+    def test_signed_comparison(self):
+        minus_two = (-2) & WORD_MASK
+        assert branch_taken(Op.BLT, minus_two, 1)
+        assert branch_taken(Op.BGE, 1, minus_two)
+
+    @given(a=words, b=words)
+    def test_blt_bge_partition(self, a, b):
+        assert branch_taken(Op.BLT, a, b) != branch_taken(Op.BGE, a, b)
+
+    def test_non_branch_raises(self):
+        with pytest.raises(ValueError):
+            branch_taken(Op.ADD, 1, 2)
+
+
+class TestMemorySemantics:
+    def test_effective_address_word_aligned(self):
+        assert effective_address(0x1003, 0) == 0x1000
+        assert effective_address(0x1000, 8) == 0x1008
+        assert effective_address(0x1000, -8) == 0xFF8
+
+    @given(base=words, imm=st.integers(min_value=-4096, max_value=4096))
+    def test_effective_address_always_aligned(self, base, imm):
+        assert effective_address(base, imm) % 8 == 0
+
+    def test_fetch_add(self):
+        rd, new = atomic_result(Op.ATOMIC, old=10, rs2_value=5, imm=0)
+        assert rd == 10 and new == 15
+
+    def test_cas_success_and_failure(self):
+        rd, new = atomic_result(Op.CAS, old=0, rs2_value=0, imm=1)
+        assert rd == 0 and new == 1
+        rd, new = atomic_result(Op.CAS, old=7, rs2_value=0, imm=1)
+        assert rd == 7 and new is None
+
+
+class TestSigned:
+    @given(value=words)
+    def test_to_signed_round_trip(self, value):
+        assert to_signed(value) & WORD_MASK == value

@@ -1,0 +1,105 @@
+"""Unit and property tests for the set-associative cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Cache, LineState
+
+
+def make_cache(sets=4, assoc=2):
+    return Cache(size_bytes=sets * assoc * 64, assoc=assoc, line_bytes=64)
+
+
+LINE = [0] * 8
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(5) is None
+        cache.fill(5, LINE, LineState.SHARED)
+        line = cache.lookup(5)
+        assert line is not None and line.state == LineState.SHARED
+
+    def test_fill_returns_eviction_with_data(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.fill(0, [1] * 8, LineState.MODIFIED)
+        cache.fill(1, [2] * 8, LineState.SHARED)
+        evicted = cache.fill(2, [3] * 8, LineState.SHARED)
+        assert evicted is not None
+        assert evicted.line_addr == 0 and evicted.dirty and evicted.data == [1] * 8
+
+    def test_lru_order(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.fill(0, LINE, LineState.SHARED)
+        cache.fill(1, LINE, LineState.SHARED)
+        cache.access(0)  # 0 becomes MRU
+        evicted = cache.fill(2, LINE, LineState.SHARED)
+        assert evicted.line_addr == 1
+
+    def test_invalidate_returns_line(self):
+        cache = make_cache()
+        cache.fill(7, [9] * 8, LineState.MODIFIED)
+        line = cache.invalidate(7)
+        assert line is not None and line.dirty
+        assert cache.lookup(7) is None
+        assert cache.invalidate(7) is None
+
+    def test_downgrade_returns_dirty_data(self):
+        cache = make_cache()
+        cache.fill(3, [4] * 8, LineState.MODIFIED)
+        data = cache.downgrade(3)
+        assert data == [4] * 8
+        assert cache.lookup(3).state == LineState.SHARED
+        assert cache.downgrade(3) is None  # now clean
+
+    def test_word_access(self):
+        cache = make_cache()
+        cache.fill(0, list(range(8)), LineState.EXCLUSIVE)
+        assert cache.read_word(3 * 8) == 3
+        cache.write_word(3 * 8, 99)
+        assert cache.read_word(3 * 8) == 99
+        assert cache.lookup(0).state == LineState.MODIFIED
+
+    def test_fills_do_not_alias_data(self):
+        cache = make_cache()
+        data = [1] * 8
+        cache.fill(0, data, LineState.SHARED)
+        data[0] = 777
+        assert cache.read_word(0) == 1
+
+    def test_same_set_mapping(self):
+        cache = make_cache(sets=4, assoc=2)
+        # line addrs 0, 4, 8 all map to set 0
+        cache.fill(0, LINE, LineState.SHARED)
+        cache.fill(4, LINE, LineState.SHARED)
+        evicted = cache.fill(8, LINE, LineState.SHARED)
+        assert evicted is not None and evicted.line_addr == 0
+        # other sets untouched
+        assert cache.lookup(1) is None
+
+
+class TestProperties:
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
+    )
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = make_cache(sets=4, assoc=2)
+        for addr in addrs:
+            cache.fill(addr, LINE, LineState.SHARED)
+        assert len(cache.resident_lines()) <= 8
+        per_set: dict[int, int] = {}
+        for line_addr in cache.resident_lines():
+            per_set[line_addr % 4] = per_set.get(line_addr % 4, 0) + 1
+        assert all(count <= 2 for count in per_set.values())
+
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100)
+    )
+    @settings(max_examples=50)
+    def test_most_recent_fill_always_resident(self, addrs):
+        cache = make_cache(sets=4, assoc=2)
+        for addr in addrs:
+            cache.fill(addr, LINE, LineState.SHARED)
+            assert cache.lookup(addr) is not None

@@ -1,0 +1,45 @@
+"""Unit tests for the coherence directory."""
+
+from repro.memory import Directory, DirectoryEntry
+
+
+class TestDirectoryEntry:
+    def test_starts_idle(self):
+        entry = DirectoryEntry()
+        assert entry.owner is None
+        assert not entry.sharers
+        assert entry.is_idle()
+
+    def test_not_idle_with_owner_or_sharers(self):
+        entry = DirectoryEntry()
+        entry.owner = 2
+        assert not entry.is_idle()
+        entry.owner = None
+        entry.sharers.add(1)
+        assert not entry.is_idle()
+
+
+class TestDirectory:
+    def test_entry_materialized_on_demand(self):
+        directory = Directory()
+        assert directory.peek(7) is None
+        entry = directory.entry(7)
+        assert directory.peek(7) is entry
+        assert len(directory) == 1
+
+    def test_entry_is_stable(self):
+        directory = Directory()
+        assert directory.entry(3) is directory.entry(3)
+
+    def test_drop_if_idle(self):
+        directory = Directory()
+        entry = directory.entry(5)
+        entry.sharers.add(0)
+        directory.drop_if_idle(5)
+        assert len(directory) == 1  # still in use
+        entry.sharers.clear()
+        directory.drop_if_idle(5)
+        assert len(directory) == 0
+
+    def test_drop_missing_is_noop(self):
+        Directory().drop_if_idle(99)

@@ -1,0 +1,118 @@
+"""Tests for MSHRs, TLBs, and main memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MSHRFile, MainMemory, TLB
+
+
+class TestMSHR:
+    def test_capacity_enforced(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.available(0)
+        mshrs.allocate(0, 10)
+        mshrs.allocate(0, 20)
+        assert not mshrs.available(5)
+        assert mshrs.available(10)  # first released
+        mshrs.allocate(10, 30)
+        assert not mshrs.available(15)
+
+    def test_allocate_without_room_raises(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0, 100)
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0, 50)
+
+    def test_next_release(self):
+        mshrs = MSHRFile(4)
+        assert mshrs.next_release() is None
+        mshrs.allocate(0, 30)
+        mshrs.allocate(0, 10)
+        assert mshrs.next_release() == 10
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    @given(
+        releases=st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=50)
+    )
+    @settings(max_examples=30)
+    def test_outstanding_bounded(self, releases):
+        mshrs = MSHRFile(4)
+        now = 0
+        for release in releases:
+            if mshrs.available(now):
+                mshrs.allocate(now, now + release)
+            assert mshrs.outstanding(now) <= 4
+            now += 1
+
+
+class TestTLB:
+    def test_miss_then_hit_after_fill(self):
+        tlb = TLB(entries=4, assoc=2, page_bits=10)
+        assert not tlb.lookup(0x1234)
+        tlb.fill(0x1234)
+        assert tlb.lookup(0x1234)
+        # same page, different offset
+        assert tlb.lookup(0x1300)
+        # different page
+        assert not tlb.lookup(0x1234 + (1 << 10))
+
+    def test_lru_eviction_within_set(self):
+        tlb = TLB(entries=2, assoc=2, page_bits=10)  # one set
+        tlb.fill(0 << 10)
+        tlb.fill(1 << 10)
+        tlb.lookup(0 << 10)  # page 0 becomes MRU
+        tlb.fill(2 << 10)  # evicts page 1
+        assert tlb.lookup(0 << 10)
+        assert not tlb.lookup(1 << 10)
+
+    def test_flush(self):
+        tlb = TLB(entries=4, assoc=2, page_bits=10)
+        tlb.fill(0)
+        tlb.flush()
+        assert not tlb.lookup(0)
+
+    def test_capacity(self):
+        tlb = TLB(entries=8, assoc=2, page_bits=13)
+        for page in range(100):
+            tlb.fill(page << 13)
+        hits = sum(tlb.lookup(page << 13) for page in range(100))
+        assert hits <= 8
+
+
+class TestMainMemory:
+    def test_zero_fill(self):
+        memory = MainMemory()
+        assert memory.read_word(0x4000) == 0
+        assert memory.read_line(7) == [0] * 8
+
+    def test_image_applied_lazily(self):
+        memory = MainMemory()
+        memory.load_image({0x100: 42, 0x108: 7})
+        assert memory.read_word(0x100) == 42
+        line = memory.read_line(0x100 // 64)
+        assert line[0] == 42 and line[1] == 7
+
+    def test_write_read_round_trip(self):
+        memory = MainMemory()
+        memory.write_word(0x200, 123)
+        assert memory.read_word(0x200) == 123
+
+    def test_write_line(self):
+        memory = MainMemory()
+        memory.write_line(4, list(range(8)))
+        assert memory.read_word(4 * 64 + 8) == 1
+
+    def test_line_copy_is_safe(self):
+        memory = MainMemory()
+        line = memory.read_line(0)
+        line[0] = 999
+        assert memory.read_word(0) == 0
+
+    def test_unaligned_image_rejected(self):
+        memory = MainMemory()
+        with pytest.raises(ValueError):
+            memory.load_image({3: 1})

@@ -1,0 +1,173 @@
+"""Tests for the snoopy-bus Reunion implementation (Section 4.1's
+Montecito-style design point)."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.interpreter import run as golden_run
+from repro.memory import Cache, LineState, MainMemory
+from repro.memory.snoopy import SnoopyBus
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import BusConfig, CacheStyle, Mode, PhantomStrength
+from repro.sim.stats import Stats
+from tests.core.helpers import SMALL
+
+BUS = BusConfig(snoop_latency=5, transfer_latency=8, bus_occupancy=2, mshrs=4)
+
+
+def make_bus(n_vocal=2, n_mute=0):
+    stats = Stats()
+    memory = MainMemory(latency=40)
+    bus = SnoopyBus(BUS, memory, stats)
+    l1s = []
+    for core_id in range(n_vocal + n_mute):
+        l1 = Cache(1024, 2, 64, name=f"l1-{core_id}")
+        bus.register_l1(core_id, l1, is_mute=core_id >= n_vocal)
+        l1s.append(l1)
+    return bus, memory, l1s, stats
+
+
+class TestBusCoherence:
+    def test_read_miss_from_memory_grants_exclusive(self):
+        bus, memory, l1s, _ = make_bus()
+        memory.load_image({0x1000: 9})
+        reply = bus.vocal_read(0, 0x1000 // 64, now=0)
+        assert reply.data[0] == 9
+        assert l1s[0].lookup(0x1000 // 64).state == LineState.EXCLUSIVE
+
+    def test_cache_to_cache_transfer(self):
+        bus, memory, l1s, _ = make_bus()
+        bus.vocal_write(0, 7, now=0)
+        l1s[0].write_word(7 * 64, 55)
+        reply = bus.vocal_read(1, 7, now=10)
+        assert reply.data[0] == 55
+        # Owner downgraded, memory updated (Illinois-style write-back).
+        assert l1s[0].lookup(7).state == LineState.SHARED
+        assert memory.read_word(7 * 64) == 55
+
+    def test_bus_write_invalidates_peers(self):
+        bus, _, l1s, _ = make_bus(n_vocal=3)
+        for core in range(3):
+            bus.vocal_read(core, 4, now=core)
+        bus.vocal_write(0, 4, now=10)
+        assert l1s[0].lookup(4).state == LineState.MODIFIED
+        assert l1s[1].lookup(4) is None
+        assert l1s[2].lookup(4) is None
+
+    def test_dirty_eviction_writes_back(self):
+        bus, memory, l1s, _ = make_bus()
+        bus.vocal_write(0, 3, now=0)
+        l1s[0].write_word(3 * 64, 77)
+        line = l1s[0].invalidate(3)
+        bus.vocal_evict(0, 3, line.data, line.dirty)
+        assert memory.read_word(3 * 64) == 77
+
+    def test_bus_serializes_transactions(self):
+        bus, _, _, _ = make_bus()
+        bus.vocal_read(0, 0, now=0)
+        first = bus._bus_free
+        bus.vocal_read(1, 1, now=0)
+        assert bus._bus_free > first
+
+
+class TestSnoopyMuteSemantics:
+    def test_phantom_snoops_peers_without_state_change(self):
+        bus, _, l1s, _ = make_bus(n_vocal=1, n_mute=1)
+        bus.vocal_write(0, 4, now=0)
+        l1s[0].write_word(4 * 64, 31337)
+        reply = bus.phantom_read(1, 4, now=5, strength=PhantomStrength.GLOBAL)
+        assert reply.data[0] == 31337
+        assert l1s[0].lookup(4).state == LineState.MODIFIED  # untouched
+
+    def test_shared_strength_garbage_when_no_cache_has_it(self):
+        bus, memory, _, stats = make_bus(n_vocal=1, n_mute=1)
+        memory.load_image({0x2000: 5})
+        reply = bus.phantom_read(1, 0x2000 // 64, now=0, strength=PhantomStrength.SHARED)
+        assert reply.data[0] != 5
+        assert stats["bus.phantom_garbage"] == 1
+
+    def test_global_strength_reads_memory(self):
+        bus, memory, _, _ = make_bus(n_vocal=1, n_mute=1)
+        memory.load_image({0x2000: 5})
+        reply = bus.phantom_read(1, 0x2000 // 64, now=0, strength=PhantomStrength.GLOBAL)
+        assert reply.data[0] == 5
+
+    def test_sync_request_restores_pair(self):
+        bus, _, l1s, _ = make_bus(n_vocal=2, n_mute=1)
+        bus.vocal_write(1, 8, now=0)
+        l1s[1].write_word(8 * 64, 1)  # competing writer
+        l1s[2].fill(8, [0] * 8, LineState.EXCLUSIVE)  # stale mute copy
+        reply = bus.synchronizing_access(0, 2, 8, now=10)
+        assert reply.data[0] == 1
+        assert l1s[0].read_word(8 * 64) == 1
+        assert l1s[2].read_word(8 * 64) == 1
+        assert l1s[1].lookup(8) is None
+
+
+SNOOPY_SMALL = SMALL.replace(cache_style=CacheStyle.SNOOPY)
+
+LOOPY = """
+    movi r1, 25
+    movi r2, 0
+    movi r3, 0x400
+loop:
+    add r2, r2, r1
+    store r2, [r3]
+    load r4, [r3]
+    addi r3, r3, 8
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+class TestSnoopySystems:
+    @pytest.mark.parametrize("mode", [Mode.NONREDUNDANT, Mode.STRICT, Mode.REUNION])
+    def test_all_modes_produce_golden_results(self, mode):
+        config = SNOOPY_SMALL.replace(n_logical=1).with_redundancy(mode=mode)
+        system = CMPSystem(config, [assemble(LOOPY)])
+        system.run_until_idle(max_cycles=500_000)
+        golden = golden_run(assemble(LOOPY)).registers
+        for reg in range(5):
+            assert system.vocal_cores[0].arf.read(reg) == golden.read(reg)
+
+    def test_reunion_race_resolves_on_snoopy_bus(self):
+        from tests.core.test_pair_integration import TestInputIncoherence as Race
+
+        config = SNOOPY_SMALL.replace(n_logical=2).with_redundancy(
+            mode=Mode.REUNION, comparison_latency=10
+        )
+        system = CMPSystem(config, [assemble(Race.READER), assemble(Race.WRITER)])
+        system.run_until_idle(max_cycles=200_000)
+        assert not system.failed
+        reader = system.vocal_cores[0]
+        assert reader.arf.read(3) == 77  # the published payload
+
+    def test_null_phantom_forward_progress_on_snoopy_bus(self):
+        config = SNOOPY_SMALL.replace(n_logical=1).with_redundancy(
+            mode=Mode.REUNION, phantom=PhantomStrength.NULL
+        )
+        cold = """
+            .word 0x800 1
+            .word 0x840 2
+            movi r1, 0x800
+            load r2, [r1]
+            load r3, [r1+64]
+            add r4, r2, r3
+            halt
+        """
+        system = CMPSystem(config, [assemble(cold)])
+        system.run_until_idle(max_cycles=200_000)
+        assert not system.failed
+        assert system.vocal_cores[0].arf.read(4) == 3
+        assert system.recoveries() >= 1
+
+    def test_dual_use_works_on_snoopy_bus(self):
+        config = SNOOPY_SMALL.replace(n_logical=1).with_redundancy(mode=Mode.REUNION)
+        system = CMPSystem(config, [assemble(LOOPY)])
+        system.run(60)
+        promoted = system.decouple(0, assemble("movi r5, 123\nhalt"))
+        system.run_until_idle(max_cycles=200_000)
+        assert promoted.arf.read(5) == 123
+        golden = golden_run(assemble(LOOPY)).registers
+        assert system.vocal_cores[0].arf.read(2) == golden.read(2)

@@ -1,0 +1,65 @@
+"""Shared helpers for pipeline tests: build and run a single core."""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.memory import CoreMemPort, MainMemory, SharedL2Controller
+from repro.pipeline.ooo_core import OoOCore
+from repro.sim.config import (
+    CoreConfig,
+    L1Config,
+    L2Config,
+    MemoryConfig,
+    SystemConfig,
+    TLBConfig,
+    TLBMode,
+)
+from repro.sim.stats import Stats
+
+TEST_CONFIG = SystemConfig(
+    n_logical=1,
+    core=CoreConfig(width=4, rob_size=32, store_buffer_size=8, frontend_latency=3),
+    l1=L1Config(size_bytes=1024, assoc=2, load_to_use=2, mshrs=4),
+    l2=L2Config(size_bytes=16 * 1024, assoc=8, banks=2, hit_latency=8, mshrs=8),
+    tlb=TLBConfig(itlb_entries=8, dtlb_entries=8, page_bits=10, hw_fill_latency=10),
+    memory=MemoryConfig(latency=40),
+)
+
+
+def build_core(program: Program, config: SystemConfig = TEST_CONFIG, **core_kwargs):
+    """One vocal core wired to its own memory system."""
+    stats = Stats()
+    memory = MainMemory(latency=config.memory.latency, line_bytes=config.l2.line_bytes)
+    memory.load_image(program.memory_image)
+    controller = SharedL2Controller(config.l2, memory, stats)
+    port = CoreMemPort(0, config.l1, config.tlb, controller, stats)
+    core = OoOCore(0, config, program, port, **core_kwargs)
+    return core, memory, stats
+
+
+def run_to_halt(core: OoOCore, max_cycles: int = 200_000) -> int:
+    """Step the core until it is idle; returns the cycle count."""
+    now = 0
+    while not core.idle:
+        core.step(now)
+        now += 1
+        if now >= max_cycles:
+            raise AssertionError(f"core did not halt within {max_cycles} cycles")
+    return now
+
+
+def memory_words(core: OoOCore, memory: MainMemory, addrs) -> dict[int, int]:
+    """Architectural memory values as seen through the core's hierarchy."""
+    out = {}
+    for addr in addrs:
+        line_addr = addr >> 6
+        line = core.port.l1.lookup(line_addr)
+        if line is not None:
+            out[addr] = line.data[(addr >> 3) & 7]
+            continue
+        l2_line = core.port.controller.cache.lookup(line_addr)
+        if l2_line is not None:
+            out[addr] = l2_line.data[(addr >> 3) & 7]
+            continue
+        out[addr] = memory.read_word(addr)
+    return out

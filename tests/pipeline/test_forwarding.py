@@ -1,0 +1,102 @@
+"""Targeted store-to-load forwarding and memory-ordering tests."""
+
+from repro.isa import assemble
+from repro.isa.interpreter import run as golden_run
+from tests.pipeline.helpers import build_core, run_to_halt
+
+
+def check(source: str, watch_regs=range(8)):
+    program = assemble(source)
+    golden = golden_run(program)
+    core, _, _ = build_core(program)
+    run_to_halt(core)
+    for reg in watch_regs:
+        assert core.arf.read(reg) == golden.registers.read(reg), f"r{reg}"
+    return core
+
+
+class TestForwarding:
+    def test_forward_from_newest_of_multiple_stores(self):
+        check(
+            """
+            movi r1, 0x100
+            movi r2, 1
+            movi r3, 2
+            movi r4, 3
+            store r2, [r1]
+            store r3, [r1]
+            store r4, [r1]
+            load r5, [r1]      ; must see 3
+            halt
+            """
+        )
+
+    def test_forward_skips_different_address(self):
+        check(
+            """
+            movi r1, 0x100
+            movi r2, 9
+            store r2, [r1+8]   ; different word
+            load r3, [r1]      ; must see memory (0), not 9
+            halt
+            """
+        )
+
+    def test_load_waits_for_unresolved_store_address(self):
+        # The store's address depends on a load (slow); the younger load
+        # must not bypass it incorrectly.
+        check(
+            """
+            .word 0x200 0x100
+            movi r1, 0x200
+            load r2, [r1]      ; r2 = 0x100 (address producer)
+            movi r3, 77
+            store r3, [r2]     ; store to 0x100, address known late
+            movi r4, 0x100
+            load r5, [r4]      ; must see 77
+            halt
+            """
+        )
+
+    def test_forward_across_retirement_boundary(self):
+        # Store retires and sits in the drain queue; the load must still
+        # observe it before it reaches the cache.
+        check(
+            """
+            movi r1, 0x300
+            movi r2, 5
+            store r2, [r1]
+            membar
+            load r3, [r1]
+            halt
+            """
+        )
+
+    def test_interleaved_addresses(self):
+        check(
+            """
+            movi r1, 0x400
+            movi r2, 10
+            movi r3, 20
+            store r2, [r1]
+            store r3, [r1+8]
+            load r4, [r1]       ; 10
+            load r5, [r1+8]     ; 20
+            store r4, [r1+16]
+            load r6, [r1+16]    ; 10
+            halt
+            """
+        )
+
+    def test_atomic_after_store_sees_drained_value(self):
+        check(
+            """
+            movi r1, 0x500
+            movi r2, 100
+            store r2, [r1]
+            movi r3, 5
+            atomic r4, [r1], r3   ; serializing: drains first; r4 = 100
+            load r5, [r1]         ; 105
+            halt
+            """
+        )

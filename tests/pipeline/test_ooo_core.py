@@ -1,0 +1,313 @@
+"""Differential and behavioural tests for the out-of-order core.
+
+The reference interpreter (:mod:`repro.isa.interpreter`) is the golden
+model: any single-core program must leave identical architectural state
+when run through the full timing pipeline.
+"""
+
+import pytest
+
+from repro.isa import NUM_REGS, assemble
+from repro.isa.interpreter import run as golden_run
+from tests.pipeline.helpers import build_core, memory_words, run_to_halt
+
+COUNTDOWN = """
+    movi r1, 20
+    movi r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+MEMORY_CHAIN = """
+    .word 0x100 5
+    movi r1, 0x100
+    load r2, [r1]        ; 5
+    addi r3, r2, 10      ; 15
+    store r3, [r1+8]
+    load r4, [r1+8]      ; forwarded or from cache: 15
+    mul r5, r4, r2       ; 75
+    store r5, [r1+16]
+    halt
+"""
+
+
+def assert_matches_golden(source: str, watch_addrs=()):
+    program = assemble(source)
+    golden = golden_run(program)
+    core, memory, _ = build_core(program)
+    run_to_halt(core)
+    for reg in range(NUM_REGS):
+        assert core.arf.read(reg) == golden.registers.read(reg), f"r{reg} differs"
+    got = memory_words(core, memory, watch_addrs)
+    for addr in watch_addrs:
+        assert got[addr] == golden.memory.get(addr, 0), f"M[{addr:#x}] differs"
+    assert core.user_retired == golden.retired
+    return core
+
+
+class TestDifferential:
+    def test_countdown_loop(self):
+        assert_matches_golden(COUNTDOWN)
+
+    def test_memory_chain_with_forwarding(self):
+        assert_matches_golden(MEMORY_CHAIN, watch_addrs=(0x100, 0x108, 0x110))
+
+    def test_branch_heavy(self):
+        # Data-dependent branches exercise the predictor and squash path.
+        assert_matches_golden(
+            """
+            movi r1, 30
+            movi r2, 0
+            movi r3, 0
+            loop:
+                andi r4, r1, 1
+                beq r4, r0, even
+                addi r2, r2, 1       ; odd counter
+                jump next
+            even:
+                addi r3, r3, 1       ; even counter
+            next:
+                addi r1, r1, -1
+                bne r1, r0, loop
+            halt
+            """
+        )
+
+    def test_serializing_instructions(self):
+        assert_matches_golden(
+            """
+            movi r1, 5
+            membar
+            addi r1, r1, 1
+            trap
+            addi r1, r1, 1
+            mmuop
+            addi r1, r1, 1
+            halt
+            """
+        )
+
+    def test_atomic_fetch_add(self):
+        assert_matches_golden(
+            """
+            .word 0x200 100
+            movi r1, 0x200
+            movi r2, 7
+            atomic r3, [r1], r2
+            load r4, [r1]
+            halt
+            """,
+            watch_addrs=(0x200,),
+        )
+
+    def test_cas_spinlock(self):
+        assert_matches_golden(
+            """
+            movi r1, 0x200
+            spin:
+                cas r2, [r1], r0, 1
+                bne r2, r0, spin
+            store r1, [r1+8]
+            halt
+            """,
+            watch_addrs=(0x200, 0x208),
+        )
+
+    def test_store_load_aliasing(self):
+        # Same address written twice; load must see the newest value.
+        assert_matches_golden(
+            """
+            movi r1, 0x300
+            movi r2, 1
+            movi r3, 2
+            store r2, [r1]
+            store r3, [r1]
+            load r4, [r1]
+            halt
+            """,
+            watch_addrs=(0x300,),
+        )
+
+    def test_dependent_alu_chain(self):
+        assert_matches_golden(
+            """
+            movi r1, 1
+            add r2, r1, r1
+            add r3, r2, r2
+            add r4, r3, r3
+            mul r5, r4, r4
+            sub r6, r5, r4
+            slt r7, r4, r5
+            halt
+            """
+        )
+
+    def test_wraparound_arithmetic(self):
+        assert_matches_golden(
+            """
+            movi r1, -1
+            addi r2, r1, 1       ; wraps to 0
+            sub r3, r0, r1       ; 1
+            slt r4, r1, r0       ; -1 < 0 signed
+            halt
+            """
+        )
+
+
+class TestTiming:
+    def test_l1_miss_costs_more_than_hit(self):
+        program = assemble(
+            """
+            movi r1, 0x100
+            load r2, [r1]
+            halt
+            """
+        )
+        core, _, _ = build_core(program)
+        cold = run_to_halt(core)
+
+        warm_program = assemble(
+            """
+            movi r1, 0x100
+            load r2, [r1]
+            load r3, [r1]
+            load r4, [r1]
+            halt
+            """
+        )
+        core2, _, _ = build_core(warm_program)
+        warm = run_to_halt(core2)
+        # Three loads (two warm) cost barely more than one cold load.
+        assert warm < cold + 10
+
+    def test_membar_waits_for_drain(self):
+        program = assemble(
+            """
+            movi r1, 0x100
+            store r1, [r1]
+            membar
+            halt
+            """
+        )
+        core, _, _ = build_core(program)
+        run_to_halt(core)
+        assert core.drain_empty  # membar retired only after the drain
+
+    def test_ipc_reasonable_on_alu_loop(self):
+        program = assemble(
+            """
+            movi r1, 200
+            movi r2, 0
+            loop:
+                add r2, r2, r1
+                add r3, r2, r2
+                add r4, r3, r1
+                addi r1, r1, -1
+                bne r1, r0, loop
+            halt
+            """
+        )
+        core, _, _ = build_core(program)
+        cycles = run_to_halt(core)
+        ipc = core.user_retired / cycles
+        assert ipc > 0.8, f"IPC {ipc:.2f} suspiciously low for an ALU loop"
+
+    def test_mispredicts_counted(self):
+        # Alternating branch pattern defeats a fresh predictor initially.
+        program = assemble(
+            """
+            movi r1, 40
+            loop:
+                andi r2, r1, 1
+                beq r2, r0, skip
+                nop
+            skip:
+                addi r1, r1, -1
+                bne r1, r0, loop
+            halt
+            """
+        )
+        core, _, _ = build_core(program)
+        run_to_halt(core)
+        assert core.mispredicts > 0
+
+
+class TestTLB:
+    def test_hardware_tlb_miss_charged(self):
+        # Touch many pages: misses with a tiny 8-entry DTLB.
+        lines = ["movi r1, 0"]
+        for page in range(16):
+            lines.append(f"movi r2, {page << 10}")
+            lines.append("load r3, [r2]")
+        lines.append("halt")
+        program = assemble("\n".join(lines))
+        core, _, _ = build_core(program)
+        run_to_halt(core)
+        assert core.dtlb_misses >= 8
+
+    def test_software_tlb_injects_handler(self):
+        from tests.pipeline.helpers import TEST_CONFIG
+
+        config = TEST_CONFIG.with_tlb(mode=__import__("repro.sim.config", fromlist=["TLBMode"]).TLBMode.SOFTWARE)
+        program = assemble(
+            """
+            movi r1, 0x800
+            load r2, [r1]
+            halt
+            """
+        )
+        core, _, _ = build_core(program, config=config)
+        run_to_halt(core)
+        assert core.dtlb_misses == 1
+        assert core.injected_retired == 7  # 2 traps + 2 loads + 3 mmuops
+        assert core.user_retired == 3  # handler not counted as user work
+
+    def test_software_handler_result_identical_to_hardware(self):
+        source = """
+            .word 0x400 9
+            movi r1, 0x400
+            load r2, [r1]
+            addi r2, r2, 1
+            store r2, [r1]
+            halt
+        """
+        from repro.sim.config import TLBMode
+
+        from tests.pipeline.helpers import TEST_CONFIG
+
+        hw_core, hw_memory, _ = build_core(assemble(source))
+        run_to_halt(hw_core)
+        sw_config = TEST_CONFIG.with_tlb(mode=TLBMode.SOFTWARE)
+        sw_core, sw_memory, _ = build_core(assemble(source), config=sw_config)
+        run_to_halt(sw_core)
+        assert hw_core.arf.read(2) == sw_core.arf.read(2) == 10
+        assert memory_words(hw_core, hw_memory, [0x400]) == memory_words(
+            sw_core, sw_memory, [0x400]
+        )
+
+
+class TestSyntheticITLB:
+    def test_schedule_triggers_injection(self):
+        from repro.sim.config import TLBMode
+
+        from tests.pipeline.helpers import TEST_CONFIG
+
+        config = TEST_CONFIG.with_tlb(mode=TLBMode.SOFTWARE)
+        program = assemble(
+            """
+            movi r1, 50
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+            halt
+            """
+        )
+        core, _, _ = build_core(
+            program, config=config, synthetic_itlb=lambda n: n % 25 == 0
+        )
+        run_to_halt(core)
+        assert core.itlb_misses >= 2
+        assert core.injected_retired >= 14

@@ -1,0 +1,47 @@
+"""Unit tests for the software TLB fast-miss handler sequence."""
+
+from repro.isa.opcodes import Op
+from repro.pipeline.tlb_handler import TSB_BASE, handler_sequence, tsb_address
+
+
+class TestHandlerShape:
+    def test_paper_instruction_mix(self):
+        """Two traps, three non-idempotent MMU requests (Section 5.5)."""
+        handler = handler_sequence(page=5)
+        ops = [inst.op for inst in handler]
+        assert ops.count(Op.TRAP) == 2
+        assert ops.count(Op.MMUOP) == 3
+        assert ops.count(Op.LOAD) == 2
+        assert ops[0] is Op.TRAP and ops[-1] is Op.TRAP  # entry and exit
+
+    def test_serializing_majority(self):
+        handler = handler_sequence(page=0)
+        assert sum(inst.is_serializing for inst in handler) == 5
+
+    def test_handler_clobbers_nothing(self):
+        for inst in handler_sequence(page=9):
+            assert not inst.writes_reg  # loads target r0
+
+    def test_tsb_loads_target_the_faulting_pages_entry(self):
+        handler = handler_sequence(page=7)
+        loads = [inst for inst in handler if inst.op is Op.LOAD]
+        assert loads[0].imm == tsb_address(7, 0)
+        assert loads[1].imm == tsb_address(7, 1)
+
+
+class TestTSBAddressing:
+    def test_addresses_in_tsb_region(self):
+        for page in (0, 1, 12345, 10**9):
+            addr = tsb_address(page, 0)
+            assert addr >= TSB_BASE
+            assert addr % 8 == 0
+
+    def test_entries_are_16_bytes_apart(self):
+        assert tsb_address(3, 1) - tsb_address(3, 0) == 8
+        assert tsb_address(4, 0) - tsb_address(3, 0) == 16
+
+    def test_pages_hash_onto_finite_tsb(self):
+        """Distant pages share TSB lines, like a real direct-mapped TSB."""
+        from repro.pipeline.tlb_handler import TSB_LINES
+
+        assert tsb_address(1, 0) == tsb_address(1 + TSB_LINES, 0)

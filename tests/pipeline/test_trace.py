@@ -1,0 +1,81 @@
+"""Tests for the pipeline tracer."""
+
+from repro.isa import assemble
+from repro.pipeline.trace import PipelineTracer
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import Mode
+from tests.core.helpers import SMALL
+from tests.pipeline.helpers import build_core, run_to_halt
+
+PROGRAM = """
+    movi r1, 4
+    movi r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+def traced_core():
+    core, memory, stats = build_core(assemble(PROGRAM))
+    tracer = PipelineTracer()
+    core.tracer = tracer
+    run_to_halt(core)
+    return core, tracer
+
+
+class TestRecording:
+    def test_lifecycle_ordering(self):
+        _, tracer = traced_core()
+        for record in tracer.retired_records():
+            assert record.dispatched <= record.issued <= record.completed <= record.retired
+
+    def test_all_retired_instructions_traced(self):
+        core, tracer = traced_core()
+        assert len(tracer.retired_records()) == core.user_retired
+
+    def test_squashed_instructions_marked(self):
+        core, tracer = traced_core()
+        if core.mispredicts:
+            assert any(r.squashed for r in tracer._records.values())
+
+    def test_mean_lifetime_positive(self):
+        _, tracer = traced_core()
+        assert tracer.mean_lifetime() > 0
+
+    def test_capacity_bounded(self):
+        tracer = PipelineTracer(capacity=5)
+        core, _, _ = build_core(assemble(PROGRAM))
+        core.tracer = tracer
+        run_to_halt(core)
+        assert len(tracer) <= 5
+
+
+class TestRendering:
+    def test_waterfall_renders(self):
+        _, tracer = traced_core()
+        out = tracer.render(last=8)
+        assert "D" in out and "R" in out
+        assert "cycle" in out.splitlines()[0]
+
+    def test_empty_tracer(self):
+        assert "no instructions" in PipelineTracer().render()
+
+
+class TestCheckOccupancyVisible:
+    def test_reunion_lifetimes_exceed_nonredundant(self):
+        """The check stage extends dispatch-to-retire time by roughly the
+        comparison latency — visible directly in the trace (Sec. 5.2)."""
+        lifetimes = {}
+        for mode, latency in ((Mode.NONREDUNDANT, 0), (Mode.REUNION, 20)):
+            config = SMALL.replace(n_logical=1).with_redundancy(
+                mode=mode, comparison_latency=latency
+            )
+            system = CMPSystem(config, [assemble(PROGRAM)])
+            tracer = PipelineTracer()
+            system.vocal_cores[0].tracer = tracer
+            system.run_until_idle(max_cycles=100_000)
+            lifetimes[mode] = tracer.mean_lifetime()
+        assert lifetimes[Mode.REUNION] >= lifetimes[Mode.NONREDUNDANT] + 10

@@ -1,0 +1,96 @@
+"""Tests for CMP system assembly across the three execution models."""
+
+import pytest
+
+from repro.core.check_stage import CheckGate
+from repro.core.strict import StrictCheckGate
+from repro.isa import assemble
+from repro.pipeline.gates import ImmediateGate
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import DEFAULT_CONFIG, Mode
+
+HALTING = "movi r1, 3\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt"
+
+
+def small(mode, n=2):
+    return DEFAULT_CONFIG.replace(n_logical=n).with_redundancy(mode=mode)
+
+
+class TestAssembly:
+    def test_program_count_must_match(self):
+        with pytest.raises(ValueError):
+            CMPSystem(small(Mode.NONREDUNDANT, n=2), [assemble(HALTING)])
+
+    def test_schedule_count_must_match(self):
+        with pytest.raises(ValueError):
+            CMPSystem(
+                small(Mode.NONREDUNDANT, n=1), [assemble(HALTING)], itlb_schedules=[None, None]
+            )
+
+    def test_nonredundant_structure(self):
+        system = CMPSystem(small(Mode.NONREDUNDANT), [assemble(HALTING)] * 2)
+        assert len(system.cores) == 2
+        assert not system.pairs
+        assert all(isinstance(c.gate, ImmediateGate) for c in system.cores)
+
+    def test_strict_structure(self):
+        system = CMPSystem(small(Mode.STRICT), [assemble(HALTING)] * 2)
+        assert len(system.cores) == 2
+        assert all(isinstance(c.gate, StrictCheckGate) for c in system.cores)
+
+    def test_reunion_structure(self):
+        system = CMPSystem(small(Mode.REUNION), [assemble(HALTING)] * 2)
+        assert len(system.cores) == 4
+        assert len(system.pairs) == 2
+        assert all(isinstance(c.gate, CheckGate) for c in system.cores)
+        # Vocal cores come first; mutes own phantom-issuing ports.
+        assert not system.cores[0].port.is_mute
+        assert system.cores[2].port.is_mute
+
+    def test_reunion_scales_l2_banks(self):
+        base = CMPSystem(small(Mode.NONREDUNDANT), [assemble(HALTING)] * 2)
+        reunion = CMPSystem(small(Mode.REUNION), [assemble(HALTING)] * 2)
+        assert reunion.controller.config.banks == 2 * base.controller.config.banks
+
+    def test_memory_images_merged(self):
+        a = assemble(".word 0x100 1\nhalt")
+        b = assemble(".word 0x200 2\nhalt")
+        system = CMPSystem(small(Mode.NONREDUNDANT), [a, b])
+        assert system.memory.read_word(0x100) == 1
+        assert system.memory.read_word(0x200) == 2
+
+
+class TestRunControl:
+    def test_run_until_idle(self):
+        system = CMPSystem(small(Mode.NONREDUNDANT), [assemble(HALTING)] * 2)
+        cycles = system.run_until_idle()
+        assert system.idle
+        assert cycles == system.now
+        assert system.user_instructions() == 2 * 8
+
+    def test_run_until_idle_times_out(self):
+        forever = assemble("loop:\njump loop\nhalt")
+        system = CMPSystem(small(Mode.NONREDUNDANT), [forever] * 2)
+        with pytest.raises(RuntimeError):
+            system.run_until_idle(max_cycles=200)
+
+    def test_run_fixed_cycles(self):
+        system = CMPSystem(small(Mode.NONREDUNDANT), [assemble(HALTING)] * 2)
+        system.run(50)
+        assert system.now == 50
+
+    def test_collect_stats(self):
+        system = CMPSystem(small(Mode.REUNION), [assemble(HALTING)] * 2)
+        system.run_until_idle()
+        stats = system.collect_stats()
+        assert stats["system.cycles"] == system.now
+        assert stats["system.user_instructions"] == 16
+        assert stats["core0.user_retired"] == 8
+        assert "pair0.recoveries" in stats
+
+    def test_metrics_helpers(self):
+        system = CMPSystem(small(Mode.REUNION), [assemble(HALTING)] * 2)
+        system.run_until_idle()
+        assert system.ipc() > 0
+        assert system.recoveries() == 0
+        assert not system.failed

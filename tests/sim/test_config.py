@@ -1,0 +1,135 @@
+"""Tests for system configuration (the reproduction's Table 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import (
+    DEFAULT_CONFIG,
+    PAPER_TABLE1,
+    Consistency,
+    CoreConfig,
+    L1Config,
+    L2Config,
+    Mode,
+    PhantomStrength,
+    RedundancyConfig,
+    SystemConfig,
+    TLBMode,
+)
+
+
+class TestPaperTable1:
+    """PAPER_TABLE1 must carry the paper's exact parameters."""
+
+    def test_processor_parameters(self):
+        assert PAPER_TABLE1.n_logical == 4
+        assert PAPER_TABLE1.core.width == 4
+        assert PAPER_TABLE1.core.rob_size == 256
+        assert PAPER_TABLE1.core.store_buffer_size == 64
+
+    def test_l1_parameters(self):
+        assert PAPER_TABLE1.l1.size_bytes == 64 * 1024
+        assert PAPER_TABLE1.l1.assoc == 2
+        assert PAPER_TABLE1.l1.load_to_use == 2
+        assert PAPER_TABLE1.l1.line_bytes == 64
+        assert PAPER_TABLE1.l1.mshrs == 32
+
+    def test_l2_parameters(self):
+        assert PAPER_TABLE1.l2.size_bytes == 16 * 1024 * 1024
+        assert PAPER_TABLE1.l2.assoc == 8
+        assert PAPER_TABLE1.l2.banks == 4
+        assert PAPER_TABLE1.l2.hit_latency == 35
+        assert PAPER_TABLE1.l2.mshrs == 64
+
+    def test_tlb_parameters(self):
+        assert PAPER_TABLE1.tlb.itlb_entries == 128
+        assert PAPER_TABLE1.tlb.dtlb_entries == 512
+        assert PAPER_TABLE1.tlb.assoc == 2
+        assert PAPER_TABLE1.tlb.page_bits == 13  # 8K pages
+
+    def test_memory_latency_60ns_at_4ghz(self):
+        assert PAPER_TABLE1.memory.latency == 240
+
+
+class TestCoreCount:
+    def test_nonredundant_and_strict_use_n_logical_cores(self):
+        for mode in (Mode.NONREDUNDANT, Mode.STRICT):
+            config = DEFAULT_CONFIG.with_redundancy(mode=mode)
+            assert config.n_cores == config.n_logical
+
+    def test_reunion_doubles_cores(self):
+        config = DEFAULT_CONFIG.with_redundancy(mode=Mode.REUNION)
+        assert config.n_cores == 2 * config.n_logical
+
+
+class TestValidation:
+    def test_negative_comparison_latency_rejected(self):
+        with pytest.raises(ValueError):
+            RedundancyConfig(comparison_latency=-1)
+
+    def test_zero_fingerprint_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RedundancyConfig(fingerprint_interval=0)
+
+    def test_fingerprint_width_bounds(self):
+        with pytest.raises(ValueError):
+            RedundancyConfig(fingerprint_bits=2)
+        with pytest.raises(ValueError):
+            RedundancyConfig(fingerprint_bits=128)
+
+    def test_l1_size_must_divide(self):
+        with pytest.raises(ValueError):
+            L1Config(size_bytes=1000, assoc=3)
+
+    def test_l2_needs_banks(self):
+        with pytest.raises(ValueError):
+            L2Config(banks=0)
+
+    def test_core_width_and_rob(self):
+        with pytest.raises(ValueError):
+            CoreConfig(width=0)
+        with pytest.raises(ValueError):
+            CoreConfig(width=8, rob_size=4)
+
+
+class TestDerivedConfigs:
+    def test_with_redundancy_is_pure(self):
+        derived = DEFAULT_CONFIG.with_redundancy(mode=Mode.REUNION, comparison_latency=40)
+        assert DEFAULT_CONFIG.redundancy.mode is Mode.NONREDUNDANT
+        assert derived.redundancy.comparison_latency == 40
+        assert derived.l1 == DEFAULT_CONFIG.l1
+
+    def test_with_tlb(self):
+        derived = DEFAULT_CONFIG.with_tlb(mode=TLBMode.SOFTWARE)
+        assert derived.tlb.mode is TLBMode.SOFTWARE
+        assert DEFAULT_CONFIG.tlb.mode is TLBMode.HARDWARE
+
+    def test_replace(self):
+        derived = DEFAULT_CONFIG.replace(consistency=Consistency.SC, n_logical=2)
+        assert derived.consistency is Consistency.SC
+        assert derived.n_logical == 2
+
+    def test_configs_hashable_for_cache_keys(self):
+        """The harness Runner uses SystemConfig as a dict key."""
+        a = DEFAULT_CONFIG.with_redundancy(mode=Mode.REUNION)
+        b = DEFAULT_CONFIG.with_redundancy(mode=Mode.REUNION)
+        assert a == b and hash(a) == hash(b)
+        assert {a: 1}[b] == 1
+
+    def test_enums_cover_paper_design_space(self):
+        assert {p.value for p in PhantomStrength} == {"null", "shared", "global"}
+        assert {m.value for m in Mode} == {"nonredundant", "strict", "reunion"}
+        assert {c.value for c in Consistency} == {"tso", "sc"}
+
+    def test_default_config_preserves_ratios(self):
+        """The scaled system keeps the paper's qualitative ratios."""
+        assert DEFAULT_CONFIG.l2.size_bytes >= 16 * DEFAULT_CONFIG.l1.size_bytes
+        assert DEFAULT_CONFIG.l2.hit_latency >= 5 * DEFAULT_CONFIG.l1.load_to_use
+        assert DEFAULT_CONFIG.memory.latency >= 3 * DEFAULT_CONFIG.l2.hit_latency
+        assert DEFAULT_CONFIG.tlb.dtlb_entries >= DEFAULT_CONFIG.tlb.itlb_entries
+
+    def test_dataclass_replace_on_core(self):
+        core = dataclasses.replace(DEFAULT_CONFIG.core, rob_size=256)
+        config = dataclasses.replace(DEFAULT_CONFIG, core=core)
+        assert config.core.rob_size == 256

@@ -1,0 +1,37 @@
+"""Smoke test: the paper's exact Table 1 configuration builds and runs.
+
+PAPER_TABLE1 is two orders of magnitude bigger than the default system
+(16 MB L2, 256-entry RUU, 512-entry DTLB); this test only needs to show
+the full-size machine assembles in every mode and makes progress — the
+long experiments live behind ``REPRO_SCALE=paper``.
+"""
+
+import pytest
+
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import PAPER_TABLE1, Mode
+from repro.workloads import by_name
+
+
+@pytest.mark.parametrize("mode", [Mode.NONREDUNDANT, Mode.STRICT, Mode.REUNION])
+def test_paper_size_system_runs(mode):
+    config = PAPER_TABLE1.with_redundancy(mode=mode, comparison_latency=10)
+    workload = by_name("ocean")
+    system = CMPSystem(
+        config,
+        workload.programs(config.n_logical, 0),
+        workload.itlb_schedules(config.n_logical, 0),
+    )
+    system.run(600)
+    assert system.user_instructions() > 0
+    assert not system.failed
+
+
+def test_paper_size_caches_have_paper_geometry():
+    config = PAPER_TABLE1.with_redundancy(mode=Mode.REUNION)
+    workload = by_name("ocean")
+    system = CMPSystem(config, workload.programs(4, 0))
+    # 16 MB, 8-way, 64 B lines -> 32768 sets; Reunion doubles banks.
+    assert system.controller.cache.n_sets == 16 * 1024 * 1024 // 64 // 8
+    assert system.controller.config.banks == 8
+    assert len(system.cores) == 8

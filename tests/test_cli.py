@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_suite_and_micro(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Apache", "DB2 OLTP", "em3d", "pointer-chase"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_workload(self, capsys):
+        code = main(
+            ["run", "ocean", "--warmup", "200", "--measure", "400", "--cpus", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate IPC" in out
+        assert "incoherence" in out  # reunion default
+
+    def test_run_nonredundant(self, capsys):
+        code = main(
+            [
+                "run", "ocean", "--mode", "nonredundant",
+                "--warmup", "150", "--measure", "300", "--cpus", "2",
+            ]
+        )
+        assert code == 0
+        assert "incoherence" not in capsys.readouterr().out
+
+    def test_run_micro_workload(self, capsys):
+        code = main(
+            [
+                "run", "pointer-chase", "--mode", "nonredundant",
+                "--warmup", "150", "--measure", "300", "--cpus", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_workload(self, capsys):
+        assert main(["run", "nope", "--cpus", "2"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestAsm:
+    def test_assemble_and_run(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text(
+            """
+            movi r1, 6
+            movi r2, 7
+            mul r3, r1, r2
+            halt
+            """
+        )
+        assert main(["asm", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "r3" in out and "42" in out
+        assert "recoveries=0" in out
+
+    def test_asm_nonredundant(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("movi r1, 5\nhalt")
+        assert main(["asm", str(source), "--mode", "nonredundant"]) == 0
+        assert "recoveries" not in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_unknown_experiment(self, capsys):
+        assert main(["reproduce", "--only", "bogus"]) == 2
+
+    def test_sc_experiment_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        # Patch a tiny scale through the environment is not possible;
+        # run the cheapest experiment instead.
+        code = main(["reproduce", "--only", "sc"])
+        assert code == 0
+        assert "Sequential Consistency" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,133 @@
+"""Tests for the workload suite: determinism, structure, and character."""
+
+import pytest
+
+from repro.isa.interpreter import run as golden_run
+from repro.workloads import (
+    APACHE,
+    Em3d,
+    Moldyn,
+    Ocean,
+    Sparse,
+    SyntheticWorkload,
+    by_name,
+    commercial_suite,
+    scientific_suite,
+    suite,
+)
+from repro.workloads.base import hashed_schedule
+
+
+class TestSuite:
+    def test_eleven_workloads(self):
+        names = [w.name for w in suite()]
+        assert len(names) == 11
+        assert names[:2] == ["Apache", "Zeus"]
+        assert names[-4:] == ["em3d", "moldyn", "ocean", "sparse"]
+
+    def test_categories(self):
+        categories = {w.name: w.category for w in suite()}
+        assert categories["Apache"] == "Web"
+        assert categories["DB2 OLTP"] == "OLTP"
+        assert categories["DB2 DSS Q1"] == "DSS"
+        assert categories["ocean"] == "Scientific"
+
+    def test_by_name(self):
+        assert by_name("apache").name == "Apache"
+        with pytest.raises(KeyError):
+            by_name("nonexistent")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workload", suite(), ids=lambda w: w.name)
+    def test_programs_deterministic_in_seed(self, workload):
+        a = workload.programs(2, seed=3)
+        b = workload.programs(2, seed=3)
+        for prog_a, prog_b in zip(a, b):
+            assert prog_a.instructions == prog_b.instructions
+            assert prog_a.memory_image == prog_b.memory_image
+
+    def test_different_seeds_differ(self):
+        w = SyntheticWorkload(APACHE)
+        a = w.programs(1, seed=0)[0]
+        b = w.programs(1, seed=1)[0]
+        assert a.instructions != b.instructions
+
+    def test_cores_get_different_programs(self):
+        w = SyntheticWorkload(APACHE)
+        programs = w.programs(2, seed=0)
+        assert programs[0].instructions != programs[1].instructions
+
+    def test_hashed_schedule_pure(self):
+        schedule = hashed_schedule(5.0, seed=42)
+        fires = [i for i in range(10_000) if schedule(i)]
+        assert fires == [i for i in range(10_000) if schedule(i)]
+        # Rate within 3x of nominal (5 per 1000).
+        assert 15 <= len(fires) <= 150
+
+    def test_zero_rate_schedule_is_none(self):
+        assert hashed_schedule(0, seed=1) is None
+
+
+class TestProgramStructure:
+    @pytest.mark.parametrize("workload", suite(), ids=lambda w: w.name)
+    def test_programs_run_forever(self, workload):
+        """Workload programs are infinite loops (sampling never halts)."""
+        program = workload.programs(2, seed=0)[0]
+        result = golden_run(program, max_instructions=20_000)
+        assert not result.halted
+        assert result.retired == 20_000
+
+    @pytest.mark.parametrize("workload", suite(), ids=lambda w: w.name)
+    def test_memory_accesses_present(self, workload):
+        program = workload.programs(2, seed=0)[0]
+        result = golden_run(program, max_instructions=10_000)
+        assert result.load_count > 0
+        assert result.store_count > 0
+
+    def test_commercial_serializing_rates_exceed_scientific(self):
+        """Dynamic serializing rate: commercial >> scientific (Sec. 5.2).
+
+        Scientific kernels only synchronize every few sweeps, so the rate
+        must be measured over executed instructions, not static code.
+        """
+
+        def serializing_rate(workload):
+            program = workload.programs(2, seed=0)[0]
+            result = golden_run(program, max_instructions=20_000, collect_trace=True)
+            count = sum(
+                1
+                for pc in result.trace
+                if program.instructions[pc].is_serializing
+            )
+            return count / result.retired
+
+        commercial = [serializing_rate(w) for w in commercial_suite()[:4]]
+        scientific = [serializing_rate(w) for w in scientific_suite()]
+        assert min(commercial) > max(scientific)
+
+    def test_scientific_kernels_share_data(self):
+        """Remote edges / halo rows / shared x: programs of different
+        cores must touch overlapping addresses."""
+        for workload in (Em3d(), Moldyn(), Ocean(), Sparse()):
+            programs = workload.programs(2, seed=0)
+            touched = []
+            for program in programs:
+                result = golden_run(program, max_instructions=30_000)
+                touched.append(set(result.memory))
+            # Writes from core 0 and core 1 overlap somewhere (halo,
+            # shared vector) or core 1 reads what core 0 writes.
+            assert touched[0] & touched[1], workload.name
+
+    def test_em3d_remote_fraction_respected(self):
+        workload = Em3d(nodes_per_core=32, degree=4, remote_fraction=0.15)
+        programs = workload.programs(4, seed=0)
+        assert len(programs) == 4
+
+    def test_itlb_schedules_match_profile(self):
+        w = SyntheticWorkload(APACHE)
+        schedules = w.itlb_schedules(4, seed=0)
+        assert len(schedules) == 4
+        assert all(s is not None for s in schedules)
+        scientific = Ocean().itlb_schedules(4, seed=0)
+        assert all(s is None for s in scientific)
