@@ -120,35 +120,71 @@ def cmd_asm(args) -> int:
 
 
 def cmd_reproduce(args) -> int:
+    from repro.exec.cache import default_cache
+    from repro.exec.pool import ExecutionError
     from repro.harness import (
         Runner,
         current_scale,
+        plan_fig5,
+        plan_fig6,
+        plan_fig7a,
+        plan_fig7b,
+        plan_sc_comparison,
+        plan_table3,
         run_fig5,
         run_fig6,
         run_fig7a,
         run_fig7b,
         run_sc_comparison,
         run_table3,
+        scale_by_name,
     )
 
-    scale = current_scale()
-    runner = Runner(scale)
+    scale = scale_by_name(args.scale) if args.scale else current_scale()
+    cache = None if args.no_cache else default_cache()
+    runner = Runner(scale, cache=cache)
     experiments = {
-        "fig5": lambda: run_fig5(runner=runner),
-        "fig6a": lambda: run_fig6(Mode.STRICT, runner=runner),
-        "fig6b": lambda: run_fig6(Mode.REUNION, runner=runner),
-        "table3": lambda: run_table3(runner=runner),
-        "fig7a": lambda: run_fig7a(runner=runner),
-        "fig7b": lambda: run_fig7b(runner=runner),
-        "sc": lambda: run_sc_comparison(runner=runner),
+        "fig5": (lambda: plan_fig5(scale), lambda: run_fig5(runner=runner)),
+        "fig6a": (
+            lambda: plan_fig6(Mode.STRICT, scale),
+            lambda: run_fig6(Mode.STRICT, runner=runner),
+        ),
+        "fig6b": (
+            lambda: plan_fig6(Mode.REUNION, scale),
+            lambda: run_fig6(Mode.REUNION, runner=runner),
+        ),
+        "table3": (lambda: plan_table3(scale), lambda: run_table3(runner=runner)),
+        "fig7a": (lambda: plan_fig7a(scale), lambda: run_fig7a(runner=runner)),
+        "fig7b": (lambda: plan_fig7b(scale), lambda: run_fig7b(runner=runner)),
+        "sc": (
+            lambda: plan_sc_comparison(scale),
+            lambda: run_sc_comparison(runner=runner),
+        ),
     }
     selected = args.only or list(experiments)
     for name in selected:
         if name not in experiments:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
-        print(experiments[name]().render())
+
+    # Enumerate the full artifact set up front and fan it out across the
+    # pool; the drivers then render from warm memoized samples.
+    requests = []
+    for name in selected:
+        requests.extend(experiments[name][0]())
+    try:
+        manifest = runner.prefetch(
+            requests, jobs=args.jobs, show_progress=sys.stderr.isatty()
+        )
+    except ExecutionError as exc:
+        print(exc, file=sys.stderr)
+        print(exc.manifest.render(), file=sys.stderr)
+        return 1
+
+    for name in selected:
+        print(experiments[name][1]().render())
         print()
+    print(manifest.render(), file=sys.stderr)
     return 0
 
 
@@ -183,6 +219,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     repro_parser.add_argument(
         "--only", nargs="*", help="fig5 fig6a fig6b table3 fig7a fig7b sc"
+    )
+    repro_parser.add_argument(
+        "--scale",
+        choices=["quick", "standard", "paper"],
+        help="experiment scale (overrides REPRO_SCALE; default quick)",
+    )
+    repro_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the sample batch"
+    )
+    repro_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result cache (.repro-cache/)",
     )
     repro_parser.set_defaults(func=cmd_reproduce)
     return parser

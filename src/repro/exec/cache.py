@@ -1,0 +1,127 @@
+"""Persistent on-disk result store for completed samples.
+
+Layout: one JSON file per job under ``<root>/<key[:2]>/<key>.json``
+(two-hex-digit shard directories keep any one directory small at
+paper-scale campaigns).  Each record carries the schema version, the
+job's canonical payload (for debuggability — ``cat`` a record to see
+exactly what produced it), and the :class:`~repro.sim.sampling.Sample`
+fields.  Records are written atomically (temp file + ``os.replace``), so
+a crashed writer never leaves a half-record; corrupt or wrong-schema
+records read as misses and are quietly discarded.
+
+Configuration via environment:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``.repro-cache/``);
+* ``REPRO_NO_CACHE=1`` — disable persistence entirely
+  (:func:`default_cache` returns a :class:`NullCache`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.exec.jobs import SCHEMA_VERSION, SampleJob
+from repro.sim.sampling import Sample
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def encode_sample(sample: Sample) -> dict:
+    return dataclasses.asdict(sample)
+
+
+def decode_sample(payload: dict) -> Sample:
+    fields = {f.name for f in dataclasses.fields(Sample)}
+    return Sample(**{name: int(payload[name]) for name in fields})
+
+
+class ResultCache:
+    """Directory-backed sample store shared across processes and sessions."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, job: SampleJob) -> Path:
+        key = job.key
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, job: SampleJob) -> Sample | None:
+        """The cached sample for ``job``, or None on miss/corruption."""
+        path = self.path(job)
+        try:
+            record = json.loads(path.read_text())
+            if record.get("schema") != SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            sample = decode_sample(record["sample"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt, truncated, or stale-schema record: drop it so the
+            # fresh result can take its place.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return sample
+
+    def put(self, job: SampleJob, sample: Sample) -> None:
+        """Atomically persist ``sample`` as the result of ``job``."""
+        path = self.path(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": SCHEMA_VERSION,
+            "job": job.payload(),
+            "sample": encode_sample(sample),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+class NullCache(ResultCache):
+    """A cache that remembers nothing — the ``REPRO_NO_CACHE=1`` backend."""
+
+    def __init__(self):
+        super().__init__(root=os.devnull)
+
+    def get(self, job: SampleJob) -> Sample | None:
+        self.misses += 1
+        return None
+
+    def put(self, job: SampleJob, sample: Sample) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "").strip() not in ("1", "true", "yes")
+
+
+def default_cache() -> ResultCache:
+    """The environment-configured cache (NullCache under REPRO_NO_CACHE)."""
+    if not cache_enabled():
+        return NullCache()
+    return ResultCache(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))

@@ -1,0 +1,103 @@
+"""Job descriptors: one simulation point, one stable content-hash key.
+
+A :class:`SampleJob` pins down everything :func:`repro.sim.sampling.run_sample`
+depends on — the full :class:`~repro.sim.config.SystemConfig`, the
+workload (by name; workloads are deterministic in ``seed``), the seed,
+and the warmup/measure windows.  Its :meth:`~SampleJob.key` is a SHA-256
+over a canonical JSON rendering of all of that plus
+:data:`SCHEMA_VERSION`, so the key survives process boundaries (unlike
+``hash()``) and changes whenever anything that could change the result
+changes.
+
+Bump :data:`SCHEMA_VERSION` whenever simulator semantics change in a way
+that invalidates previously cached samples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.config import SystemConfig
+from repro.sim.sampling import Sample, run_sample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.base import Workload
+
+#: Version stamp folded into every job key and cache record.  Cached
+#: results from other schema versions are treated as misses.
+SCHEMA_VERSION = 1
+
+
+def config_payload(value: Any) -> Any:
+    """Canonical JSON-ready rendering of a config tree.
+
+    Dataclasses become sorted field dicts, enums their values; anything
+    else must already be a JSON scalar.  The rendering is what gets
+    hashed, so it must be deterministic across processes and platforms.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: config_payload(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [config_payload(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for job key")
+
+
+@dataclass(frozen=True)
+class SampleJob:
+    """One simulation point: a pure function of these five fields."""
+
+    config: SystemConfig
+    workload_name: str
+    seed: int
+    warmup: int
+    measure: int
+
+    def payload(self) -> dict[str, Any]:
+        """The canonical dict this job's key is the hash of."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "config": config_payload(self.config),
+            "workload": self.workload_name,
+            "seed": self.seed,
+            "warmup": self.warmup,
+            "measure": self.measure,
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable content hash identifying this job across processes."""
+        canonical = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def describe(self) -> str:
+        mode = self.config.redundancy.mode.value
+        return f"{self.workload_name}/{mode}/seed{self.seed}/{self.warmup}+{self.measure}"
+
+
+def resolve_workload(name: str) -> "Workload":
+    """Find a workload by name across the Table 2 suite and the micros."""
+    from repro.workloads import suite
+    from repro.workloads.micro import micro_suite
+
+    for workload in [*suite(), *micro_suite()]:
+        if workload.name.lower() == name.lower():
+            return workload
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def run_job(job: SampleJob) -> Sample:
+    """Execute one job in this process.  Also the worker entry point."""
+    workload = resolve_workload(job.workload_name)
+    return run_sample(job.config, workload, job.warmup, job.measure, job.seed)

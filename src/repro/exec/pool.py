@@ -1,0 +1,230 @@
+"""Parallel job execution across worker processes.
+
+The pool fans a batch of :class:`~repro.exec.jobs.SampleJob` out over
+``workers`` forked processes, one process per job (simulations run for
+seconds to minutes, so process start-up is noise and per-job isolation
+buys crash containment and clean per-job timeouts for free).  Each
+worker sends its :class:`~repro.sim.sampling.Sample` back over a pipe;
+the parent owns the cache and writes results as they arrive, so there
+are never concurrent cache writers.
+
+Failure policy: a worker that crashes (nonzero exit without a result),
+raises, or exceeds the per-job timeout is retried once (configurable);
+a job that fails again is reported in the manifest and raises
+:class:`ExecutionError` after the rest of the batch completes.
+
+Serial fallback: with ``workers=1`` — or on platforms without the
+``fork`` start method — jobs run in-process in submission order, with
+semantics identical to calling :func:`~repro.exec.jobs.run_job` in a
+loop (exceptions propagate immediately, no retries).
+
+Determinism: a simulation is a pure function of its job, so the result
+dict is bit-identical however the batch was scheduled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import SampleJob, run_job
+from repro.exec.progress import Progress, RunManifest
+from repro.sim.sampling import Sample
+
+#: How often the parent polls worker pipes, seconds.
+_POLL_INTERVAL = 0.005
+
+
+class ExecutionError(RuntimeError):
+    """One or more jobs failed after exhausting their retries."""
+
+    def __init__(self, failures: list[str], manifest: RunManifest):
+        super().__init__(
+            f"{len(failures)} job(s) failed: " + "; ".join(failures[:3])
+            + ("; ..." if len(failures) > 3 else "")
+        )
+        self.failures = failures
+        self.manifest = manifest
+
+
+def _fork_context():
+    """The fork multiprocessing context, or None if unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform dependent
+        return None
+
+
+def _worker_main(runner: Callable[[SampleJob], Sample], job: SampleJob, conn) -> None:
+    """Child entry point: run one job, ship the sample (or error) back."""
+    try:
+        sample = runner(job)
+        conn.send(("ok", sample))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Running:
+    job: SampleJob
+    attempt: int
+    process: "multiprocessing.process.BaseProcess"
+    conn: object
+    deadline: float | None
+
+
+@dataclass
+class ExecutionPool:
+    """Runs job batches across ``workers`` processes with retry + timeout."""
+
+    workers: int = 1
+    timeout: float | None = None  # per-job wall-clock limit, seconds
+    retries: int = 1  # extra attempts after a crash/timeout
+    run_job: Callable[[SampleJob], Sample] = field(default=run_job)
+
+    def run(
+        self,
+        jobs: Iterable[SampleJob],
+        cache: ResultCache | None = None,
+        progress: Progress | None = None,
+    ) -> tuple[dict[str, Sample], RunManifest]:
+        """Execute ``jobs``; return ``{job.key: sample}`` plus a manifest.
+
+        Duplicate jobs (same key) are executed once.  Cached jobs are
+        served without spawning a worker; fresh results are persisted to
+        ``cache`` as they complete.
+        """
+        start = time.monotonic()
+        unique: dict[str, SampleJob] = {}
+        for job in jobs:
+            unique.setdefault(job.key, job)
+        manifest = RunManifest(total=len(unique))
+
+        results: dict[str, Sample] = {}
+        todo: list[SampleJob] = []
+        for key, job in unique.items():
+            sample = cache.get(job) if cache is not None else None
+            if sample is not None:
+                results[key] = sample
+                manifest.hits += 1
+                if progress is not None:
+                    progress.advance(f"hit {job.describe()}")
+            else:
+                todo.append(job)
+
+        context = _fork_context()
+        if self.workers <= 1 or context is None:
+            self._run_serial(todo, cache, progress, manifest, results)
+        else:
+            manifest.workers = min(self.workers, len(todo)) or 1
+            self._run_parallel(context, todo, cache, progress, manifest, results)
+            if manifest.failures:
+                manifest.wall_seconds = time.monotonic() - start
+                raise ExecutionError(manifest.failures, manifest)
+        manifest.wall_seconds = time.monotonic() - start
+        return results, manifest
+
+    def _run_serial(
+        self,
+        todo: Sequence[SampleJob],
+        cache: ResultCache | None,
+        progress: Progress | None,
+        manifest: RunManifest,
+        results: dict[str, Sample],
+    ) -> None:
+        for job in todo:
+            sample = self.run_job(job)
+            results[job.key] = sample
+            manifest.executed += 1
+            if cache is not None:
+                cache.put(job, sample)
+            if progress is not None:
+                progress.advance(f"ran {job.describe()}")
+
+    def _run_parallel(
+        self,
+        context,
+        todo: Sequence[SampleJob],
+        cache: ResultCache | None,
+        progress: Progress | None,
+        manifest: RunManifest,
+        results: dict[str, Sample],
+    ) -> None:
+        pending: deque[tuple[SampleJob, int]] = deque((job, 0) for job in todo)
+        running: list[_Running] = []
+
+        def launch(job: SampleJob, attempt: int) -> None:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_worker_main, args=(self.run_job, job, child_conn), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            deadline = time.monotonic() + self.timeout if self.timeout else None
+            running.append(_Running(job, attempt, process, parent_conn, deadline))
+
+        def settle(slot: _Running, outcome: str, detail: str) -> None:
+            slot.conn.close()
+            slot.process.join()
+            if outcome == "ok":
+                return
+            if slot.attempt < self.retries:
+                manifest.retries += 1
+                pending.append((slot.job, slot.attempt + 1))
+            else:
+                manifest.failures.append(f"{slot.job.describe()}: {detail}")
+                if progress is not None:
+                    progress.advance(f"FAILED {slot.job.describe()}")
+
+        while pending or running:
+            while pending and len(running) < self.workers:
+                launch(*pending.popleft())
+            time.sleep(_POLL_INTERVAL)
+            still_running: list[_Running] = []
+            for slot in running:
+                if slot.conn.poll():
+                    try:
+                        status, payload = slot.conn.recv()
+                    except (EOFError, OSError):
+                        status, payload = "crash", "result pipe closed"
+                    if status == "ok":
+                        results[slot.job.key] = payload
+                        manifest.executed += 1
+                        if cache is not None:
+                            cache.put(slot.job, payload)
+                        if progress is not None:
+                            progress.advance(f"ran {slot.job.describe()}")
+                        settle(slot, "ok", "")
+                    else:
+                        settle(slot, "err", str(payload))
+                elif not slot.process.is_alive():
+                    settle(slot, "crash", f"worker exited {slot.process.exitcode}")
+                elif slot.deadline is not None and time.monotonic() > slot.deadline:
+                    slot.process.terminate()
+                    settle(slot, "timeout", f"exceeded {self.timeout}s timeout")
+                else:
+                    still_running.append(slot)
+            running = still_running
+
+
+def execute_jobs(
+    jobs: Iterable[SampleJob],
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    progress: Progress | None = None,
+    run_job: Callable[[SampleJob], Sample] = run_job,
+) -> tuple[dict[str, Sample], RunManifest]:
+    """One-shot convenience wrapper around :class:`ExecutionPool`."""
+    pool = ExecutionPool(workers=workers, timeout=timeout, retries=retries, run_job=run_job)
+    return pool.run(jobs, cache=cache, progress=progress)

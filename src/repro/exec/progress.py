@@ -1,0 +1,79 @@
+"""Observability for batch runs: progress lines and the run manifest.
+
+:class:`Progress` prints ``completed/total`` with an ETA to a stream
+(``stderr`` by default, so artifact output on ``stdout`` stays byte-
+identical with or without it).  :class:`RunManifest` summarizes a whole
+batch — jobs, cache hits/misses, simulations executed, retries, wall
+clock — and is what lets a user confirm a repeat invocation was 100%
+cache hits.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+
+class Progress:
+    """Incremental ``completed/total`` + ETA reporting for one batch."""
+
+    def __init__(self, total: int, stream=None, enabled: bool = True, label: str = "exec"):
+        self.total = total
+        self.completed = 0
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled and total > 0
+        self.label = label
+        self._start = time.monotonic()
+
+    def advance(self, note: str = "") -> None:
+        self.completed += 1
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self._start
+        if self.completed and self.total > self.completed:
+            eta = elapsed / self.completed * (self.total - self.completed)
+            eta_text = f" eta {eta:5.1f}s"
+        else:
+            eta_text = ""
+        suffix = f" [{note}]" if note else ""
+        print(
+            f"[{self.label}] {self.completed}/{self.total}"
+            f" ({elapsed:5.1f}s{eta_text}){suffix}",
+            file=self.stream,
+            flush=True,
+        )
+
+
+@dataclass
+class RunManifest:
+    """What one batch did: the receipt a campaign run prints at the end."""
+
+    total: int = 0  # distinct jobs requested
+    hits: int = 0  # served from the persistent cache
+    memo_hits: int = 0  # served from the in-process memo
+    executed: int = 0  # simulations actually run
+    retries: int = 0  # worker crash/timeout retries
+    workers: int = 1
+    wall_seconds: float = 0.0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        served = self.hits + self.memo_hits
+        return served / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        lines = [
+            "run manifest",
+            f"  jobs       : {self.total}",
+            f"  cache hits : {self.hits + self.memo_hits} ({100 * self.hit_rate:.0f}%)",
+            f"  executed   : {self.executed}",
+            f"  retries    : {self.retries}",
+            f"  workers    : {self.workers}",
+            f"  wall clock : {self.wall_seconds:.2f}s",
+        ]
+        if self.failures:
+            lines.append(f"  failures   : {len(self.failures)}")
+            lines.extend(f"    - {failure}" for failure in self.failures)
+        return "\n".join(lines)

@@ -11,19 +11,30 @@
 | Section 5.5 SC | :func:`repro.harness.fig7.run_sc_comparison` |
 """
 
-from repro.harness.fig5 import Fig5Result, run_fig5
-from repro.harness.fig6 import Fig6Result, run_fig6
+from repro.harness.fig5 import Fig5Result, plan_fig5, run_fig5
+from repro.harness.fig6 import Fig6Result, plan_fig6, run_fig6
 from repro.harness.fig7 import (
     Fig7aResult,
     Fig7bResult,
     SCResult,
+    plan_fig7a,
+    plan_fig7b,
+    plan_sc_comparison,
     run_fig7a,
     run_fig7b,
     run_sc_comparison,
 )
 from repro.harness.report import render_series, render_table
-from repro.harness.runs import PAPER, QUICK, STANDARD, Runner, Scale, current_scale
-from repro.harness.table3 import Table3Result, run_table3
+from repro.harness.runs import (
+    PAPER,
+    QUICK,
+    STANDARD,
+    Runner,
+    Scale,
+    current_scale,
+    scale_by_name,
+)
+from repro.harness.table3 import Table3Result, plan_table3, run_table3
 
 __all__ = [
     "Fig5Result",
@@ -38,6 +49,12 @@ __all__ = [
     "Scale",
     "Table3Result",
     "current_scale",
+    "plan_fig5",
+    "plan_fig6",
+    "plan_fig7a",
+    "plan_fig7b",
+    "plan_sc_comparison",
+    "plan_table3",
     "render_series",
     "render_table",
     "run_fig5",
@@ -46,4 +63,5 @@ __all__ = [
     "run_fig7b",
     "run_sc_comparison",
     "run_table3",
+    "scale_by_name",
 ]

@@ -57,6 +57,20 @@ class Fig5Result:
         )
 
 
+def plan_fig5(scale: Scale, comparison_latency: int = 10):
+    """Every (config, workload) point Figure 5 needs, for batch prefetch."""
+    configs = [
+        scale.config.with_redundancy(mode=Mode.NONREDUNDANT),
+        scale.config.with_redundancy(
+            mode=Mode.STRICT, comparison_latency=comparison_latency
+        ),
+        scale.config.with_redundancy(
+            mode=Mode.REUNION, comparison_latency=comparison_latency
+        ),
+    ]
+    return [(config, workload) for workload in suite() for config in configs]
+
+
 def run_fig5(
     scale: Scale | None = None,
     comparison_latency: int = 10,

@@ -59,6 +59,27 @@ class Fig6Result:
         )
 
 
+def plan_fig6(
+    model: Mode,
+    scale: Scale,
+    latencies: tuple[int, ...] = DEFAULT_LATENCIES,
+    representatives: dict[str, list[str]] | None = None,
+):
+    """Every (config, workload) point one Figure 6 panel needs."""
+    representatives = representatives or DEFAULT_REPRESENTATIVES
+    workloads = [
+        by_name(name) for names in representatives.values() for name in names
+    ]
+    requests = [
+        (scale.config.with_redundancy(mode=Mode.NONREDUNDANT), workload)
+        for workload in workloads
+    ]
+    for latency in latencies:
+        config = scale.config.with_redundancy(mode=model, comparison_latency=latency)
+        requests.extend((config, workload) for workload in workloads)
+    return requests
+
+
 def run_fig6(
     model: Mode,
     scale: Scale | None = None,

@@ -49,6 +49,18 @@ class Fig7aResult:
         )
 
 
+def plan_fig7a(scale: Scale, comparison_latency: int = 10):
+    """Every (config, workload) point Figure 7(a) needs."""
+    configs = [scale.config.with_redundancy(mode=Mode.NONREDUNDANT)]
+    configs += [
+        scale.config.with_redundancy(
+            mode=Mode.REUNION, comparison_latency=comparison_latency, phantom=strength
+        )
+        for strength in (PhantomStrength.GLOBAL, PhantomStrength.SHARED, PhantomStrength.NULL)
+    ]
+    return [(config, workload) for workload in suite() for config in configs]
+
+
 def run_fig7a(
     scale: Scale | None = None,
     comparison_latency: int = 10,
@@ -85,6 +97,27 @@ class Fig7bResult:
             "Paper: the software-managed TLB's serializing handler costs 28% "
             "at a 40-cycle comparison latency.",
         )
+
+
+def plan_fig7b(
+    scale: Scale,
+    latencies: tuple[int, ...] = DEFAULT_LATENCIES,
+    workload_names: list[str] | None = None,
+):
+    """Every (config, workload) point Figure 7(b) needs."""
+    workloads = [by_name(name) for name in workload_names or DEFAULT_COMMERCIAL]
+    requests = []
+    for tlb_mode in (TLBMode.HARDWARE, TLBMode.SOFTWARE):
+        base_config = scale.config.with_tlb(mode=tlb_mode)
+        configs = [base_config.with_redundancy(mode=Mode.NONREDUNDANT)]
+        configs += [
+            base_config.with_redundancy(mode=Mode.REUNION, comparison_latency=latency)
+            for latency in latencies
+        ]
+        requests.extend(
+            (config, workload) for workload in workloads for config in configs
+        )
+    return requests
 
 
 def run_fig7b(
@@ -135,6 +168,27 @@ class SCResult:
             "Paper: SC's store serialization loses over 60% at a 40-cycle "
             "comparison latency.",
         )
+
+
+def plan_sc_comparison(
+    scale: Scale,
+    latencies: tuple[int, ...] = (10, 40),
+    workload_names: list[str] | None = None,
+):
+    """Every (config, workload) point the Section 5.5 SC experiment needs."""
+    workloads = [by_name(name) for name in workload_names or DEFAULT_COMMERCIAL]
+    requests = []
+    for consistency in (Consistency.TSO, Consistency.SC):
+        base_config = scale.config.replace(consistency=consistency)
+        configs = [base_config.with_redundancy(mode=Mode.NONREDUNDANT)]
+        configs += [
+            base_config.with_redundancy(mode=Mode.REUNION, comparison_latency=latency)
+            for latency in latencies
+        ]
+        requests.extend(
+            (config, workload) for workload in workloads for config in configs
+        )
+    return requests
 
 
 def run_sc_comparison(

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import SampleJob, run_job
+from repro.exec.pool import ExecutionPool
+from repro.exec.progress import Progress, RunManifest
 from repro.sim.config import DEFAULT_CONFIG, PAPER_TABLE1, Mode, SystemConfig
-from repro.sim.sampling import Sample, run_sample
+from repro.sim.sampling import Sample
 from repro.workloads.base import Workload
 
 
@@ -38,35 +43,102 @@ PAPER = Scale(
 _SCALES = {scale.name: scale for scale in (QUICK, STANDARD, PAPER)}
 
 
+def scale_by_name(name: str) -> Scale:
+    """Look a scale preset up by name (quick/standard/paper)."""
+    key = name.lower()
+    if key not in _SCALES:
+        raise ValueError(f"scale must be one of {sorted(_SCALES)}, got {name!r}")
+    return _SCALES[key]
+
+
 def current_scale() -> Scale:
     """The scale selected via ``REPRO_SCALE`` (default: quick)."""
-    name = os.environ.get("REPRO_SCALE", "quick").lower()
-    if name not in _SCALES:
-        raise ValueError(f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}")
-    return _SCALES[name]
+    name = os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return scale_by_name(name)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        ) from None
 
 
 @dataclass
 class Runner:
     """Runs and memoizes samples so figures sharing a config reuse them.
 
-    The cache key covers everything that affects a simulation; figure
-    drivers can therefore freely re-request the non-redundant baseline.
+    The in-memory memo key covers everything that affects a simulation
+    at a fixed scale; figure drivers can therefore freely re-request the
+    non-redundant baseline.  With a persistent ``cache`` attached, every
+    completed sample is also stored on disk under a content-hash key
+    that additionally covers the warmup/measure windows (so different
+    scales never collide) and is reused across processes; see
+    :mod:`repro.exec`.
     """
 
     scale: Scale
-    _cache: dict = field(default_factory=dict)
+    cache: ResultCache | None = None
+    _cache: dict[tuple[SystemConfig, str, int], Sample] = field(default_factory=dict)
+
+    def _job(self, config: SystemConfig, workload_name: str, seed: int) -> SampleJob:
+        return SampleJob(
+            config=config,
+            workload_name=workload_name,
+            seed=seed,
+            warmup=self.scale.warmup,
+            measure=self.scale.measure,
+        )
 
     def sample(self, config: SystemConfig, workload: Workload, seed: int) -> Sample:
         key = (config, workload.name, seed)
         if key not in self._cache:
-            self._cache[key] = run_sample(
-                config, workload, self.scale.warmup, self.scale.measure, seed
-            )
+            job = self._job(config, workload.name, seed)
+            sample = self.cache.get(job) if self.cache is not None else None
+            if sample is None:
+                sample = run_job(job)
+                if self.cache is not None:
+                    self.cache.put(job, sample)
+            self._cache[key] = sample
         return self._cache[key]
 
     def samples(self, config: SystemConfig, workload: Workload) -> list[Sample]:
         return [self.sample(config, workload, seed) for seed in self.scale.seeds]
+
+    def prefetch(
+        self,
+        requests: Iterable[tuple[SystemConfig, Workload]],
+        jobs: int = 1,
+        timeout: float | None = None,
+        show_progress: bool = False,
+    ) -> RunManifest:
+        """Batch-execute every (config, workload) point across ``jobs`` workers.
+
+        Expands each request over the scale's seeds, serves what it can
+        from the memo and the persistent cache, fans the rest out over
+        the process pool, and warms the memo with every result — after
+        which the figure drivers' serial :meth:`sample` calls are pure
+        lookups.  Results are bit-identical to serial execution.
+        """
+        batch: list[SampleJob] = []
+        index: dict[str, tuple[SystemConfig, str, int]] = {}
+        memo_served: set[tuple[SystemConfig, str, int]] = set()
+        for config, workload in requests:
+            for seed in self.scale.seeds:
+                memo_key = (config, workload.name, seed)
+                if memo_key in self._cache:
+                    memo_served.add(memo_key)
+                    continue
+                job = self._job(config, workload.name, seed)
+                if job.key not in index:
+                    batch.append(job)
+                    index[job.key] = memo_key
+        pool = ExecutionPool(workers=jobs, timeout=timeout)
+        progress = Progress(len(batch), enabled=show_progress)
+        results, manifest = pool.run(batch, cache=self.cache, progress=progress)
+        for key, sample in results.items():
+            self._cache[index[key]] = sample
+        manifest.total += len(memo_served)
+        manifest.memo_hits = len(memo_served)
+        return manifest
 
     def mean_ipc(self, config: SystemConfig, workload: Workload) -> float:
         samples = self.samples(config, workload)

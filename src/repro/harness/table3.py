@@ -49,6 +49,17 @@ class Table3Result:
         )
 
 
+def plan_table3(scale: Scale, comparison_latency: int = 10):
+    """Every (config, workload) point Table 3 needs, for batch prefetch."""
+    configs = [
+        scale.config.with_redundancy(
+            mode=Mode.REUNION, comparison_latency=comparison_latency, phantom=strength
+        )
+        for strength in (PhantomStrength.GLOBAL, PhantomStrength.SHARED, PhantomStrength.NULL)
+    ]
+    return [(config, workload) for workload in suite() for config in configs]
+
+
 def run_table3(
     scale: Scale | None = None,
     comparison_latency: int = 10,

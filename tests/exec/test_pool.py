@@ -1,0 +1,100 @@
+"""Worker pool: determinism, crash retry, timeouts, serial fallback."""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.jobs import SampleJob, run_job
+from repro.exec.pool import ExecutionError, ExecutionPool, execute_jobs
+from repro.sim.config import DEFAULT_CONFIG, Mode
+
+CONFIG = DEFAULT_CONFIG.replace(n_logical=2)
+REUNION = CONFIG.with_redundancy(mode=Mode.REUNION)
+
+JOBS = [
+    SampleJob(config, name, seed, warmup=80, measure=160)
+    for config in (CONFIG, REUNION)
+    for name in ("ocean", "em3d")
+    for seed in (0, 1)
+]
+
+#: Filesystem flag consumed by :func:`crash_once_run_job`; retry spawns a
+#: fresh process, so "crash exactly once" state must live outside memory.
+_CRASH_FLAG_ENV = "REPRO_TEST_CRASH_FLAG"
+
+
+def crash_once_run_job(job: SampleJob):
+    flag = Path(os.environ[_CRASH_FLAG_ENV])
+    if flag.exists():
+        flag.unlink()
+        os._exit(3)
+    return run_job(job)
+
+
+def always_raises_run_job(job: SampleJob):
+    raise ValueError("simulated model error")
+
+
+def sleepy_run_job(job: SampleJob):
+    time.sleep(30)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial, serial_manifest = execute_jobs(JOBS, workers=1)
+        parallel, parallel_manifest = execute_jobs(JOBS, workers=4)
+        assert serial == parallel  # full Sample field equality, every job
+        assert serial_manifest.executed == parallel_manifest.executed == len(JOBS)
+
+    def test_duplicate_jobs_run_once(self):
+        results, manifest = execute_jobs([JOBS[0], JOBS[0], JOBS[0]], workers=2)
+        assert manifest.total == 1 and manifest.executed == 1
+        assert len(results) == 1
+
+
+class TestCacheIntegration:
+    def test_parallel_fills_cache_then_serves_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first, manifest = execute_jobs(JOBS, workers=4, cache=cache)
+        assert manifest.executed == len(JOBS) and manifest.hits == 0
+        again, warm = execute_jobs(JOBS, workers=4, cache=cache)
+        assert warm.hits == len(JOBS) and warm.executed == 0
+        assert warm.hit_rate == 1.0
+        assert again == first
+
+
+class TestFailureHandling:
+    def test_worker_crash_is_retried_once(self, tmp_path, monkeypatch):
+        flag = tmp_path / "crash-once"
+        flag.touch()
+        monkeypatch.setenv(_CRASH_FLAG_ENV, str(flag))
+        pool = ExecutionPool(workers=2, run_job=crash_once_run_job)
+        results, manifest = pool.run(JOBS[:1])
+        assert manifest.retries == 1
+        assert manifest.executed == 1 and not manifest.failures
+        assert results == {JOBS[0].key: run_job(JOBS[0])}
+
+    def test_persistent_failure_raises_after_retries(self):
+        pool = ExecutionPool(workers=2, retries=1, run_job=always_raises_run_job)
+        with pytest.raises(ExecutionError) as excinfo:
+            pool.run(JOBS[:1])
+        manifest = excinfo.value.manifest
+        assert manifest.retries == 1
+        assert len(manifest.failures) == 1
+        assert "simulated model error" in manifest.failures[0]
+
+    def test_timeout_kills_and_reports(self):
+        pool = ExecutionPool(workers=2, timeout=0.2, retries=0, run_job=sleepy_run_job)
+        start = time.monotonic()
+        with pytest.raises(ExecutionError) as excinfo:
+            pool.run(JOBS[:1])
+        assert time.monotonic() - start < 10  # killed, not awaited
+        assert "timeout" in excinfo.value.failures[0]
+
+    def test_serial_fallback_propagates_exceptions(self):
+        pool = ExecutionPool(workers=1, run_job=always_raises_run_job)
+        with pytest.raises(ValueError, match="simulated model error"):
+            pool.run(JOBS[:1])

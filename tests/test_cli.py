@@ -74,13 +74,43 @@ class TestReproduce:
     def test_unknown_experiment(self, capsys):
         assert main(["reproduce", "--only", "bogus"]) == 2
 
-    def test_sc_experiment_runs(self, capsys, monkeypatch):
+    def test_sc_experiment_runs(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_SCALE", "quick")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         # Patch a tiny scale through the environment is not possible;
         # run the cheapest experiment instead.
         code = main(["reproduce", "--only", "sc"])
         assert code == 0
-        assert "Sequential Consistency" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "Sequential Consistency" in captured.out
+        assert "run manifest" in captured.err
+
+    def test_scale_flag_overrides_env_and_cache_warms(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        # An invalid REPRO_SCALE proves --scale wins over the environment.
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        code = main(["reproduce", "--only", "sc", "--scale", "quick", "--jobs", "2"])
+        assert code == 0
+        first = capsys.readouterr()
+        assert "cache hits : 0 (0%)" in first.err
+        # Second invocation (fresh Runner, same cache dir): all hits,
+        # zero simulations, byte-identical artifact output.
+        code = main(["reproduce", "--only", "sc", "--scale", "quick", "--jobs", "2"])
+        assert code == 0
+        second = capsys.readouterr()
+        assert "(100%)" in second.err
+        assert "executed   : 0" in second.err
+        assert second.out == first.out
+
+    def test_no_cache_flag_skips_persistence(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.chdir(tmp_path)
+        code = main(["reproduce", "--only", "sc", "--no-cache"])
+        assert code == 0
+        assert not (tmp_path / "cache").exists()
 
 
 class TestParser:
