@@ -188,6 +188,33 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.exec.benchreport import BenchReport, check_regression, run_bench
+
+    try:
+        report = run_bench(
+            scale_name=args.scale or "quick",
+            jobs=args.jobs,
+            only=args.only,
+            compare_kernels=not args.no_kernel_comparison,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(report.render())
+    path = report.write(args.out)
+    print(f"wrote {path}", file=sys.stderr)
+    if args.baseline:
+        baseline = BenchReport.load(args.baseline)
+        problems = check_regression(report, baseline)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {args.baseline}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -234,6 +261,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the persistent result cache (.repro-cache/)",
     )
     repro_parser.set_defaults(func=cmd_reproduce)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="time the artifact sweeps and the simulation kernels; "
+        "write BENCH_<date>.json",
+    )
+    bench_parser.add_argument(
+        "--scale",
+        choices=["quick", "standard", "paper"],
+        help="bench scale (default quick)",
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for each sweep"
+    )
+    bench_parser.add_argument(
+        "--only", nargs="*", help="fig5 fig6a fig6b table3 fig7a fig7b sc"
+    )
+    bench_parser.add_argument(
+        "--out", default=".", help="directory for the BENCH_<date>.json report"
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        help="a prior BENCH json; exit 1 if any phase regresses >3x "
+        "or the kernels disagree",
+    )
+    bench_parser.add_argument(
+        "--no-kernel-comparison",
+        action="store_true",
+        help="skip the naive-vs-event kernel timing",
+    )
+    bench_parser.set_defaults(func=cmd_bench)
     return parser
 
 

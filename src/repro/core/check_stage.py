@@ -24,11 +24,13 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.isa.opcodes import Op
+from repro.pipeline.gates import NEVER
 from repro.pipeline.rob import DynInstr
 from repro.sim.config import RedundancyConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class IntervalRecord:
     """A closed fingerprint interval, ready for comparison."""
 
@@ -61,6 +63,11 @@ class CheckGate:
         self._last_offer = 0
         self._retire_time: dict[int, int] = {}
         self.single_step = False
+        #: True when a LogicalPair drives this gate (and therefore calls
+        #: maybe_timeout_close every pair step).  The cycle-skipping
+        #: kernel must only schedule timeout-close wake-ups for paired
+        #: gates — a StrictCheckGate never has its timeout invoked.
+        self.paired = False
         #: Monotone counters for statistics.
         self.intervals_closed = 0
         self.fingerprints_compared = 0
@@ -78,7 +85,7 @@ class CheckGate:
         self._accum.add_instruction(entry)
         self._count += 1
         self._has_sync = self._has_sync or entry.was_sync
-        is_halt = entry.inst.op.value == "halt"
+        is_halt = entry.inst.op is Op.HALT
         self._has_halt = self._has_halt or is_halt
         self._pending.append((entry, self._index, now))
         self._last_offer = now
@@ -154,6 +161,42 @@ class CheckGate:
             pending.popleft()
             out.append(entry)
         return out
+
+    def next_release(self, now: int) -> int:
+        """Conservative horizon: when could this gate next release work?
+
+        Mirrors every ``now``-dependent branch of :meth:`pop_retirable`
+        plus the interval timeout in :meth:`maybe_timeout_close`.  A
+        closed-but-uncompared interval contributes nothing here — the
+        comparison is the pair controller's event, reported by
+        ``LogicalPair.next_event`` — but once :meth:`clear_interval` has
+        run, the head's retire time is a known future cycle.
+        """
+        wake = NEVER
+        pending = self._pending
+        if pending:
+            entry, index, offered = pending[0]
+            if entry.squashed:
+                return now
+            if index is None:
+                if entry.serializing:
+                    release = offered + self.config.comparison_latency
+                    return release if release > now else now
+                return now
+            else:
+                retire_at = self._retire_time.get(index)
+                if retire_at is not None:
+                    return retire_at if retire_at > now else now
+        if self._count and self.paired:
+            # The pair controller will force-close a lingering partial
+            # interval one cycle past the timeout limit.
+            limit = max(8, self.config.fingerprint_interval // 2)
+            timeout = self._last_offer + limit + 1
+            if timeout <= now:
+                return now
+            if timeout < wake:
+                wake = timeout
+        return wake
 
     # -- partner side (driven by the pair controller / oracle) ----------------
     def peek_closed(self) -> IntervalRecord | None:

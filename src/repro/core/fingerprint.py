@@ -48,6 +48,11 @@ _POLYS = {
 
 _TABLES: dict[int, list[int]] = {}
 
+#: Hot-path loop constants, hoisted once at import instead of being
+#: rebuilt by ``range()``/shift arithmetic on every absorbed word.
+_WORD_MASK_64 = (1 << 64) - 1
+_BYTE_SHIFTS_64 = tuple(range(0, 64, 8))
+
 
 def _table_for(bits: int) -> list[int]:
     if bits not in _POLYS:
@@ -62,7 +67,15 @@ def _table_for(bits: int) -> list[int]:
 class FingerprintAccumulator:
     """Accumulates one fingerprint interval's worth of updates."""
 
-    __slots__ = ("bits", "two_stage", "_crc", "_table", "_mask", "_shift")
+    __slots__ = (
+        "bits",
+        "two_stage",
+        "_crc",
+        "_table",
+        "_mask",
+        "_shift",
+        "_byte_shifts",
+    )
 
     def __init__(self, bits: int = 16, two_stage: bool = True) -> None:
         self.bits = bits
@@ -70,27 +83,57 @@ class FingerprintAccumulator:
         self._table = _table_for(bits)
         self._mask = (1 << bits) - 1
         self._shift = bits - 8
+        #: Byte lanes of one folded value (``bits`` wide), precomputed so
+        #: the per-word absorb loop carries no range() construction.
+        self._byte_shifts = tuple(range(0, bits, 8))
         self._crc = 0
 
     # -- raw update streams ------------------------------------------------
     def add_word(self, word: int) -> None:
         """Absorb one 64-bit state update."""
-        word &= (1 << 64) - 1
+        word &= _WORD_MASK_64
+        crc = self._crc
+        table = self._table
+        top_shift = self._shift
+        mask = self._mask
         if self.two_stage:
             # Parity trees: fold 64 bits to `bits` bits in one stage,
             # then feed the folded value to the CRC.
-            folded = 0
+            bits = self.bits
+            folded = word & mask
+            word >>= bits
             while word:
-                folded ^= word & self._mask
-                word >>= self.bits
-            self._absorb(folded)
+                folded ^= word & mask
+                word >>= bits
+            for shift in self._byte_shifts:
+                crc = (
+                    (crc << 8)
+                    ^ table[((crc >> top_shift) ^ (folded >> shift)) & 0xFF]
+                ) & mask
         else:
-            for shift in range(0, 64, 8):
-                self._absorb_byte((word >> shift) & 0xFF)
+            for shift in _BYTE_SHIFTS_64:
+                crc = (
+                    (crc << 8)
+                    ^ table[((crc >> top_shift) ^ (word >> shift)) & 0xFF]
+                ) & mask
+        self._crc = crc
+
+    def add_words(self, words) -> None:
+        """Absorb a batch of 64-bit state updates (hot-path entry point)."""
+        add_word = self.add_word
+        for word in words:
+            add_word(word)
 
     def _absorb(self, value: int) -> None:
-        for shift in range(0, self.bits, 8):
-            self._absorb_byte((value >> shift) & 0xFF)
+        crc = self._crc
+        table = self._table
+        top_shift = self._shift
+        mask = self._mask
+        for shift in self._byte_shifts:
+            crc = (
+                (crc << 8) ^ table[((crc >> top_shift) ^ (value >> shift)) & 0xFF]
+            ) & mask
+        self._crc = crc
 
     def _absorb_byte(self, byte: int) -> None:
         self._crc = (
@@ -105,16 +148,17 @@ class FingerprintAccumulator:
         targets, store addresses, and store values (Section 4.3).
         """
         inst = entry.inst
+        add_word = self.add_word
         if inst.writes_reg and entry.result is not None:
-            self.add_word(entry.result)
+            add_word(entry.result)
         if inst.is_store and entry.addr is not None:
-            self.add_word(entry.addr)
+            add_word(entry.addr)
             if entry.store_value is not None:
-                self.add_word(entry.store_value)
+                add_word(entry.store_value)
         if inst.is_atomic and entry.addr is not None:
-            self.add_word(entry.addr)
+            add_word(entry.addr)
         if inst.is_control and entry.actual_next is not None:
-            self.add_word(entry.actual_next)
+            add_word(entry.actual_next)
 
     def digest(self) -> int:
         return self._crc
@@ -126,6 +170,5 @@ class FingerprintAccumulator:
 def fingerprint_words(words: list[int], bits: int = 16, two_stage: bool = True) -> int:
     """One-shot fingerprint of a list of update words (tests, analysis)."""
     acc = FingerprintAccumulator(bits, two_stage)
-    for word in words:
-        acc.add_word(word)
+    acc.add_words(words)
     return acc.digest()

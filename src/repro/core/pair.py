@@ -32,6 +32,7 @@ from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.semantics import atomic_result
 from repro.memory.l2_controller import SharedL2Controller
+from repro.pipeline.gates import NEVER
 from repro.pipeline.ooo_core import OoOCore
 from repro.sim.config import SystemConfig
 
@@ -81,6 +82,8 @@ class LogicalPair:
 
         vocal.gate = CheckGate(config.redundancy)
         mute.gate = CheckGate(config.redundancy)
+        vocal.gate.paired = True
+        mute.gate.paired = True
         vocal.pair_sync_atomics = True
         mute.pair_sync_atomics = True
 
@@ -127,6 +130,49 @@ class LogicalPair:
 
         if self._exit_single_step_at is not None and now >= self._exit_single_step_at:
             self._exit_single_step()
+
+    # -- event horizon (cycle-skipping kernel) ---------------------------------
+    def next_event(self, now: int) -> int:
+        """Conservative wake-up horizon for the cycle-skipping kernel.
+
+        The pair's own events: beginning a scheduled recovery, comparing
+        fingerprints once both sides have closed an interval, servicing a
+        synchronizing request once both cores have parked one, the
+        divergence watchdog, and leaving single-step mode.  Gate
+        interval-timeout closes are performed by :meth:`step` but their
+        horizons are reported by each gate's ``next_release`` (through
+        the cores), so they are not repeated here.
+        """
+        if self.failed:
+            return NEVER
+        if self.state is PairState.WAIT_RECOVERY:
+            at = self._recovery_at
+            return at if at > now else now
+        wake = NEVER
+        vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
+        mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
+        a = vocal_gate.peek_closed()
+        b = mute_gate.peek_closed()
+        if a is not None and b is not None:
+            return now  # a comparison happens on the very next step
+        waiting = a if a is not None else b
+        if waiting is not None:
+            # One side is waiting on its partner; the watchdog fires one
+            # cycle past the divergence timeout.
+            at = waiting.close_cycle + self.redundancy.divergence_timeout + 1
+            if at <= now:
+                return now
+            if at < wake:
+                wake = at
+        if self.vocal.sync_request is not None and self.mute.sync_request is not None:
+            return now
+        at = self._exit_single_step_at
+        if at is not None:
+            if at <= now:
+                return now
+            if at < wake:
+                wake = at
+        return wake
 
     # -- fingerprint comparison ------------------------------------------------
     def _compare_intervals(self, now: int) -> None:

@@ -1,0 +1,275 @@
+"""Performance benchmarking: the `repro bench` report.
+
+Times every paper artifact's sample sweep at a chosen scale, reports
+wall time and simulated cycles per second per phase, and runs a
+naive-vs-event kernel comparison on memory-latency-dominated workloads
+(where cycle skipping pays most).  The report is written as
+``BENCH_<date>.json`` so the repository tracks its performance
+trajectory PR over PR, and an old report can serve as a regression
+baseline (see :func:`check_regression`).
+
+Benchmark runs always bypass the persistent result cache — a timing of a
+cache hit would say nothing about the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from datetime import date
+
+from repro.sim.config import Mode
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA = 1
+
+#: A committed baseline (see ``benchmarks/bench_baseline.json``) fails
+#: the check when any phase's throughput drops below 1/REGRESSION_FACTOR
+#: of its recorded value.  Loose on purpose: CI machines vary widely,
+#: and the check should catch accidental algorithmic regressions
+#: (an O(n) retire loop, a lost horizon), not scheduler noise.
+REGRESSION_FACTOR = 3.0
+
+
+@dataclass
+class PhaseResult:
+    """Wall-clock timing of one artifact's full sample sweep."""
+
+    name: str
+    wall_s: float
+    cycles: int  # simulated system cycles across all samples
+    samples: int
+    cycles_per_s: float
+
+
+@dataclass
+class KernelComparison:
+    """Naive vs. event kernel on one memory-bound workload."""
+
+    name: str
+    naive_wall_s: float
+    event_wall_s: float
+    speedup: float
+    cycles: int
+    identical: bool  # Stats snapshots bit-identical between kernels
+
+
+@dataclass
+class BenchReport:
+    """One `repro bench` run, serializable to ``BENCH_<date>.json``."""
+
+    date: str
+    scale: str
+    jobs: int
+    phases: list[PhaseResult] = field(default_factory=list)
+    kernel_comparison: list[KernelComparison] = field(default_factory=list)
+    schema: int = BENCH_SCHEMA
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchReport":
+        return cls(
+            date=payload["date"],
+            scale=payload["scale"],
+            jobs=payload.get("jobs", 1),
+            phases=[PhaseResult(**p) for p in payload.get("phases", [])],
+            kernel_comparison=[
+                KernelComparison(**c) for c in payload.get("kernel_comparison", [])
+            ],
+            schema=payload.get("schema", BENCH_SCHEMA),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BenchReport":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def write(self, out_dir: str = ".") -> str:
+        path = os.path.join(out_dir, f"BENCH_{self.date}.json")
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    def render(self) -> str:
+        lines = [
+            f"repro bench — scale={self.scale} jobs={self.jobs} ({self.date})",
+            "",
+            f"{'phase':<12}{'wall s':>10}{'cycles':>14}{'cycles/s':>14}",
+            "-" * 50,
+        ]
+        for phase in self.phases:
+            lines.append(
+                f"{phase.name:<12}{phase.wall_s:>10.2f}{phase.cycles:>14,}"
+                f"{phase.cycles_per_s:>14,.0f}"
+            )
+        if self.kernel_comparison:
+            lines += [
+                "",
+                "kernel comparison (naive vs. event, per-sample wall time):",
+                f"{'artifact':<28}{'naive s':>10}{'event s':>10}{'speedup':>9}{'identical':>11}",
+                "-" * 68,
+            ]
+            for cmp_ in self.kernel_comparison:
+                lines.append(
+                    f"{cmp_.name:<28}{cmp_.naive_wall_s:>10.3f}{cmp_.event_wall_s:>10.3f}"
+                    f"{cmp_.speedup:>8.2f}x{'yes' if cmp_.identical else 'NO':>11}"
+                )
+        return "\n".join(lines)
+
+
+def _memory_bound_workloads():
+    """Workloads dominated by main-memory latency: maximal skip headroom.
+
+    The pointer chase's footprint is sized far past the default L1/L2 so
+    the dependent-load chain misses all the way to memory; `em3d` is the
+    paper suite's irregular-graph memory-latency workload.
+    """
+    from repro.workloads.micro import PointerChase
+    from repro.workloads.scientific import Em3d
+
+    return [
+        ("mem-chase", PointerChase(nodes=16384)),
+        ("em3d", Em3d()),
+    ]
+
+
+def run_kernel_comparison(scale, modes=(Mode.NONREDUNDANT, Mode.REUNION)) -> list[KernelComparison]:
+    """Time identical simulations under both kernels; verify bit-identity.
+
+    Builds each system outside the timed section (program generation and
+    image install are kernel-independent fixed costs) and times only the
+    ``run`` windows.  The returned comparisons double as a correctness
+    check: ``identical`` diffs the full Stats snapshots.
+    """
+    from repro.sim.cmp import CMPSystem
+
+    comparisons: list[KernelComparison] = []
+    seed = scale.seeds[0]
+    cycles = scale.warmup + scale.measure
+    for name, workload in _memory_bound_workloads():
+        for mode in modes:
+            # One logical processor: a many-core system's cores
+            # desynchronize, pulling the minimum horizon toward "now"
+            # and measuring contention instead of memory latency.
+            config = scale.config.replace(n_logical=1).with_redundancy(mode=mode)
+            programs = workload.programs(config.n_logical, seed)
+            schedules = workload.itlb_schedules(config.n_logical, seed)
+            results = {}
+            for kernel in ("naive", "event"):
+                system = CMPSystem(config, programs, schedules, kernel=kernel)
+                start = time.perf_counter()
+                system.run(scale.warmup)
+                system.run(scale.measure)
+                wall = time.perf_counter() - start
+                results[kernel] = (wall, dict(system.collect_stats().snapshot()))
+            naive_wall, naive_stats = results["naive"]
+            event_wall, event_stats = results["event"]
+            comparisons.append(
+                KernelComparison(
+                    name=f"{name}/{mode.value}",
+                    naive_wall_s=naive_wall,
+                    event_wall_s=event_wall,
+                    speedup=naive_wall / event_wall if event_wall else 0.0,
+                    cycles=cycles,
+                    identical=naive_stats == event_stats,
+                )
+            )
+    return comparisons
+
+
+def run_bench(
+    scale_name: str = "quick",
+    jobs: int = 1,
+    only: list[str] | None = None,
+    compare_kernels: bool = True,
+) -> BenchReport:
+    """Time every artifact's sample sweep; return the filled report."""
+    from repro.harness import (
+        Runner,
+        plan_fig5,
+        plan_fig6,
+        plan_fig7a,
+        plan_fig7b,
+        plan_sc_comparison,
+        plan_table3,
+        scale_by_name,
+    )
+
+    scale = scale_by_name(scale_name)
+    plans = {
+        "fig5": lambda: plan_fig5(scale),
+        "fig6a": lambda: plan_fig6(Mode.STRICT, scale),
+        "fig6b": lambda: plan_fig6(Mode.REUNION, scale),
+        "table3": lambda: plan_table3(scale),
+        "fig7a": lambda: plan_fig7a(scale),
+        "fig7b": lambda: plan_fig7b(scale),
+        "sc": lambda: plan_sc_comparison(scale),
+    }
+    selected = only or list(plans)
+    unknown = [name for name in selected if name not in plans]
+    if unknown:
+        raise ValueError(f"unknown bench phases {unknown}; pick from {sorted(plans)}")
+
+    report = BenchReport(
+        date=date.today().isoformat(), scale=scale.name, jobs=jobs
+    )
+    cycles_per_sample = scale.warmup + scale.measure
+    for name in selected:
+        requests = plans[name]()
+        samples = len(requests) * len(scale.seeds)
+        # A fresh uncached runner per phase: time the simulator, not the
+        # cache, and don't let phases share the baseline samples.
+        runner = Runner(scale, cache=None)
+        start = time.perf_counter()
+        runner.prefetch(requests, jobs=jobs)
+        wall = time.perf_counter() - start
+        cycles = samples * cycles_per_sample
+        report.phases.append(
+            PhaseResult(
+                name=name,
+                wall_s=wall,
+                cycles=cycles,
+                samples=samples,
+                cycles_per_s=cycles / wall if wall else 0.0,
+            )
+        )
+    if compare_kernels:
+        report.kernel_comparison = run_kernel_comparison(scale)
+    return report
+
+
+def check_regression(
+    current: BenchReport,
+    baseline: BenchReport,
+    factor: float = REGRESSION_FACTOR,
+) -> list[str]:
+    """Compare phase throughput against a baseline report.
+
+    Returns a list of human-readable problems (empty = pass).  Phases
+    present in only one report are ignored — the baseline is a floor for
+    what both runs measured, not a schema lock.  A kernel comparison
+    whose outputs were not bit-identical is always a failure.
+    """
+    problems: list[str] = []
+    baseline_phases = {phase.name: phase for phase in baseline.phases}
+    for phase in current.phases:
+        base = baseline_phases.get(phase.name)
+        if base is None or base.cycles_per_s <= 0:
+            continue
+        floor = base.cycles_per_s / factor
+        if phase.cycles_per_s < floor:
+            problems.append(
+                f"{phase.name}: {phase.cycles_per_s:,.0f} cycles/s is >"
+                f"{factor:g}x below baseline {base.cycles_per_s:,.0f}"
+            )
+    for cmp_ in current.kernel_comparison:
+        if not cmp_.identical:
+            problems.append(
+                f"{cmp_.name}: naive and event kernels produced different Stats"
+            )
+    return problems

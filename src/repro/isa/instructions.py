@@ -8,7 +8,7 @@ a logical processor pair and by every dynamic execution of a loop body.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.isa.opcodes import (
     BRANCH_OPS,
@@ -24,6 +24,9 @@ from repro.isa.opcodes import (
 #: as in SPARC/MIPS.
 NUM_REGS = 32
 
+#: Register-immediate ALU forms (the ops whose rs2 field is unused).
+_IMM_FORM_OPS = frozenset({Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.MOVI})
+
 
 @dataclass(frozen=True, slots=True)
 class Instruction:
@@ -33,6 +36,11 @@ class Instruction:
     compute their effective address as ``R[rs1] + imm`` (byte address,
     word aligned).  Branch/jump targets are absolute instruction indices
     into the program, resolved by the assembler.
+
+    Classification flags (``is_alu`` and friends) are plain attributes
+    precomputed once at construction: one static instruction is decoded
+    millions of times by the timing model, and set-membership tests on
+    enum members were a measured hot spot.
     """
 
     op: Op
@@ -41,60 +49,46 @@ class Instruction:
     rs2: int = 0
     imm: int = 0
     target: int = 0
+    # -- precomputed classification (derived; excluded from eq/repr) ----
+    is_alu: bool = field(init=False, repr=False, compare=False)
+    is_mem: bool = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_atomic: bool = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_control: bool = field(init=False, repr=False, compare=False)
+    is_serializing: bool = field(init=False, repr=False, compare=False)
+    writes_reg: bool = field(init=False, repr=False, compare=False)
+    imm_form: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for name in ("rd", "rs1", "rs2"):
             reg = getattr(self, name)
             if not 0 <= reg < NUM_REGS:
                 raise ValueError(f"{name}={reg} out of range [0, {NUM_REGS})")
-
-    # -- classification ------------------------------------------------
-    @property
-    def is_alu(self) -> bool:
-        return self.op in REG_REG_OPS or self.op in REG_IMM_OPS
-
-    @property
-    def is_mem(self) -> bool:
-        return self.op in MEM_READ_OPS or self.op in MEM_WRITE_OPS
-
-    @property
-    def is_load(self) -> bool:
-        return self.op in MEM_READ_OPS
-
-    @property
-    def is_store(self) -> bool:
-        return self.op in MEM_WRITE_OPS
-
-    @property
-    def is_atomic(self) -> bool:
-        return self.op in (Op.ATOMIC, Op.CAS)
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op in BRANCH_OPS
-
-    @property
-    def is_control(self) -> bool:
-        return self.op in BRANCH_OPS or self.op in (Op.JUMP, Op.HALT)
-
-    @property
-    def is_serializing(self) -> bool:
-        """True for traps, membars, atomics and non-idempotent accesses.
-
-        These are the instructions that Section 4.4 of the paper shows
-        stall retirement for a full comparison latency under any
-        redundant-execution checking scheme.
-        """
-        return self.op in SERIALIZING_OPS
-
-    @property
-    def writes_reg(self) -> bool:
-        """True when the instruction produces an architectural register value."""
-        if self.op in REG_REG_OPS or self.op in REG_IMM_OPS:
-            return self.rd != 0
-        if self.op in (Op.LOAD, Op.ATOMIC, Op.CAS):
-            return self.rd != 0
-        return False
+        op = self.op
+        set_attr = object.__setattr__  # frozen dataclass: derived fields
+        is_alu = op in REG_REG_OPS or op in REG_IMM_OPS
+        set_attr(self, "is_alu", is_alu)
+        set_attr(self, "is_mem", op in MEM_READ_OPS or op in MEM_WRITE_OPS)
+        set_attr(self, "is_load", op in MEM_READ_OPS)
+        set_attr(self, "is_store", op in MEM_WRITE_OPS)
+        set_attr(self, "is_atomic", op is Op.ATOMIC or op is Op.CAS)
+        set_attr(self, "is_branch", op in BRANCH_OPS)
+        set_attr(
+            self, "is_control", op in BRANCH_OPS or op is Op.JUMP or op is Op.HALT
+        )
+        # Serializing ops (Section 4.4 of the paper): traps, membars,
+        # atomics and non-idempotent accesses stall retirement for a full
+        # comparison latency in any redundant checking microarchitecture.
+        set_attr(self, "is_serializing", op in SERIALIZING_OPS)
+        set_attr(
+            self,
+            "writes_reg",
+            self.rd != 0
+            and (is_alu or op is Op.LOAD or op is Op.ATOMIC or op is Op.CAS),
+        )
+        set_attr(self, "imm_form", op in _IMM_FORM_OPS)
 
     @property
     def reads(self) -> tuple[int, ...]:

@@ -24,7 +24,7 @@ class LineState:
     NAMES = {0: "I", 1: "S", 2: "E", 3: "M"}
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident line: coherence state plus word data."""
 
@@ -37,7 +37,7 @@ class CacheLine:
         return self.state == LineState.MODIFIED
 
 
-@dataclass
+@dataclass(slots=True)
 class Eviction:
     """A victim pushed out by a fill."""
 

@@ -28,6 +28,7 @@ from repro.memory.cache import Cache, LineState
 from repro.memory.coherence import Directory
 from repro.memory.main_memory import MainMemory
 from repro.memory.mshr import MSHRFile
+from repro.pipeline.gates import NEVER
 from repro.sim.config import L2Config, PhantomStrength
 from repro.sim.stats import Stats
 
@@ -39,7 +40,7 @@ _GARBAGE_MULT = 0x9E3779B97F4A7C15
 _GARBAGE_XOR = 0x517CC1B727220A95
 
 
-@dataclass
+@dataclass(slots=True)
 class Reply:
     """Controller reply: line data plus the cycle it arrives."""
 
@@ -70,6 +71,17 @@ class SharedL2Controller:
 
     def _l1(self, core_id: int) -> Cache:
         return self._l1s[core_id][0]
+
+    # -- event horizon (cycle-skipping kernel) -----------------------------
+    def next_event(self, now: int) -> int:
+        """The controller generates no autonomous events.
+
+        All of its state (bank free times, MSHR release times, directory
+        transitions) changes synchronously inside core-initiated request
+        calls; the completion times are returned to the requesting core,
+        which folds them into its own completion-heap horizon.
+        """
+        return NEVER
 
     def set_role(self, core_id: int, is_mute: bool) -> None:
         """Change a core's vocal/mute role (dual-use reconfiguration).

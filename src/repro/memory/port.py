@@ -19,7 +19,7 @@ from repro.sim.config import L1Config, PhantomStrength, TLBConfig
 from repro.sim.stats import Stats
 
 
-@dataclass
+@dataclass(slots=True)
 class Access:
     """Outcome of a load or store drain.
 

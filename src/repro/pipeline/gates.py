@@ -24,6 +24,10 @@ from typing import Protocol
 
 from repro.pipeline.rob import DynInstr
 
+#: Horizon sentinel for the cycle-skipping kernel: "no pending event".
+#: Any real simulated cycle is far below this.
+NEVER = 1 << 62
+
 
 class RetireGate(Protocol):
     """What the core needs from a retirement-checking policy."""
@@ -44,6 +48,19 @@ class RetireGate(Protocol):
 
     def flush(self) -> None:
         """Drop all pending check state (squash / recovery)."""
+
+    def next_release(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which this gate could release work.
+
+        Conservative horizon for the cycle-skipping kernel: ``now`` means
+        "may act on the very next step", :data:`NEVER` means the gate has
+        no self-generated events (it can still be woken externally, e.g.
+        by its pair partner's comparison).
+        """
+
+    @property
+    def open_count(self) -> int:
+        """User instructions in the currently-open fingerprint interval."""
 
 
 class ImmediateGate:
@@ -68,3 +85,9 @@ class ImmediateGate:
 
     def flush(self) -> None:
         self._queue.clear()
+
+    def next_release(self, now: int) -> int:
+        # Queued entries retire on the very next step; otherwise nothing.
+        return now if self._queue else NEVER
+
+    open_count = 0  # no fingerprint intervals without checking

@@ -31,6 +31,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from itertools import islice
+from operator import attrgetter
 from typing import Callable
 
 from repro.isa.instructions import Instruction
@@ -45,10 +46,13 @@ from repro.isa.semantics import (
 )
 from repro.memory.port import CoreMemPort
 from repro.pipeline.branch_predictor import BranchPredictor
-from repro.pipeline.gates import ImmediateGate, RetireGate
+from repro.pipeline.gates import NEVER, ImmediateGate, RetireGate
 from repro.pipeline.rob import DynInstr, DynState
 from repro.pipeline.tlb_handler import handler_sequence
 from repro.sim.config import Consistency, SystemConfig, TLBMode
+
+#: Sort key for the ready list (program order); hoisted out of _do_issue.
+_BY_SEQ = attrgetter("seq")
 
 
 class _Fetched:
@@ -105,7 +109,7 @@ class OoOCore:
         self._prev_producer: dict[int, DynInstr | None] = {}
         self.ready: list[DynInstr] = []
         self.completions: list[tuple[int, int, DynInstr]] = []  # heap
-        self._store_entries: list[DynInstr] = []
+        self._store_entries: deque[DynInstr] = deque()
         self._ser_heap: list[tuple[int, DynInstr]] = []
         self._next_seq = 0
 
@@ -168,23 +172,152 @@ class OoOCore:
         """True when nothing is in flight and the core has halted."""
         return self.halted and not self.rob and not self.drain and self._drain_inflight is None
 
+    # -- event horizon (cycle-skipping kernel) --------------------------
+    def next_event(self, now: int) -> int:
+        """Conservative wake-up horizon for the cycle-skipping kernel.
+
+        Returns the earliest cycle ``>= now`` at which :meth:`step` could
+        change any state (architectural, microarchitectural, or
+        statistics).  ``now`` itself means "cannot skip: the very next
+        step may act"; :data:`NEVER` means the core generates no further
+        events on its own (it can still be woken by its pair partner,
+        whose horizon is computed separately).
+
+        The contract is *conservative*: returning a cycle earlier than
+        the true next event merely costs a no-op step (under-skipping is
+        safe); returning a later cycle would silently drop work
+        (over-skipping is a bug).  Every ``now``-dependent branch of
+        ``step()`` must therefore be reflected here:
+
+        * the completion heap head,
+        * the in-flight store drain (and any queued drain store, which
+          retries — and counts MSHR-stall statistics — every cycle),
+        * the retire gate's next release / interval-timeout close,
+        * pending offers of completed ROB entries into the check stage,
+        * the ready list (issue is attempted every cycle it is nonempty),
+        * a serializing instruction at the ROB head or at the check
+          boundary (Section 4.4 stalls),
+        * the fetch queue head's dispatch-ready cycle, and
+        * the frontend's ``stall_fetch_until``.
+        """
+        wake = NEVER
+        # Completions: nothing executes out of the heap before its head.
+        heap = self.completions
+        if heap:
+            t = heap[0][0]
+            if t <= now:
+                return now
+            wake = t
+        # Store drain: an in-flight drain completes at a known cycle; a
+        # queued drain store is attempted (or MSHR-retried, which counts
+        # stall statistics) every single cycle.
+        inflight = self._drain_inflight
+        if inflight is not None:
+            t = inflight[2]
+            if t <= now:
+                return now
+            if t < wake:
+                wake = t
+        elif self.drain:
+            return now
+        # Retire gate: cleared intervals, injected-serializing stalls,
+        # and (for paired gates) the interval-timeout close.
+        t = self.gate.next_release(now)
+        if t <= now:
+            return now
+        if t < wake:
+            wake = t
+        rob = self.rob
+        check_pending = self._check_pending
+        if check_pending < len(rob):
+            waiting = rob[check_pending]
+            # Completed entries are offered to the gate width-per-cycle.
+            if waiting.state == DynState.COMPLETED:
+                return now
+            # A ready serializing instruction at the check boundary ends
+            # the open fingerprint interval (gate.close_open).
+            if (
+                self.gate.open_count
+                and waiting.pending == 0
+                and waiting.state == DynState.DISPATCHED
+                and (waiting.serializing or waiting.inst.op is Op.HALT)
+            ):
+                return now
+        # Issue: a nonempty ready list is rescanned every cycle.
+        if self.ready:
+            return now
+        if rob:
+            head = rob[0]
+            if (
+                head.state == DynState.DISPATCHED
+                and head.pending == 0
+                and (head.serializing or head.inst.op is Op.HALT)
+            ):
+                op = head.inst.op
+                needs_drain = (
+                    op is Op.MEMBAR
+                    or op is Op.ATOMIC
+                    or op is Op.CAS
+                    or (self.sc_mode and op is Op.STORE)
+                )
+                if not needs_drain or self.drain_empty:
+                    return now
+                # Otherwise blocked on the drain, whose horizon is above.
+        # Dispatch: the fetch-queue head becomes eligible at ready_cycle;
+        # structural blocks (ROB, store buffer, single-step) are lifted
+        # only by retire/drain events already accounted for.
+        fetch_queue = self.fetch_queue
+        if fetch_queue:
+            head = fetch_queue[0]
+            t = head.ready_cycle
+            if t > now:
+                if t < wake:
+                    wake = t
+            elif len(rob) < self.core_cfg.rob_size and not (self.single_step and rob):
+                if not (
+                    head.inst.op is Op.STORE
+                    and self.sb_count >= self.core_cfg.store_buffer_size
+                ):
+                    return now
+        # Fetch: active whenever there is room and the frontend is not
+        # stalled; a hardware-TLB refill stall expires at a known cycle.
+        if (
+            not self.halted
+            and not self.fetch_stalled
+            and len(fetch_queue) < self.core_cfg.fetch_queue_size
+        ):
+            t = self.stall_fetch_until
+            if t <= now:
+                return now
+            if t < wake:
+                wake = t
+        return wake
+
     # -- completions ----------------------------------------------------
     def _do_completions(self, now: int) -> None:
         heap = self.completions
+        if not heap or heap[0][0] > now:
+            return
+        # Hot path: hoist bound methods and the ready list out of the loop.
+        heappop = heapq.heappop
+        ready_append = self.ready.append
+        completed = DynState.COMPLETED
+        dispatched = DynState.DISPATCHED
         while heap and heap[0][0] <= now:
-            _, _, entry = heapq.heappop(heap)
+            entry = heappop(heap)[2]
             if entry.squashed:
                 continue
-            entry.state = DynState.COMPLETED
+            entry.state = completed
             entry.complete_cycle = now
             if self.tracer is not None:
                 self.tracer.complete(entry, now)
-            if entry.result is not None:
+            result = entry.result
+            if result is not None:
                 for dependent, slot in entry.dependents:
                     if not dependent.squashed:
-                        dependent.set_src(slot, entry.result)
-                        if dependent.pending == 0 and dependent.state == DynState.DISPATCHED:
-                            self.ready.append(dependent)
+                        dependent.set_src(slot, result)
+                        if dependent.pending == 0 and dependent.state == dispatched:
+                            ready_append(dependent)
                 entry.dependents = []
             if entry.inst.is_branch:
                 self.predictor.update(entry.pc, entry.actual_next != entry.pc + 1)
@@ -244,7 +377,7 @@ class OoOCore:
         inst = entry.inst
         self.total_retired += 1
         if inst.op is Op.STORE and self._store_entries and self._store_entries[0] is entry:
-            self._store_entries.pop(0)
+            self._store_entries.popleft()
 
         if inst.writes_reg and entry.result is not None:
             self.arf.write(inst.rd, entry.result)
@@ -327,34 +460,37 @@ class OoOCore:
 
         if not self.ready:
             return
-        self.ready.sort(key=lambda e: e.seq)
+        self.ready.sort(key=_BY_SEQ)
         issue_budget = self.core_cfg.width
         load_ports = self.core_cfg.load_ports
         ser_limit = self._oldest_active_serializing()
         remaining: list[DynInstr] = []
+        # Hot path: cache the append bound method and state constant.
+        defer = remaining.append
+        dispatched = DynState.DISPATCHED
 
         for entry in self.ready:
-            if entry.squashed or entry.state != DynState.DISPATCHED:
+            if entry.squashed or entry.state != dispatched:
                 continue
             if issue_budget == 0:
-                remaining.append(entry)
-                continue
-            if entry.serializing or entry.inst.op is Op.HALT:
-                remaining.append(entry)  # handled by _issue_serializing
-                continue
-            if ser_limit is not None and entry.seq > ser_limit:
-                remaining.append(entry)  # blocked behind a serializing op
+                defer(entry)
                 continue
             op = entry.inst.op
+            if entry.serializing or op is Op.HALT:
+                defer(entry)  # handled by _issue_serializing
+                continue
+            if ser_limit is not None and entry.seq > ser_limit:
+                defer(entry)  # blocked behind a serializing op
+                continue
             if op is Op.LOAD:
                 if load_ports == 0:
-                    remaining.append(entry)
+                    defer(entry)
                     continue
                 outcome = self._issue_load(entry, now)
                 if outcome == "trap":
                     return  # pipeline flushed; ready list rebuilt
                 if outcome == "wait":
-                    remaining.append(entry)
+                    defer(entry)
                     continue
                 load_ports -= 1
             elif op is Op.STORE:
@@ -629,9 +765,11 @@ class OoOCore:
                 inst.is_alu or inst.is_mem or inst.is_branch
             )
             needs2 = inst.rs2 != 0 and (
-                (inst.is_alu and not op.name.endswith("I"))
+                (inst.is_alu and not inst.imm_form)
                 or inst.is_branch
-                or op in (Op.STORE, Op.ATOMIC, Op.CAS)
+                or op is Op.STORE
+                or op is Op.ATOMIC
+                or op is Op.CAS
             )
             if needs1:
                 self._capture(entry, 1, inst.rs1)
@@ -751,7 +889,7 @@ class OoOCore:
                 else:
                     del self.rename[inst.rd]
             self._prev_producer.pop(victim.seq, None)
-        self._store_entries = [s for s in self._store_entries if not s.squashed]
+        self._store_entries = deque(s for s in self._store_entries if not s.squashed)
         if self.sync_request is not None and self.sync_request.squashed:
             self.sync_request = None
         self.ready = [e for e in self.ready if not e.squashed]

@@ -18,6 +18,7 @@ The paper assumes on-chip cache bandwidth scales with the core count
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Callable, Sequence
 
 from repro.core.pair import LogicalPair
@@ -27,7 +28,7 @@ from repro.memory.main_memory import MainMemory
 from repro.memory.l2_controller import SharedL2Controller
 from repro.memory.port import CoreMemPort
 from repro.memory.snoopy import SnoopyBus
-from repro.pipeline.gates import ImmediateGate
+from repro.pipeline.gates import NEVER, ImmediateGate
 from repro.pipeline.ooo_core import OoOCore
 from repro.sim.config import CacheStyle, Mode, SystemConfig
 from repro.sim.stats import Stats
@@ -46,7 +47,17 @@ class CMPSystem:
         config: SystemConfig,
         programs: Sequence[Program],
         itlb_schedules: Sequence[ITLBSchedule | None] | None = None,
+        kernel: str | None = None,
     ) -> None:
+        if kernel is None:
+            kernel = os.environ.get("REPRO_KERNEL", "event")
+        if kernel not in ("event", "naive"):
+            raise ValueError(f"unknown simulation kernel {kernel!r}; use 'event' or 'naive'")
+        #: Simulation kernel: ``"event"`` skips cycles in which no
+        #: component can act (bit-identical to per-cycle execution by the
+        #: conservative next_event() contract); ``"naive"`` steps every
+        #: cycle.  Overridable per-process with ``REPRO_KERNEL``.
+        self.kernel = kernel
         if len(programs) != config.n_logical:
             raise ValueError(
                 f"need {config.n_logical} programs, got {len(programs)}"
@@ -59,6 +70,10 @@ class CMPSystem:
         self.config = config
         self.stats = Stats()
         self.now = 0
+        #: Cycles actually stepped (vs. skipped).  Diagnostic only — the
+        #: skip ratio ``1 - steps/now`` differs between kernels, so this
+        #: must never be folded into :class:`Stats`.
+        self.steps = 0
 
         mode = config.redundancy.mode
         self.memory = MainMemory(config.memory.latency, config.l2.line_bytes)
@@ -134,6 +149,8 @@ class CMPSystem:
 
     # -- simulation loop ----------------------------------------------------
     def step(self) -> None:
+        """Advance exactly one cycle (the public per-cycle API)."""
+        self.steps += 1
         now = self.now
         for core in self.cores:
             core.step(now)
@@ -141,15 +158,69 @@ class CMPSystem:
             pair.step(now)
         self.now = now + 1
 
+    def _advance(self, limit: int) -> None:
+        """Skip directly to the next cycle at which any component can act.
+
+        Computes the minimum conservative ``next_event`` horizon over all
+        cores, pairs and the memory controller, clamps it to ``limit``,
+        and jumps ``now`` there without stepping anything.  Skipped cycles
+        are by construction no-ops, so the only bookkeeping is each
+        core's per-cycle counter (``step`` increments it unconditionally).
+        Leaves ``now`` unchanged when the very next cycle is active.
+        """
+        now = self.now
+        horizon = limit
+        for core in self.cores:
+            t = core.next_event(now)
+            if t <= now:
+                return
+            if t < horizon:
+                horizon = t
+        for pair in self.pairs:
+            t = pair.next_event(now)
+            if t <= now:
+                return
+            if t < horizon:
+                horizon = t
+        t = self.controller.next_event(now)
+        if t <= now:
+            return
+        if t < horizon:
+            horizon = t
+        delta = horizon - now
+        if delta <= 0:
+            return
+        for core in self.cores:
+            core.cycles += delta
+        self.now = horizon
+
     def run(self, cycles: int) -> None:
-        for _ in range(cycles):
+        """Advance the system by exactly ``cycles`` cycles."""
+        end = self.now + cycles
+        if self.kernel == "naive":
+            while self.now < end:
+                self.step()
+            return
+        while self.now < end:
+            self._advance(end)
+            if self.now >= end:
+                return
             self.step()
 
     def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
-        """Run until every logical processor has halted; returns cycles."""
+        """Run until every logical processor has halted; returns cycles.
+
+        Skips are clamped at ``max_cycles`` so the timeout fires at the
+        identical cycle count as the naive per-cycle loop.
+        """
+        skipping = self.kernel == "event"
         while not self.idle:
             if self.now >= max_cycles:
                 raise RuntimeError(f"system did not halt within {max_cycles} cycles")
+            if skipping:
+                self._advance(max_cycles)
+                if self.now >= max_cycles:
+                    continue  # re-check idle, then raise at max_cycles
             self.step()
         return self.now
 
