@@ -197,6 +197,8 @@ def cmd_bench(args) -> int:
             jobs=args.jobs,
             only=args.only,
             compare_kernels=not args.no_kernel_comparison,
+            compare_exec=not args.no_exec_comparison,
+            quick=args.quick,
         )
     except ValueError as exc:
         print(exc, file=sys.stderr)
@@ -290,6 +292,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-kernel-comparison",
         action="store_true",
         help="skip the naive-vs-event kernel timing",
+    )
+    bench_parser.add_argument(
+        "--no-exec-comparison",
+        action="store_true",
+        help="skip the dual-vs-replay execution timing",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke run: one phase at reduced windows, single memory-bound "
+        "kernel artifact, compute-bound execution comparison only "
+        "(finishes in seconds)",
     )
     bench_parser.set_defaults(func=cmd_bench)
     return parser

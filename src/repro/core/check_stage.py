@@ -41,6 +41,11 @@ class IntervalRecord:
     serializing: bool
     has_sync: bool  # contains a synchronizing-request instruction
     has_halt: bool
+    #: Replay fast path: an instruction in this interval produced update
+    #: words differing from the vocal's trace — the exact condition under
+    #: which dual execution's fingerprints would mismatch.  The pair
+    #: treats a poisoned interval as a fingerprint mismatch.
+    poisoned: bool = False
 
 
 class CheckGate:
@@ -68,6 +73,20 @@ class CheckGate:
         #: kernel must only schedule timeout-close wake-ups for paired
         #: gates — a StrictCheckGate never has its timeout invoked.
         self.paired = False
+        #: Replay fast path: when True, skip hashing offered instructions
+        #: into the accumulator.  Set symmetrically on BOTH gates of a
+        #: pair by LogicalPair.enable_replay — intervals then compare by
+        #: count/has_halt alone (0 == 0 for the unhashed fingerprints),
+        #: which is decision-identical because replayed windows are by
+        #: construction divergence-free.
+        self._skip_fp = False
+        #: Replay divergence detection (mute gate only): the open
+        #: interval absorbed an instruction whose update words differ
+        #: from the vocal's trace record at the same stream position.
+        self._poison_open = False
+        #: Offered instructions the vocal hadn't logged yet, awaiting a
+        #: deferred word comparison: (entry, stream index, interval index).
+        self._replay_checks: list[tuple[DynInstr, int, int]] = []
         #: Monotone counters for statistics.
         self.intervals_closed = 0
         self.fingerprints_compared = 0
@@ -82,7 +101,8 @@ class CheckGate:
             # of the queue — see pop_retirable.
             self._pending.append((entry, None, now))
             return
-        self._accum.add_instruction(entry)
+        if not self._skip_fp:
+            self._accum.add_instruction(entry)
         self._count += 1
         self._has_sync = self._has_sync or entry.was_sync
         is_halt = entry.inst.op is Op.HALT
@@ -127,14 +147,65 @@ class CheckGate:
                 serializing=False,
                 has_sync=self._has_sync,
                 has_halt=self._has_halt,
+                poisoned=self._poison_open,
             )
         )
         self._accum.reset()
         self._count = 0
         self._has_sync = False
         self._has_halt = False
+        self._poison_open = False
         self._index += 1
         self.intervals_closed += 1
+
+    # -- replay fast path (mute gate only) ---------------------------------
+    def add_replay_check(self, entry: DynInstr, stream_index: int) -> None:
+        """Defer the word comparison for ``entry`` until the vocal logs it."""
+        self._replay_checks.append((entry, stream_index, self._index))
+
+    def poison_open(self) -> None:
+        """Mark the currently-open interval as containing a divergence."""
+        self._poison_open = True
+
+    def poison_interval(self, interval_index: int) -> None:
+        """Mark interval ``interval_index`` (open or closed) poisoned."""
+        if interval_index == self._index:
+            self._poison_open = True
+            return
+        for record in self._closed:
+            if record.index == interval_index:
+                record.poisoned = True
+                return
+        # Already popped: that comparison can only have mismatched on
+        # count (interval misalignment), so recovery is already pending.
+
+    def resolve_replay_checks(self, trace) -> bool:
+        """Run deferred word comparisons against newly-logged records.
+
+        Returns True when a divergence was found (a poison was placed).
+        Squashed entries are dropped: they re-offer after re-execution
+        with a fresh check, and their pre-squash content matches the
+        vocal's pre-squash records by the speculative-identity argument.
+        """
+        if not self._replay_checks:
+            return False
+        from repro.core.replay import entry_words, record_words
+
+        poisoned = False
+        keep = []
+        for item in self._replay_checks:
+            entry, stream_index, interval_index = item
+            if entry.squashed:
+                continue
+            rec = trace.get(stream_index)
+            if rec is None:
+                keep.append(item)
+                continue
+            if entry_words(entry) != record_words(rec):
+                self.poison_interval(interval_index)
+                poisoned = True
+        self._replay_checks = keep
+        return poisoned
 
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
         out: list[DynInstr] = []
@@ -230,4 +301,6 @@ class CheckGate:
         self._count = 0
         self._has_sync = False
         self._has_halt = False
+        self._poison_open = False
+        self._replay_checks.clear()
         self._index = 0

@@ -1,0 +1,192 @@
+"""Mirror windows: skip the mute core's pipeline while provably symmetric.
+
+The replay fast path's heavy lever.  From reset until the first
+*asymmetry trigger*, the vocal and mute cores of a logical pair are
+bit-identical automata: both start from the same architectural state,
+fetch the same program through identical frontends, and — as long as no
+instruction touches the memory system — neither interacts with any
+shared structure.  Every private field of the mute (ROB, rename map,
+predictor, check stage, counters) is, cycle for cycle, a relabeling of
+the vocal's.  Simulating the mute during such a window is therefore pure
+overhead: the pair can *mirror* instead — step only the vocal, compare
+its closed fingerprint intervals against themselves (the virtual mute's
+are identical by construction), and materialize the mute's state by
+copying the vocal's the moment the window ends.
+
+The window closes — conservatively, before any asymmetric behaviour can
+occur — when the vocal *fetches* anything that will eventually touch
+shared state or behave pair-asymmetrically:
+
+* a memory instruction (loads are where input incoherence, the only
+  divergence source, can enter — and any L1/L2 access mutates shared
+  controller state the dual-mode mute would also have mutated);
+* a serializing instruction (atomics park synchronizing requests with
+  the pair controller);
+* an injected handler instruction (software TLB walks perform loads);
+* ``HALT`` (so end-of-run state is fully materialized).
+
+Fetch leads dispatch by at least one cycle and issue by two, so exiting
+at the *end of the fetch cycle* is strictly earlier than the first
+possible shared-state access.  Other exits: an external interrupt being
+posted, a fault injector arming, a retire hook or tracer attaching, or
+replay being disabled (decoupling).
+
+Materialization is a deep, memo-ed copy of every mutable private field
+of the vocal core and its check gate onto the mute, cloning live
+:class:`DynInstr` objects so the two pipelines share no mutable state
+afterwards.  The differential tests in ``tests/sim/test_replay_exec.py``
+diff every observable between replay and dual mode to keep this honest.
+"""
+
+from __future__ import annotations
+
+from repro.core.check_stage import CheckGate, IntervalRecord
+from repro.pipeline.ooo_core import OoOCore, _Fetched
+from repro.pipeline.rob import DynInstr
+
+#: DynInstr fields copied verbatim (everything except the entry-graph
+#: reference field ``dependents``, fixed up in a second pass).
+_ENTRY_SCALARS = tuple(s for s in DynInstr.__slots__ if s != "dependents")
+
+#: OoOCore counters a mirror sync copies vocal -> mute.
+MIRRORED_COUNTERS = (
+    "cycles",
+    "user_retired",
+    "total_retired",
+    "injected_retired",
+    "dtlb_misses",
+    "itlb_misses",
+    "mispredicts",
+    "serializing_retired",
+    "user_mem_retired",
+    "interrupts_serviced",
+)
+
+
+def sync_counters(vocal: OoOCore, mute: OoOCore) -> None:
+    """Bring the mute's observable counters up to date mid-window.
+
+    Cheap (a dozen attribute copies plus the ARF) — called whenever
+    statistics or architectural state may be read while a mirror window
+    is still open, without ending the window.
+    """
+    for name in MIRRORED_COUNTERS:
+        setattr(mute, name, getattr(vocal, name))
+    mute.arf.copy_from(vocal.arf)
+    mute.pc = vocal.pc
+    # ``halted`` is deliberately NOT copied: in-window both cores are
+    # provably un-halted (a fetched HALT ends the window before it can
+    # retire), and a *True* value can only mean an external freeze —
+    # which the pair treats as an exit trigger and must preserve.
+    mute_gate = mute.gate
+    vocal_gate = vocal.gate
+    mute_gate.intervals_closed = vocal_gate.intervals_closed
+    mute_gate.fingerprints_compared = vocal_gate.fingerprints_compared
+
+
+def materialize(vocal: OoOCore, mute: OoOCore) -> None:
+    """End a mirror window: copy the vocal's full private state to the mute.
+
+    After this call the mute is exactly the core a dual-execution run
+    would have produced at this cycle boundary (the window was
+    symmetric), and normal per-cycle stepping can resume.  The mute
+    keeps its own identity: ``core_id``, memory port, gate object,
+    pair backreference, and hooks are untouched.
+    """
+    sync_counters(vocal, mute)
+
+    # -- clone the live dynamic-instruction graph -----------------------
+    clones: dict[int, DynInstr] = {}
+    worklist: list[DynInstr] = []
+
+    def clone(entry):
+        if entry is None:
+            return None
+        copied = clones.get(id(entry))
+        if copied is None:
+            copied = DynInstr.__new__(DynInstr)
+            for name in _ENTRY_SCALARS:
+                setattr(copied, name, getattr(entry, name))
+            copied.dependents = []
+            clones[id(entry)] = copied
+            worklist.append(entry)
+        return copied
+
+    mute.rob = type(vocal.rob)(clone(e) for e in vocal.rob)
+    mute.ready = [clone(e) for e in vocal.ready]
+    mute.completions = [(t, s, clone(e)) for (t, s, e) in vocal.completions]
+    mute._store_entries = type(vocal._store_entries)(
+        clone(e) for e in vocal._store_entries
+    )
+    mute._ser_heap = [(s, clone(e)) for (s, e) in vocal._ser_heap]
+    mute.rename = {reg: clone(e) for reg, e in vocal.rename.items()}
+    mute._prev_producer = {
+        seq: clone(e) for seq, e in vocal._prev_producer.items()
+    }
+    mute.sync_request = clone(vocal.sync_request)
+    mute.resume_normal_after = clone(vocal.resume_normal_after)
+
+    # Wake-up lists may reference entries reachable nowhere else (e.g.
+    # squashed consumers): the worklist grows while we fix them up.
+    index = 0
+    while index < len(worklist):
+        original = worklist[index]
+        copied = clones[id(original)]
+        copied.dependents = [
+            (clone(dep), slot) for dep, slot in original.dependents
+        ]
+        index += 1
+
+    # -- frontend -------------------------------------------------------
+    mute.fetch_queue = type(vocal.fetch_queue)(
+        _Fetched(f.ready_cycle, f.pc, f.inst, f.injected, f.predicted_next, f.fill_addr)
+        for f in vocal.fetch_queue
+    )
+    mute.injection = type(vocal.injection)(vocal.injection)
+    mute._injection_resume = vocal._injection_resume
+    mute.fetch_stalled = vocal.fetch_stalled
+    mute.stall_fetch_until = vocal.stall_fetch_until
+    mute.predictor._table = list(vocal.predictor._table)
+    mute.predictor._history = vocal.predictor._history
+
+    # -- backend scalars ------------------------------------------------
+    mute._next_seq = vocal._next_seq
+    mute._check_pending = vocal._check_pending
+    mute.single_step = vocal.single_step
+    mute.drain = type(vocal.drain)(vocal.drain)
+    mute.sb_count = vocal.sb_count
+    mute._drain_inflight = vocal._drain_inflight
+    mute._interrupts = type(vocal._interrupts)(vocal._interrupts)
+
+    # -- check stage ----------------------------------------------------
+    _materialize_gate(vocal.gate, mute.gate, clone)
+
+
+def _materialize_gate(vocal_gate: CheckGate, mute_gate: CheckGate, clone) -> None:
+    mute_gate._pending = type(vocal_gate._pending)(
+        (clone(entry), index, offered)
+        for entry, index, offered in vocal_gate._pending
+    )
+    mute_gate._closed = type(vocal_gate._closed)(
+        IntervalRecord(
+            index=r.index,
+            fingerprint=r.fingerprint,
+            count=r.count,
+            close_cycle=r.close_cycle,
+            serializing=r.serializing,
+            has_sync=r.has_sync,
+            has_halt=r.has_halt,
+            poisoned=r.poisoned,
+        )
+        for r in vocal_gate._closed
+    )
+    mute_gate._retire_time = dict(vocal_gate._retire_time)
+    mute_gate._count = vocal_gate._count
+    mute_gate._has_sync = vocal_gate._has_sync
+    mute_gate._has_halt = vocal_gate._has_halt
+    mute_gate._index = vocal_gate._index
+    mute_gate._last_offer = vocal_gate._last_offer
+    mute_gate._accum._crc = vocal_gate._accum._crc
+    mute_gate.single_step = vocal_gate.single_step
+    mute_gate._poison_open = False
+    mute_gate._replay_checks.clear()

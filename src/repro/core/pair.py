@@ -28,12 +28,15 @@ from __future__ import annotations
 import enum
 
 from repro.core.check_stage import CheckGate
+from repro.core.mirror import materialize, sync_counters
+from repro.core.replay import ReplayTrace
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.semantics import atomic_result
 from repro.memory.l2_controller import SharedL2Controller
 from repro.pipeline.gates import NEVER
 from repro.pipeline.ooo_core import OoOCore
+from repro.pipeline.rob import DynState
 from repro.sim.config import SystemConfig
 
 #: Base address of the (per-core, uncontended) interrupt vector data.
@@ -86,6 +89,27 @@ class LogicalPair:
         mute.gate.paired = True
         vocal.pair_sync_atomics = True
         mute.pair_sync_atomics = True
+        vocal.pair = self
+        mute.pair = self
+
+        # Replay fast path (see repro.core.replay).
+        self.replay_enabled = False
+        self._replay_trace: ReplayTrace | None = None
+        #: Highest fingerprint-interval index that may contain unhashed
+        #: instructions (replay was active for part of it); such
+        #: intervals compare by count/has_halt alone.  -1 = none.
+        self._replay_trusted = -1
+        #: Mirror window (see repro.core.mirror): the mute core is not
+        #: stepped at all while the pair is provably symmetric; its state
+        #: is materialized from the vocal's when the window ends.
+        self._mirror_active = False
+        #: Cycles covered by the mirror window.  Diagnostic only — dual
+        #: execution reports 0, so this must never be folded into
+        #: :class:`Stats`.
+        self.mirror_cycles = 0
+        #: Gate partial-interval timeout (mirror hot path; must match
+        #: CheckGate.maybe_timeout_close).
+        self._interval_timeout = max(8, self.redundancy.fingerprint_interval // 2)
 
         self.state = PairState.NORMAL
         self.phase = 0  # 1 or 2 while recovering
@@ -104,15 +128,198 @@ class LogicalPair:
         #: (cycle, cause) per recovery — detection-latency analysis.
         self.recovery_log: list[tuple[int, str]] = []
 
+    # -- replay fast path ------------------------------------------------
+    def enable_replay(self) -> None:
+        """Drive the mute from the vocal's value trace (bit-identical).
+
+        Call before execution starts.  The vocal logs its in-order
+        check-stage stream into a shared :class:`ReplayTrace`; the mute
+        binds dispatched instructions to those records and reuses the
+        values instead of recomputing them.  Both gates stop hashing
+        fingerprints — intervals compare by count/has_halt, which is
+        decision-identical because replayed windows are by construction
+        divergence-free.  See :mod:`repro.core.replay` for the contract.
+        """
+        if self.replay_enabled:
+            return
+        trace = ReplayTrace()
+        self._replay_trace = trace
+        self.vocal.replay_log = trace
+        self.mute.replay_trace = trace
+        self.mute._replay_cursor = self.mute.user_retired
+        self.mute._replay_synced = True
+        self.mute._replay_offer_cursor = self.mute.user_retired
+        self.mute._replay_diverged = False
+        self.vocal.gate._skip_fp = True  # type: ignore[attr-defined]
+        self.mute.gate._skip_fp = True  # type: ignore[attr-defined]
+        self.replay_enabled = True
+        # Mirror window: from reset, vocal and mute are bit-identical
+        # automata until the first memory / serializing / injected
+        # instruction enters the vocal's frontend — so don't step the
+        # mute at all; materialize its state at window exit.  Only armed
+        # from pristine state (the symmetry induction base) with no
+        # observers attached.
+        vocal, mute = self.vocal, self.mute
+        if (
+            vocal.cycles == 0
+            and mute.cycles == 0
+            and not vocal.rob
+            and not mute.rob
+            and vocal.user_retired == 0
+            and mute.user_retired == 0
+            and vocal.program is mute.program
+            and vocal.fault_hook is None
+            and mute.fault_hook is None
+            and vocal.retire_hook is None
+            and mute.retire_hook is None
+            and vocal.tracer is None
+            and mute.tracer is None
+        ):
+            self._mirror_active = True
+            vocal.mirror_watch = True
+            vocal.mirror_trigger = False
+            mute.mirror_passive = True
+
+    def disable_replay(self) -> None:
+        """Fall back to full dual execution (fault armed, or decoupling).
+
+        Safe mid-run: not-yet-issued bound entries are unbound so a
+        fault hook's corruption propagates to consumers exactly as in
+        dual mode, and intervals that were partially unhashed on either
+        gate keep comparing by count until recovery renumbers them.
+        """
+        if not self.replay_enabled:
+            return
+        if self._mirror_active:
+            self._exit_mirror()
+        trusted = -1
+        for gate in (self.vocal.gate, self.mute.gate):
+            idx = gate._index if gate.open_count else gate._index - 1
+            trusted = max(trusted, idx)
+            gate._skip_fp = False
+        self._replay_trusted = max(self._replay_trusted, trusted)
+        self.vocal.replay_log = None
+        self.mute.replay_trace = None
+        for entry in self.mute.rob:
+            if entry.replay is not None and entry.state == DynState.DISPATCHED:
+                entry.replay = None
+        # Unresolved deferred checks fall under the count-only compare
+        # of the trusted window; placed poisons (definite divergences)
+        # are kept.
+        self.mute.gate._replay_checks.clear()  # type: ignore[attr-defined]
+        self._replay_trace = None
+        self.replay_enabled = False
+
+    def _exit_mirror(self) -> None:
+        """End the mirror window: reconstruct the mute from the vocal.
+
+        The copied state is exactly what dual execution's mute would hold
+        at this cycle boundary (the window was symmetric), so normal
+        per-cycle stepping resumes seamlessly.  The conservative replay
+        layer stays enabled; its cursors are re-anchored to the vocal's
+        log position, which equals the committed-stream position of the
+        mute's next offer.
+        """
+        vocal, mute = self.vocal, self.mute
+        materialize(vocal, mute)
+        trace = self._replay_trace
+        if trace is not None:
+            end = len(trace)
+            mute._replay_offer_cursor = end
+            mute._replay_cursor = end
+            mute._replay_synced = False
+            mute._replay_diverged = False
+        self.mirror_cycles += vocal.cycles
+        self._mirror_active = False
+        vocal.mirror_watch = False
+        vocal.mirror_trigger = False
+        mute.mirror_passive = False
+
+    def mirror_sync(self) -> None:
+        """Refresh the mute's observable counters without ending a window."""
+        if self._mirror_active:
+            sync_counters(self.vocal, self.mute)
+
+    def _mirror_must_exit(self) -> bool:
+        vocal, mute = self.vocal, self.mute
+        return (
+            vocal.mirror_trigger
+            or vocal.fault_hook is not None
+            or mute.fault_hook is not None
+            or vocal.retire_hook is not None
+            or mute.retire_hook is not None
+            or vocal.tracer is not None
+            or mute.tracer is not None
+            # Impossible from modeled execution in-window (a fetched HALT
+            # ends the window first): an externally frozen core.
+            or vocal.halted
+            or mute.halted
+            # Likewise: recoveries cannot arise in-window, so a non-NORMAL
+            # state means one was scheduled externally.
+            or self.state is not PairState.NORMAL
+        )
+
+    def _step_mirror(self, now: int) -> None:
+        """Pair machinery while the mute is a virtual copy of the vocal.
+
+        Every closed vocal interval matches the virtual mute's identical
+        interval by construction, so the comparison collapses to an
+        immediate clear one comparison latency after the close — exactly
+        the cycle dual execution would clear it (both lockstep gates
+        close interval *k* at the same cycle, so ``max`` of the two close
+        cycles is the vocal's).  Recoveries, watchdog timeouts and
+        synchronizing requests are impossible in-window: no memory
+        instruction has even been fetched.
+        """
+        vocal = self.vocal
+        vocal_gate: CheckGate = vocal.gate  # type: ignore[assignment]
+        # Inlined gate.maybe_timeout_close / clear_interval: this runs
+        # every stepped cycle of a mirror window, which on compute-bound
+        # workloads is nearly every cycle of the simulation.
+        if (
+            vocal_gate._count
+            and now - vocal_gate._last_offer > self._interval_timeout
+        ):
+            vocal_gate._close(now)
+        closed = vocal_gate._closed
+        if closed:
+            latency = self.redundancy.comparison_latency
+            retire_time = vocal_gate._retire_time
+            compared = 0
+            while closed:
+                a = closed.popleft()
+                retire_time[a.index] = a.close_cycle + latency
+                compared += 1
+            vocal_gate.fingerprints_compared += compared
+        self._replay_trace.trim(vocal.user_retired)
+
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
         """Advance pair-level machinery; call after both cores stepped."""
         if self.failed:
             return
+        if self._mirror_active:
+            if not self._mirror_must_exit():
+                self._step_mirror(now)
+                return
+            self._exit_mirror()
+        if self.replay_enabled:
+            if self.vocal.fault_hook is not None or self.mute.fault_hook is not None:
+                # Latch: a fault injector armed this pair — the mute must
+                # recompute (and hash) everything from here on so the
+                # corruption is detected exactly as in dual execution.
+                self.disable_replay()
+            else:
+                self._replay_trace.trim(self.mute.user_retired)
         vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
         mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
         vocal_gate.maybe_timeout_close(now)
         mute_gate.maybe_timeout_close(now)
+        if self.replay_enabled:
+            # Resolve deferred word comparisons before any interval
+            # compare can pop the affected records.
+            if mute_gate.resolve_replay_checks(self._replay_trace):
+                self.mute._replay_diverged = True
 
         if self.state is PairState.WAIT_RECOVERY:
             if now >= self._recovery_at:
@@ -144,6 +351,14 @@ class LogicalPair:
         the cores), so they are not repeated here.
         """
         if self.failed:
+            return NEVER
+        if self._mirror_active:
+            # The only in-window pair events are exit triggers and the
+            # auto-compare of a closed vocal interval; interval-timeout
+            # closes and cleared-interval releases are reported by the
+            # vocal gate's ``next_release`` through the vocal core.
+            if self._mirror_must_exit() or self.vocal.gate.peek_closed() is not None:
+                return now
             return NEVER
         if self.state is PairState.WAIT_RECOVERY:
             at = self._recovery_at
@@ -188,9 +403,11 @@ class LogicalPair:
             mute_gate.pop_closed()
             ready = max(a.close_cycle, b.close_cycle) + latency
             matched = (
-                a.fingerprint == b.fingerprint
+                (a.fingerprint == b.fingerprint or a.index <= self._replay_trusted)
                 and a.count == b.count
                 and a.has_halt == b.has_halt
+                and not a.poisoned
+                and not b.poisoned
             )
             if matched:
                 vocal_gate.clear_interval(a.index, ready)
@@ -248,6 +465,9 @@ class LogicalPair:
             core.flush_for_recovery(resume, now, penalty)
             core.single_step = True
             core.gate.single_step = True  # type: ignore[attr-defined]
+        # Gate flush restarted interval numbering, so the unhashed-
+        # interval exemption from a mid-run replay disable is void.
+        self._replay_trusted = -1
         self.state = PairState.SINGLE_STEP
         self._exit_single_step_at = None
 
@@ -325,6 +545,10 @@ class LogicalPair:
         """
         if handler is None:
             handler = default_interrupt_handler()
+        if self._mirror_active:
+            # The interrupt must be scheduled on two real cores (and the
+            # handler's loads end symmetry anyway).
+            self._exit_mirror()
         margin = (
             self.config.core.rob_size
             + self.redundancy.fingerprint_interval

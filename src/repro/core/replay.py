@@ -1,0 +1,139 @@
+"""The mute-core replay fast path: the vocal's speculative value trace.
+
+RepTFD and MEEK observe that in fault-free, race-free windows a checker
+core re-executing the leader's instruction stream computes — by
+definition — exactly the values the leader already computed.  Simulating
+that recomputation is pure overhead.  This module provides the shared
+log that lets the mute core of a :class:`~repro.core.pair.LogicalPair`
+*replay* the vocal core's results instead of recomputing them, while
+every timing-relevant structure (the mute's L1, phantom requests, MSHRs,
+check-stage occupancy, branch-predictor redirects) is still modeled
+cycle-accurately.
+
+The contract is **bit identity**: a system built with
+``CMPSystem(execution="replay")`` must produce exactly the same
+``Stats``, architectural register state, fingerprint-comparison
+sequence, and recovery/timeout cycle counts as ``execution="dual"``.
+That holds because a replayed value is only ever substituted where the
+dual-execution value is *guaranteed equal*:
+
+* the system has a single logical pair and no other cores, so no third
+  party can hold a writable copy of a line the mute loads (no input
+  incoherence, Section 3 of the paper);
+* no fault injector is attached to either core (the pair disables
+  replay the moment one is — see ``LogicalPair.disable_replay``);
+* the mute only binds trace records while provably on the committed
+  control-flow path (the sync/resync protocol in
+  :mod:`repro.pipeline.ooo_core`).
+
+The trace is *speculative at the tail*: the vocal logs entries when they
+enter the check stage (in-order, completed, all older branches
+resolved), which can precede retirement.  Entries squashed after that
+point — trap, interrupt, or recovery squashes — are truncated and later
+re-logged; the mute may have bound a since-truncated record, which is
+harmless because the vocal's squashed speculative execution and the
+mute's squashed speculative execution compute identical values from the
+identical pre-squash architectural state.
+
+Records are plain tuples ``(pc, result, addr, store_value, actual_next,
+inst)`` indexed by committed user-instruction number.  The log is
+bounded: the pair trims records the mute has retired past (a recovery
+can never roll back below the retired prefix), so the live window is at
+most the vocal-to-mute skew the fingerprint flow control already bounds.
+"""
+
+from __future__ import annotations
+
+#: Record field indices (plain tuples on the hot path).
+REC_PC = 0
+REC_RESULT = 1
+REC_ADDR = 2
+REC_STORE_VALUE = 3
+REC_ACTUAL_NEXT = 4
+REC_INST = 5
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def update_words(inst, result, addr, store_value, actual_next) -> list[int]:
+    """The 64-bit update words a fingerprint would hash for one instruction.
+
+    Mirrors ``FingerprintAccumulator.add_instruction`` exactly (same
+    fields, same order, same None guards, same 64-bit truncation).  Two
+    instructions produce equal fingerprint contributions iff their word
+    lists are equal, so comparing word lists per stream position is a
+    collision-free fingerprint: the replay fast path uses it to reach
+    the same divergence decisions as dual execution without hashing.
+    """
+    words = []
+    if inst.writes_reg and result is not None:
+        words.append(result & _WORD_MASK)
+    if inst.is_store and addr is not None:
+        words.append(addr & _WORD_MASK)
+        if store_value is not None:
+            words.append(store_value & _WORD_MASK)
+    if inst.is_atomic and addr is not None:
+        words.append(addr & _WORD_MASK)
+    if inst.is_control and actual_next is not None:
+        words.append(actual_next & _WORD_MASK)
+    return words
+
+
+def entry_words(entry) -> list[int]:
+    """Fingerprint update words of a pipeline entry (mute side)."""
+    return update_words(
+        entry.inst, entry.result, entry.addr, entry.store_value, entry.actual_next
+    )
+
+
+def record_words(rec: tuple) -> list[int]:
+    """Fingerprint update words of a logged trace record (vocal side)."""
+    return update_words(rec[5], rec[1], rec[2], rec[3], rec[4])
+
+#: Compact the backing list only once this many retired records pile up.
+_TRIM_SLACK = 512
+
+
+class ReplayTrace:
+    """Append-only value log, indexed by committed user-instruction number.
+
+    The vocal appends (and truncates, on squash); the mute reads.  The
+    base offset moves forward as the mute retires, keeping the backing
+    list a small sliding window.
+    """
+
+    __slots__ = ("base", "records")
+
+    def __init__(self) -> None:
+        self.base = 0
+        self.records: list[tuple] = []
+
+    def __len__(self) -> int:
+        """One past the highest logged committed index."""
+        return self.base + len(self.records)
+
+    def append(self, record: tuple) -> None:
+        self.records.append(record)
+
+    def get(self, index: int):
+        """The record at committed ``index``, or None if not (yet) logged."""
+        i = index - self.base
+        if 0 <= i < len(self.records):
+            return self.records[i]
+        return None
+
+    def truncate_to(self, index: int) -> None:
+        """Vocal squash: drop every record at committed ``index`` and above."""
+        i = index - self.base
+        if i < len(self.records):
+            del self.records[max(i, 0) :]
+
+    def trim(self, retired: int) -> None:
+        """Release records below the mute's retired prefix (amortized)."""
+        k = retired - self.base
+        if k > _TRIM_SLACK:
+            if k >= len(self.records):
+                self.records.clear()
+            else:
+                del self.records[:k]
+            self.base = retired

@@ -57,6 +57,26 @@ class KernelComparison:
 
 
 @dataclass
+class ExecComparison:
+    """Dual vs. replay execution on one single-pair Reunion workload.
+
+    The replay fast path (see :mod:`repro.core.replay` and
+    :mod:`repro.core.mirror`) pays off most where redundant execution's
+    cost is pure pipeline simulation, so the headline artifact is the
+    compute-bound kernel; the memory-bound chase bounds the overhead in
+    the fast path's worst case.  ``identical`` diffs the full Stats
+    snapshots — the bit-identity contract, enforced on every bench run.
+    """
+
+    name: str
+    dual_wall_s: float
+    replay_wall_s: float
+    speedup: float
+    cycles: int
+    identical: bool
+
+
+@dataclass
 class BenchReport:
     """One `repro bench` run, serializable to ``BENCH_<date>.json``."""
 
@@ -65,6 +85,7 @@ class BenchReport:
     jobs: int
     phases: list[PhaseResult] = field(default_factory=list)
     kernel_comparison: list[KernelComparison] = field(default_factory=list)
+    exec_comparison: list[ExecComparison] = field(default_factory=list)
     schema: int = BENCH_SCHEMA
 
     def to_dict(self) -> dict:
@@ -79,6 +100,9 @@ class BenchReport:
             phases=[PhaseResult(**p) for p in payload.get("phases", [])],
             kernel_comparison=[
                 KernelComparison(**c) for c in payload.get("kernel_comparison", [])
+            ],
+            exec_comparison=[
+                ExecComparison(**c) for c in payload.get("exec_comparison", [])
             ],
             schema=payload.get("schema", BENCH_SCHEMA),
         )
@@ -119,6 +143,18 @@ class BenchReport:
                     f"{cmp_.name:<28}{cmp_.naive_wall_s:>10.3f}{cmp_.event_wall_s:>10.3f}"
                     f"{cmp_.speedup:>8.2f}x{'yes' if cmp_.identical else 'NO':>11}"
                 )
+        if self.exec_comparison:
+            lines += [
+                "",
+                "execution comparison (dual vs. replay, single Reunion pair):",
+                f"{'artifact':<28}{'dual s':>10}{'replay s':>10}{'speedup':>9}{'identical':>11}",
+                "-" * 68,
+            ]
+            for cmp_ in self.exec_comparison:
+                lines.append(
+                    f"{cmp_.name:<28}{cmp_.dual_wall_s:>10.3f}{cmp_.replay_wall_s:>10.3f}"
+                    f"{cmp_.speedup:>8.2f}x{'yes' if cmp_.identical else 'NO':>11}"
+                )
         return "\n".join(lines)
 
 
@@ -146,12 +182,18 @@ def run_kernel_comparison(scale, modes=(Mode.NONREDUNDANT, Mode.REUNION)) -> lis
     ``run`` windows.  The returned comparisons double as a correctness
     check: ``identical`` diffs the full Stats snapshots.
     """
+    return _compare_kernels_on(scale, _memory_bound_workloads(), modes)
+
+
+def _compare_kernels_on(
+    scale, workloads, modes=(Mode.NONREDUNDANT, Mode.REUNION)
+) -> list[KernelComparison]:
     from repro.sim.cmp import CMPSystem
 
     comparisons: list[KernelComparison] = []
     seed = scale.seeds[0]
     cycles = scale.warmup + scale.measure
-    for name, workload in _memory_bound_workloads():
+    for name, workload in workloads:
         for mode in modes:
             # One logical processor: a many-core system's cores
             # desynchronize, pulling the minimum horizon toward "now"
@@ -182,13 +224,73 @@ def run_kernel_comparison(scale, modes=(Mode.NONREDUNDANT, Mode.REUNION)) -> lis
     return comparisons
 
 
+def run_exec_comparison(
+    scale, cycles: int = 120_000, compute_only: bool = False
+) -> list[ExecComparison]:
+    """Time a single Reunion pair under dual and replay execution.
+
+    The compute-bound kernel is the fast path's headline artifact (the
+    mirror window covers essentially the whole run); the memory-bound
+    chase bounds the fast path's overhead where it can barely engage.
+    Stats snapshots are diffed to enforce the bit-identity contract.
+    """
+    from repro.sim.cmp import CMPSystem
+    from repro.workloads.micro import ComputeKernel, PointerChase
+
+    workloads = [("compute-kernel", ComputeKernel())]
+    if not compute_only:
+        workloads.append(("mem-chase", PointerChase(nodes=16384)))
+
+    comparisons: list[ExecComparison] = []
+    seed = scale.seeds[0]
+    for name, workload in workloads:
+        config = scale.config.replace(n_logical=1).with_redundancy(mode=Mode.REUNION)
+        programs = workload.programs(config.n_logical, seed)
+        schedules = workload.itlb_schedules(config.n_logical, seed)
+        results = {}
+        for execution in ("dual", "replay"):
+            system = CMPSystem(
+                config, programs, schedules, kernel="event", execution=execution
+            )
+            start = time.perf_counter()
+            system.run(cycles)
+            wall = time.perf_counter() - start
+            results[execution] = (wall, dict(system.collect_stats().snapshot()))
+        dual_wall, dual_stats = results["dual"]
+        replay_wall, replay_stats = results["replay"]
+        comparisons.append(
+            ExecComparison(
+                name=f"{name}/reunion",
+                dual_wall_s=dual_wall,
+                replay_wall_s=replay_wall,
+                speedup=dual_wall / replay_wall if replay_wall else 0.0,
+                cycles=cycles,
+                identical=dual_stats == replay_stats,
+            )
+        )
+    return comparisons
+
+
 def run_bench(
     scale_name: str = "quick",
     jobs: int = 1,
     only: list[str] | None = None,
     compare_kernels: bool = True,
+    compare_exec: bool = True,
+    quick: bool = False,
 ) -> BenchReport:
-    """Time every artifact's sample sweep; return the filled report."""
+    """Time every artifact's sample sweep; return the filled report.
+
+    ``quick`` is the smoke-run mode for CI and local sanity checks: one
+    phase at sharply reduced warmup/measure windows, the kernel
+    comparison on the single cheapest memory-bound artifact, and the
+    execution comparison on the compute-bound kernel only — finishing in
+    seconds instead of minutes while still exercising every comparison's
+    bit-identity check (and the baseline throughput floor for the one
+    phase it shares with a full report).
+    """
+    import dataclasses
+
     from repro.harness import (
         Runner,
         plan_fig5,
@@ -201,6 +303,8 @@ def run_bench(
     )
 
     scale = scale_by_name(scale_name)
+    if quick:
+        scale = dataclasses.replace(scale, warmup=300, measure=800)
     plans = {
         "fig5": lambda: plan_fig5(scale),
         "fig6a": lambda: plan_fig6(Mode.STRICT, scale),
@@ -210,7 +314,7 @@ def run_bench(
         "fig7b": lambda: plan_fig7b(scale),
         "sc": lambda: plan_sc_comparison(scale),
     }
-    selected = only or list(plans)
+    selected = only or (["fig5"] if quick else list(plans))
     unknown = [name for name in selected if name not in plans]
     if unknown:
         raise ValueError(f"unknown bench phases {unknown}; pick from {sorted(plans)}")
@@ -239,7 +343,20 @@ def run_bench(
             )
         )
     if compare_kernels:
-        report.kernel_comparison = run_kernel_comparison(scale)
+        if quick:
+            from repro.workloads.micro import PointerChase
+
+            report.kernel_comparison = _compare_kernels_on(
+                scale, [("mem-chase", PointerChase(nodes=16384))]
+            )
+        else:
+            report.kernel_comparison = run_kernel_comparison(scale)
+    if compare_exec:
+        report.exec_comparison = run_exec_comparison(
+            scale,
+            cycles=30_000 if quick else 120_000,
+            compute_only=quick,
+        )
     return report
 
 
@@ -271,5 +388,10 @@ def check_regression(
         if not cmp_.identical:
             problems.append(
                 f"{cmp_.name}: naive and event kernels produced different Stats"
+            )
+    for cmp_ in current.exec_comparison:
+        if not cmp_.identical:
+            problems.append(
+                f"{cmp_.name}: dual and replay execution produced different Stats"
             )
     return problems

@@ -34,6 +34,7 @@ from itertools import islice
 from operator import attrgetter
 from typing import Callable
 
+from repro.core.replay import entry_words, record_words
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.program import Program
@@ -124,6 +125,37 @@ class OoOCore:
         self.single_step = False
         self.sync_request: DynInstr | None = None
         self.resume_normal_after: DynInstr | None = None
+        #: Owning LogicalPair, if any (lets the fault injector disable
+        #: the replay fast path when it hooks a paired core).
+        self.pair = None
+
+        # Replay fast path (see repro.core.replay).  At most one of these
+        # is set, by the pair controller: the vocal *logs* its in-order
+        # check-stage stream; the mute *binds* dispatched instructions to
+        # logged records and reuses their values instead of recomputing.
+        self.replay_log = None  # ReplayTrace the vocal appends to
+        self.replay_trace = None  # ReplayTrace the mute binds from
+        self._replay_cursor = 0  # next committed index to bind (mute)
+        self._replay_synced = True  # cursor provably equals next dispatch
+        self._replay_offer_cursor = 0  # next committed index to offer (mute)
+        #: A load observed a value differing from the vocal's trace: the
+        #: mute has genuinely diverged (input incoherence).  No binding
+        #: or resync until recovery rolls back to the compared prefix.
+        self._replay_diverged = False
+        #: Instructions issued from bound records.  Diagnostic only — the
+        #: bind rate depends on vocal/mute skew, so this must never be
+        #: folded into :class:`Stats`.
+        self.replayed_binds = 0
+
+        # Mirror window (see repro.core.mirror).  On the vocal,
+        # ``mirror_watch`` arms fetch-side detection of the first
+        # instruction that could end the pair-symmetric window, and
+        # ``mirror_trigger`` latches that detection for the pair
+        # controller.  On the mute, ``mirror_passive`` tells the system
+        # loop not to step (or poll) this core at all.
+        self.mirror_watch = False
+        self.mirror_trigger = False
+        self.mirror_passive = False
 
         # External interrupts: (service at user-instruction count, handler).
         # Both cores of a pair schedule the same count, so they service at
@@ -324,6 +356,7 @@ class OoOCore:
                 if entry.actual_next != entry.predicted_next:
                     self.mispredicts += 1
                     self._squash_after(entry)
+                    self._replay_resync(entry)
                     self._redirect_fetch(entry.actual_next)
 
     # -- store drain ------------------------------------------------------
@@ -357,10 +390,43 @@ class OoOCore:
         # 2. Offer the oldest completed-but-unchecked entries to the gate.
         # The first `_check_pending` ROB entries are already in check.
         offered = 0
+        log = self.replay_log
+        trace = self.replay_trace
         for entry in islice(self.rob, self._check_pending, None):
             if entry.state != DynState.COMPLETED or offered >= width:
                 break
             entry.state = DynState.IN_CHECK
+            if not entry.injected:
+                if log is not None:
+                    # Vocal: log the in-order value stream for the mute.
+                    # Offered entries can still be squashed (trap,
+                    # interrupt, recovery); _squash_to truncates the log.
+                    entry.replay_index = len(log)
+                    log.append(
+                        (
+                            entry.pc,
+                            entry.result,
+                            entry.addr,
+                            entry.store_value,
+                            entry.actual_next,
+                            entry.inst,
+                        )
+                    )
+                elif trace is not None:
+                    # Mute: offer order IS the mute's committed-stream
+                    # order, so compare this entry's fingerprint update
+                    # words against the vocal's record at the same
+                    # position — the exact condition under which dual
+                    # execution's hashed fingerprints would differ.
+                    index = self._replay_offer_cursor
+                    self._replay_offer_cursor = index + 1
+                    entry.replay_index = index
+                    rec = trace.get(index)
+                    if rec is None:
+                        self.gate.add_replay_check(entry, index)
+                    elif entry_words(entry) != record_words(rec):
+                        self._replay_diverged = True
+                        self.gate.poison_open()
             self.gate.offer(entry, now)
             self._check_pending += 1
             offered += 1
@@ -408,6 +474,7 @@ class OoOCore:
             # User-level traps redirect fetch through the trap vector:
             # model as a full pipeline flush and refetch.
             self._squash_after(entry)
+            self._replay_resync(entry)
             self._redirect_fetch(entry.pc + 1)
         elif not self.single_step:
             if (
@@ -436,6 +503,7 @@ class OoOCore:
         self.interrupts_serviced += 1
         resume = entry.actual_next if entry.actual_next is not None else entry.pc + 1
         self._squash_after(entry)
+        self._replay_resync(entry)
         self.fetch_queue.clear()
         self.injection.clear()
         for inst in handler:
@@ -448,6 +516,7 @@ class OoOCore:
         resume = entry.actual_next if entry.actual_next is not None else entry.pc + 1
         if self.config.tlb.mode is TLBMode.SOFTWARE:
             self._squash_after(entry)
+            self._replay_resync(entry)
             self._inject_handler(page=self.user_retired, fill_addr=None, resume_pc=resume)
         else:
             self.stall_fetch_until = max(
@@ -507,7 +576,19 @@ class OoOCore:
         inst = entry.inst
         op = inst.op
         latency = self.core_cfg.alu_latency
-        if inst.is_alu:
+        rec = entry.replay
+        if rec is not None:
+            # Replay fast path: reuse the vocal's values — guaranteed
+            # equal on the committed path.  Timing is untouched.
+            if inst.is_alu:
+                entry.result = rec[1]
+                if op is Op.MUL:
+                    latency = self.core_cfg.mul_latency
+            elif inst.is_branch:
+                entry.actual_next = rec[4]
+            elif op is Op.JUMP:
+                entry.actual_next = rec[4]
+        elif inst.is_alu:
             entry.result = alu_result(op, entry.val1 or 0, entry.val2 or 0, inst.imm)
             if op is Op.MUL:
                 latency = self.core_cfg.mul_latency
@@ -524,7 +605,11 @@ class OoOCore:
     def _issue_load(self, entry: DynInstr, now: int) -> str:
         """Try to issue a load; returns 'done', 'wait', or 'trap'."""
         inst = entry.inst
-        entry.addr = effective_address(entry.val1 or 0, inst.imm)
+        rec = entry.replay
+        if rec is not None:
+            entry.addr = rec[2]
+        else:
+            entry.addr = effective_address(entry.val1 or 0, inst.imm)
 
         if self.single_step and self.pair_sync_atomics and not entry.injected:
             # Re-execution protocol: the first load is issued by both
@@ -563,6 +648,25 @@ class OoOCore:
         if access.retry:
             return "wait"
         entry.result = access.value
+        if self.replay_trace is not None and not entry.injected and not self._replay_diverged:
+            rec = entry.replay
+            if rec is None and entry.replay_index is not None:
+                # Late lookup: the vocal may have logged this position
+                # since dispatch.
+                rec = self.replay_trace.get(entry.replay_index)
+                if rec is not None and rec[0] != entry.pc:
+                    rec = None
+            if rec is None:
+                # The vocal hasn't vouched for this memory value: if it
+                # is stale, dependents must recompute from it exactly as
+                # in dual execution.
+                self._replay_cut(entry)
+            elif rec[1] != entry.result:
+                # Incoherent read — the mute has genuinely diverged.
+                # Stop replaying; the check stage flags the divergence
+                # when this entry's update words are compared.
+                self._replay_diverged = True
+                self._replay_cut(entry)
         if self.fault_hook is not None:
             self.fault_hook(entry)
         entry.state = DynState.ISSUED
@@ -572,8 +676,13 @@ class OoOCore:
     def _issue_store(self, entry: DynInstr, now: int) -> bool:
         """Compute a store's address and value (no memory access yet)."""
         inst = entry.inst
-        entry.addr = effective_address(entry.val1 or 0, inst.imm)
-        entry.store_value = entry.val2 or 0
+        rec = entry.replay
+        if rec is not None:
+            entry.addr = rec[2]
+            entry.store_value = rec[3]
+        else:
+            entry.addr = effective_address(entry.val1 or 0, inst.imm)
+            entry.store_value = entry.val2 or 0
         if not entry.injected and not self.port.dtlb_hit(entry.addr):
             self.dtlb_misses += 1
             if self.sw_tlb:
@@ -661,7 +770,11 @@ class OoOCore:
 
     def _issue_atomic(self, entry: DynInstr, now: int) -> None:
         inst = entry.inst
-        entry.addr = effective_address(entry.val1 or 0, inst.imm)
+        rec = entry.replay
+        if rec is not None:
+            entry.addr = rec[2]
+        else:
+            entry.addr = effective_address(entry.val1 or 0, inst.imm)
         if not entry.injected and not self.port.dtlb_hit(entry.addr):
             self.dtlb_misses += 1
             if self.sw_tlb:
@@ -718,6 +831,7 @@ class OoOCore:
         """Software TLB miss on a data access: flush and run the handler."""
         page = entry.addr >> self.config.tlb.page_bits
         self._squash_from(entry)
+        self._replay_resync(entry, rerun=True)
         self._inject_handler(page=page, fill_addr=entry.addr, resume_pc=entry.pc)
 
     def _inject_handler(self, page: int, fill_addr: int | None, resume_pc: int) -> None:
@@ -757,6 +871,40 @@ class OoOCore:
         entry.predicted_next = fetched.predicted_next
         entry.fill_addr = fetched.fill_addr
         entry.serializing = inst.is_serializing or (self.sc_mode and inst.op is Op.STORE)
+
+        trace = self.replay_trace
+        if trace is not None and not fetched.injected and not self._replay_diverged:
+            # Replay fast path: bind this dispatch to the vocal's logged
+            # record for the same committed-stream position, when the
+            # cursor provably tracks the committed control-flow path.
+            if not self._replay_synced and not self.rob:
+                # Empty ROB at a user dispatch: everything older has
+                # retired, so this IS committed instruction user_retired.
+                self._replay_synced = True
+                self._replay_cursor = self.user_retired
+            if self._replay_synced:
+                index = self._replay_cursor
+                self._replay_cursor = index + 1
+                entry.replay_index = index
+                rec = trace.get(index)
+                if rec is not None and rec[0] != entry.pc:
+                    # Impossible while genuinely synced — never bind on a
+                    # mismatch; fall back to full execution.
+                    rec = None
+                    self._replay_synced = False
+                if rec is None:
+                    if inst.is_branch:
+                        # Vocal hasn't logged this far: without rec we
+                        # can't vet the prediction, so sync is lost until
+                        # the next anchor (resolution resyncs us).
+                        self._replay_synced = False
+                else:
+                    entry.replay = rec
+                    self.replayed_binds += 1
+                    if inst.is_branch and rec[4] != fetched.predicted_next:
+                        # Known mispredict: fetch now runs down the wrong
+                        # path until this branch resolves and resyncs.
+                        self._replay_synced = False
 
         # Capture operands / subscribe to producers.
         op = inst.op
@@ -835,6 +983,9 @@ class OoOCore:
         while fetched < width and len(self.fetch_queue) < cap and not self.fetch_stalled:
             if self.injection:
                 inst, fill_addr = self.injection.popleft()
+                if self.mirror_watch:
+                    # Injected handlers perform loads; end the window.
+                    self.mirror_trigger = True
                 self.fetch_queue.append(
                     _Fetched(ready, self._injection_resume or 0, inst, True, None, fill_addr)
                 )
@@ -844,6 +995,15 @@ class OoOCore:
                 fetched += 1
                 continue
             inst = self.program.fetch(self.pc)
+            if self.mirror_watch and (
+                inst.is_mem or inst.is_serializing or inst.op is Op.HALT
+            ):
+                # The first memory / serializing / halt instruction ends
+                # the mirror window.  Fetch leads dispatch by a cycle and
+                # issue by two, so the pair controller (which runs after
+                # this core's step) materializes the mute strictly before
+                # this instruction can touch shared state.
+                self.mirror_trigger = True
             predicted_next = None
             pc = self.pc
             if inst.is_branch:
@@ -872,9 +1032,23 @@ class OoOCore:
 
     def _squash_to(self, first_bad_seq: int) -> None:
         rob = self.rob
+        log = self.replay_log
+        trace = self.replay_trace
+        truncate = -1
+        rewind = -1
         while rob and rob[-1].seq >= first_bad_seq:
             victim = rob.pop()
             victim.squashed = True
+            if victim.replay_index is not None:
+                if log is not None:
+                    # Vocal: un-log squashed speculative records; they are
+                    # re-logged (with identical content) after re-execution.
+                    truncate = victim.replay_index  # popped youngest-first
+                elif trace is not None and victim.state == DynState.IN_CHECK:
+                    # Mute: squashed offered entries re-offer after
+                    # re-execution at the same stream positions.
+                    rewind = victim.replay_index
+
             if self.tracer is not None:
                 self.tracer.squash(victim)
             if victim.state == DynState.IN_CHECK:
@@ -889,6 +1063,10 @@ class OoOCore:
                 else:
                     del self.rename[inst.rd]
             self._prev_producer.pop(victim.seq, None)
+        if truncate >= 0:
+            log.truncate_to(truncate)
+        if rewind >= 0:
+            self._replay_offer_cursor = rewind
         self._store_entries = deque(s for s in self._store_entries if not s.squashed)
         if self.sync_request is not None and self.sync_request.squashed:
             self.sync_request = None
@@ -901,6 +1079,44 @@ class OoOCore:
     def _redirect_fetch(self, new_pc: int) -> None:
         self.pc = new_pc
         self.fetch_stalled = False
+
+    def _replay_resync(self, entry: DynInstr, rerun: bool = False) -> None:
+        """Re-anchor the replay cursor after squashing ``entry``'s path.
+
+        Every caller has just squashed younger instructions because of an
+        event on the *committed* path (mispredict resolution, trap,
+        interrupt, synthetic ITLB miss, DTLB trap).  Such an ``entry``
+        carries its committed-stream index, so fetch provably continues
+        at that index (``rerun``, when the entry itself re-dispatches)
+        or right after it.  Entries dispatched while out of sync carry
+        no index, in which case the cursor stays unsynced until the next
+        anchor (or an empty ROB at a user dispatch).
+        """
+        if (
+            self.replay_trace is not None
+            and not self._replay_diverged
+            and entry.replay_index is not None
+        ):
+            self._replay_cursor = entry.replay_index + (0 if rerun else 1)
+            self._replay_synced = True
+
+    def _replay_cut(self, entry: DynInstr) -> None:
+        """Stop trusting dispatch-time bindings younger than ``entry``.
+
+        Called when a load obtains a memory value the vocal's trace
+        cannot vouch for (or contradicts): if the value is stale (input
+        incoherence), every dependent must recompute from it exactly as
+        in dual execution, and no younger squash may re-anchor the
+        cursor on what is now potentially a divergent path.  Younger
+        entries cannot have been offered yet (offers are blocked behind
+        this load's completion), so stripping their indices is safe.
+        """
+        self._replay_synced = False
+        seq = entry.seq
+        for e in self.rob:
+            if e.seq > seq:
+                e.replay = None
+                e.replay_index = None
 
     def hard_reset(self, program: Program, now: int) -> None:
         """Reset all architectural and microarchitectural state for a new
@@ -921,6 +1137,12 @@ class OoOCore:
         self.sync_request = None
         self.single_step = False
         self._interrupts.clear()
+        self.replay_log = None
+        self.replay_trace = None
+        self._replay_cursor = 0
+        self._replay_synced = True
+        self._replay_offer_cursor = 0
+        self._replay_diverged = False
         self.program = program
         self.arf = RegisterFile()
         for index, value in program.initial_regs.items():
@@ -967,6 +1189,14 @@ class OoOCore:
         self.gate.flush()
         self.completions.clear()
         self._check_pending = 0
+        if self.replay_trace is not None:
+            # Rollback lands exactly on the retired prefix, so the next
+            # user dispatch (and the next offer) is committed
+            # instruction `user_retired`; divergent state is gone.
+            self._replay_cursor = self.user_retired
+            self._replay_synced = True
+            self._replay_offer_cursor = self.user_retired
+            self._replay_diverged = False
         self.pc = resume_pc
         self.fetch_stalled = False
         self.halted = False

@@ -46,6 +46,8 @@ class DynInstr:
         "tlb_missed",
         "was_sync",
         "consumed",
+        "replay",
+        "replay_index",
     )
 
     def __init__(self, seq: int, pc: int, inst: Instruction, injected: bool = False) -> None:
@@ -71,6 +73,8 @@ class DynInstr:
         self.tlb_missed = False
         self.was_sync = False  # completed via a synchronizing request
         self.consumed = False  # some younger instruction read this result
+        self.replay: tuple | None = None  # bound vocal trace record (mute)
+        self.replay_index: int | None = None  # committed-stream index
 
     def set_src(self, slot: int, value: int) -> None:
         """Producer wake-up: fill operand ``slot`` (1 or 2)."""

@@ -48,6 +48,7 @@ class CMPSystem:
         programs: Sequence[Program],
         itlb_schedules: Sequence[ITLBSchedule | None] | None = None,
         kernel: str | None = None,
+        execution: str | None = None,
     ) -> None:
         if kernel is None:
             kernel = os.environ.get("REPRO_KERNEL", "event")
@@ -58,6 +59,18 @@ class CMPSystem:
         #: conservative next_event() contract); ``"naive"`` steps every
         #: cycle.  Overridable per-process with ``REPRO_KERNEL``.
         self.kernel = kernel
+        if execution is None:
+            execution = os.environ.get("REPRO_EXEC", "replay")
+        if execution not in ("replay", "dual"):
+            raise ValueError(
+                f"unknown execution mode {execution!r}; use 'replay' or 'dual'"
+            )
+        #: Execution mode for Reunion pairs: ``"replay"`` drives the mute
+        #: core from the vocal's value trace where provably bit-identical
+        #: (single-pair systems, no faults armed — see repro.core.replay);
+        #: ``"dual"`` always re-executes everything on the mute.
+        #: Overridable per-process with ``REPRO_EXEC``.
+        self.execution = execution
         if len(programs) != config.n_logical:
             raise ValueError(
                 f"need {config.n_logical} programs, got {len(programs)}"
@@ -147,12 +160,27 @@ class CMPSystem:
                 )
                 self.pairs.append(pair)
 
+        if (
+            execution == "replay"
+            and mode is Mode.REUNION
+            and len(self.pairs) == 1
+            and len(self.cores) == 2
+        ):
+            # Replay is only provably race-free when no third core can
+            # hold a writable copy of lines the mute will load (no input
+            # incoherence); multi-pair systems run full dual execution.
+            self.pairs[0].enable_replay()
+
     # -- simulation loop ----------------------------------------------------
     def step(self) -> None:
         """Advance exactly one cycle (the public per-cycle API)."""
         self.steps += 1
         now = self.now
         for core in self.cores:
+            if core.mirror_passive:
+                # A mirrored mute is a virtual copy of its vocal; its
+                # state is materialized by the pair at window exit.
+                continue
             core.step(now)
         for pair in self.pairs:
             pair.step(now)
@@ -171,6 +199,10 @@ class CMPSystem:
         now = self.now
         horizon = limit
         for core in self.cores:
+            if core.mirror_passive:
+                # Not stepped: its stale state must not be polled (it
+                # would report spurious activity and kill every skip).
+                continue
             t = core.next_event(now)
             if t <= now:
                 return
@@ -200,12 +232,13 @@ class CMPSystem:
         if self.kernel == "naive":
             while self.now < end:
                 self.step()
-            return
-        while self.now < end:
-            self._advance(end)
-            if self.now >= end:
-                return
-            self.step()
+        else:
+            while self.now < end:
+                self._advance(end)
+                if self.now >= end:
+                    break
+                self.step()
+        self._mirror_sync()
 
     def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
         """Run until every logical processor has halted; returns cycles.
@@ -222,7 +255,18 @@ class CMPSystem:
                 if self.now >= max_cycles:
                     continue  # re-check idle, then raise at max_cycles
             self.step()
+        self._mirror_sync()
         return self.now
+
+    def _mirror_sync(self) -> None:
+        """Bring mirrored mute cores' observable counters up to date.
+
+        Called whenever control returns to the caller, who may read
+        per-core statistics or architectural state directly while a
+        mirror window is still open.
+        """
+        for pair in self.pairs:
+            pair.mirror_sync()
 
     @property
     def idle(self) -> bool:
@@ -265,6 +309,7 @@ class CMPSystem:
         ``program``.  Returns the promoted core.
         """
         pair = self._pair_for(logical_id)
+        pair.disable_replay()
         now = self.now
         vocal, mute = pair.vocal, pair.mute
         # Quiesce at the last compared instruction (safe state).
@@ -290,6 +335,8 @@ class CMPSystem:
         mute.pair_sync_atomics = False
         mute.synthetic_itlb = None  # the new program has its own TLB character
 
+        vocal.pair = None
+        mute.pair = None
         self.pairs.remove(pair)
         self.vocal_cores.append(mute)
         return mute
@@ -331,6 +378,9 @@ class CMPSystem:
         partner.synthetic_itlb = vocal.synthetic_itlb
         partner.stall_fetch_until = max(partner.stall_fetch_until, now + penalty)
 
+        # A re-formed pair stays in dual execution: the mute's retired-
+        # instruction counter no longer matches the vocal's, so the
+        # committed-stream indexing the replay trace relies on is gone.
         pair = LogicalPair(logical_id, vocal, partner, self.controller, self.config)
         if partner in self.vocal_cores:
             self.vocal_cores.remove(partner)
@@ -360,6 +410,7 @@ class CMPSystem:
 
     def collect_stats(self) -> Stats:
         """Fold per-core counters into the shared Stats bag and return it."""
+        self._mirror_sync()
         for core in self.cores:
             prefix = f"core{core.core_id}."
             self.stats.set(prefix + "cycles", core.cycles)

@@ -14,6 +14,11 @@ one mechanism at a time — the way an architect would probe a design:
 * :class:`FalseSharing` — cores write disjoint words of the same cache
   lines: an invalidation storm that maximizes input-incoherence
   opportunities for the mute caches.
+* :class:`ComputeKernel` — a dense ALU/branch loop with no memory
+  accesses at all: the pure-compute pole of the workload space, where
+  redundant execution's cost is all pipeline simulation (the best case
+  for the replay fast path's mirror window, the worst for cycle
+  skipping).
 """
 
 from __future__ import annotations
@@ -147,5 +152,42 @@ class FalseSharing(Workload):
         return programs
 
 
+class ComputeKernel(Workload):
+    """Dependent ALU work and data-dependent branches; zero memory traffic.
+
+    Every instruction is register-to-register, so a Reunion pair's cores
+    never interact with the memory system: the workload isolates the raw
+    cost of simulating redundant pipelines (and is therefore the
+    benchmark artifact for the mute-mirror fast path).
+    """
+
+    name = "compute-kernel"
+    category = "Micro"
+
+    def __init__(self, unroll: int = 12) -> None:
+        self.unroll = unroll
+
+    def programs(self, n_logical: int, seed: int = 0) -> list[Program]:
+        programs = []
+        for core in range(n_logical):
+            builder = ProgramBuilder(name=f"compute-kernel/cpu{core}")
+            builder.reg(1, 3)
+            builder.reg(2, (seed * 2654435761 + core * 40503 + 1) & 0xFFFF)
+            builder.label("loop")
+            builder.addi(6, 6, 1)
+            builder.alu(Op.ANDI, 7, 6, imm=3)
+            builder.beq(7, 0, "mix")  # taken every 4th trip: predictor work
+            for i in range(self.unroll):
+                builder.add(3 + (i % 3), 3 + (i % 3), 1 + (i % 2))
+            builder.jump("loop")
+            builder.label("mix")
+            for i in range(self.unroll):
+                builder.alu(Op.MUL, 3 + (i % 3), 3 + (i % 3), rs2=2)
+                builder.alu(Op.ANDI, 3 + (i % 3), 3 + (i % 3), imm=0xFFFFFF)
+            builder.jump("loop")
+            programs.append(builder.build())
+        return programs
+
+
 def micro_suite() -> list[Workload]:
-    return [PointerChase(), Stream(), LockContention(), FalseSharing()]
+    return [PointerChase(), Stream(), LockContention(), FalseSharing(), ComputeKernel()]

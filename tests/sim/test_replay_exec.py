@@ -1,0 +1,300 @@
+"""Equivalence of replay execution and full dual execution.
+
+The mute-core replay fast path's contract is *bit identity*: a system
+built with ``execution="replay"`` must produce exactly the same
+statistics, fingerprint-comparison sequence, recovery log, and
+architectural register state as ``execution="dual"``, because replayed
+values are only substituted where dual execution is guaranteed to
+compute the same value — and every potential divergence (input
+incoherence, injected faults) falls back to, or is detected identically
+to, full re-execution.  These tests run the same scenario under both
+execution modes (and both simulation kernels) and diff everything
+observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.check_stage import CheckGate
+from repro.core.faults import FaultInjector
+from repro.isa import assemble
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import Mode, PhantomStrength
+from repro.workloads.micro import PointerChase
+from tests.core.helpers import SMALL
+
+#: Mixed compute: dependent ALU work, stores, loads, a serializing
+#: atomic, branches — every kind of update word a fingerprint hashes.
+MIXED = """
+    movi r1, 40
+    movi r2, 0
+    movi r3, 0x400
+    movi r6, 0x900
+loop:
+    add r2, r2, r1
+    store r2, [r3]
+    load r4, [r3]
+    atomic r5, [r6], r1
+    addi r3, r3, 8
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+#: Memory-latency dominated: a dependent load chain that misses.
+CHASE = PointerChase(nodes=64, chases_per_iteration=8)
+
+#: Pure compute: no loads, stores or serializing instructions until the
+#: final halt, so the mirror window covers essentially the whole run.
+COMPUTE = """
+    movi r1, 300
+    movi r2, 1
+    movi r3, 7
+loop:
+    add r2, r2, r3
+    add r4, r2, r1
+    add r3, r3, r4
+    add r5, r3, r2
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+def _config(phantom: PhantomStrength = PhantomStrength.GLOBAL, n_logical: int = 1):
+    return SMALL.replace(n_logical=n_logical).with_redundancy(
+        mode=Mode.REUNION,
+        comparison_latency=10,
+        fingerprint_interval=8,
+        phantom=phantom,
+    )
+
+
+def _observe(system: CMPSystem) -> dict:
+    """Everything the equivalence contract covers, in one comparable dict."""
+    observation = {
+        "now": system.now,
+        "stats": dict(system.collect_stats().snapshot()),
+        "arf": [
+            [core.arf.read(reg) for reg in range(8)] for core in system.cores
+        ],
+        "user_retired": [core.user_retired for core in system.cores],
+        "cycles": [core.cycles for core in system.cores],
+    }
+    for index, core in enumerate(system.cores):
+        gate = core.gate
+        if isinstance(gate, CheckGate):
+            observation[f"gate{index}.intervals_closed"] = gate.intervals_closed
+            observation[f"gate{index}.fingerprints_compared"] = gate.fingerprints_compared
+    observation["recovery_log"] = [pair.recovery_log for pair in system.pairs]
+    return observation
+
+
+def _run_both(scenario) -> tuple[dict, dict, CMPSystem, CMPSystem]:
+    """Run ``scenario(execution)`` under both modes; return observations."""
+    dual = scenario("dual")
+    replay = scenario("replay")
+    return _observe(dual), _observe(replay), dual, replay
+
+
+@pytest.mark.parametrize("kernel", ["naive", "event"])
+class TestReplayEquivalence:
+    def test_mixed_workload(self, kernel):
+        def scenario(execution):
+            system = CMPSystem(
+                _config(), [assemble(MIXED)], kernel=kernel, execution=execution
+            )
+            system.run_until_idle(max_cycles=500_000)
+            return system
+
+        dual, replay, _, replay_system = _run_both(scenario)
+        assert dual == replay
+        # The fast path must actually engage, or this test proves nothing:
+        # the mirror window covers at least the loadless warmup prefix.
+        assert replay_system.pairs[0].replay_enabled
+        assert replay_system.pairs[0].mirror_cycles > 0
+
+    def test_compute_bound_mirror_window(self, kernel):
+        """A loadless loop: the mirror window covers nearly the whole run."""
+
+        def scenario(execution):
+            system = CMPSystem(
+                _config(), [assemble(COMPUTE)], kernel=kernel, execution=execution
+            )
+            system.run_until_idle(max_cycles=500_000)
+            return system
+
+        dual, replay, _, replay_system = _run_both(scenario)
+        assert dual == replay
+        pair = replay_system.pairs[0]
+        assert not pair._mirror_active  # exited at the halt fetch
+        assert pair.mirror_cycles > replay_system.now // 2
+
+    def test_observation_mid_mirror_window(self, kernel):
+        """Stats read while the window is still open must be identical."""
+
+        def scenario(execution):
+            system = CMPSystem(
+                _config(), [assemble(COMPUTE)], kernel=kernel, execution=execution
+            )
+            system.run(400)
+            return system
+
+        dual, replay, _, replay_system = _run_both(scenario)
+        assert dual == replay
+        assert replay_system.pairs[0]._mirror_active
+
+    def test_memory_bound_windows(self, kernel):
+        def scenario(execution):
+            system = CMPSystem(
+                _config(), CHASE.programs(1, seed=0), kernel=kernel,
+                execution=execution,
+            )
+            system.run(1_500)  # warmup
+            system.run(2_500)  # measure
+            return system
+
+        dual, replay, _, replay_system = _run_both(scenario)
+        assert dual == replay
+        assert replay_system.pairs[0].replay_enabled
+
+    #: Cold loads of preloaded data with null phantom requests: the mute's
+    #: non-coherent fills observe stale values (Figure 1's incoherence).
+    INCOHERENT = """
+        .word 0x800 3
+        .word 0x840 5
+        movi r1, 0x800
+        load r2, [r1]
+        load r3, [r1+64]
+        mul r4, r2, r3
+        beq r4, r0, dead
+        addi r5, r4, 1
+    dead:
+        halt
+    """
+
+    def test_input_incoherence_detected_identically(self, kernel):
+        """No phantom requests: the mute observes incoherent load values.
+
+        Replay must reach the same divergence decisions as the hashed
+        fingerprints — same recovery count, same recovery cycles.
+        """
+
+        def scenario(execution):
+            system = CMPSystem(
+                _config(phantom=PhantomStrength.NULL),
+                [assemble(self.INCOHERENT)],
+                kernel=kernel,
+                execution=execution,
+            )
+            system.run_until_idle(max_cycles=500_000)
+            return system
+
+        dual, replay, dual_system, _ = _run_both(scenario)
+        assert dual == replay
+        assert dual_system.recoveries() > 0
+
+    def test_interrupt_service_identical(self, kernel):
+        def scenario(execution):
+            system = CMPSystem(
+                _config(), [assemble(MIXED)], kernel=kernel, execution=execution
+            )
+            system.run(600)
+            system.post_interrupt(0)
+            system.run_until_idle(max_cycles=500_000)
+            return system
+
+        dual, replay, dual_system, _ = _run_both(scenario)
+        assert dual == replay
+        assert dual_system.cores[0].interrupts_serviced >= 1
+
+
+@pytest.mark.parametrize("kernel", ["naive", "event"])
+class TestFaultInjectionUnderReplay:
+    """A fault-armed pair must fall back to dual and detect the upset."""
+
+    def test_single_upset_recovery_identical(self, kernel):
+        def scenario(execution):
+            system = CMPSystem(
+                _config(), [assemble(MIXED)], kernel=kernel, execution=execution
+            )
+            injector = FaultInjector(seed=7)
+            injector.attach(system.cores[1])  # the mute
+            injector.inject_once(after=40)
+            system.run_until_idle(max_cycles=500_000)
+            return system
+
+        dual, replay, dual_system, replay_system = _run_both(scenario)
+        assert dual == replay
+        assert dual_system.recoveries() >= 1
+        # Attaching the injector disabled the fast path for good.
+        assert not replay_system.pairs[0].replay_enabled
+
+    def test_periodic_upsets_identical(self, kernel):
+        def scenario(execution):
+            system = CMPSystem(
+                _config(), [assemble(MIXED)], kernel=kernel, execution=execution
+            )
+            injector = FaultInjector(interval=60, seed=3)
+            injector.attach(system.cores[1])
+            system.run_until_idle(max_cycles=500_000)
+            return system
+
+        dual, replay, dual_system, _ = _run_both(scenario)
+        assert dual == replay
+        assert dual_system.recoveries() >= 2
+
+
+class TestReplayScope:
+    """The fast path only arms where its safety argument holds."""
+
+    def test_multi_pair_system_stays_dual(self):
+        system = CMPSystem(
+            _config(n_logical=2), [assemble(MIXED)] * 2, execution="replay"
+        )
+        assert all(not pair.replay_enabled for pair in system.pairs)
+        system.run_until_idle(max_cycles=500_000)
+        reference = CMPSystem(
+            _config(n_logical=2), [assemble(MIXED)] * 2, execution="dual"
+        )
+        reference.run_until_idle(max_cycles=500_000)
+        assert _observe(reference) == _observe(system)
+
+    def test_decouple_disables_replay(self):
+        system = CMPSystem(_config(), [assemble(MIXED)], execution="replay")
+        system.run(600)
+        assert system.pairs[0].replay_enabled
+        pair = system.pairs[0]
+        system.decouple(0, assemble(MIXED))
+        assert not pair.replay_enabled
+
+    def test_mid_run_fault_attach_disables(self):
+        system = CMPSystem(_config(), [assemble(MIXED)], execution="replay")
+        system.run(400)
+        assert system.pairs[0].replay_enabled
+        FaultInjector(seed=1).attach(system.cores[1])
+        system.run(50)
+        assert not system.pairs[0].replay_enabled
+
+
+class TestExecutionSelection:
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC", "dual")
+        system = CMPSystem(_config(), [assemble(MIXED)])
+        assert system.execution == "dual"
+        assert not system.pairs[0].replay_enabled
+        monkeypatch.setenv("REPRO_EXEC", "replay")
+        system = CMPSystem(_config(), [assemble(MIXED)])
+        assert system.execution == "replay"
+        assert system.pairs[0].replay_enabled
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC", "replay")
+        system = CMPSystem(_config(), [assemble(MIXED)], execution="dual")
+        assert system.execution == "dual"
+        assert not system.pairs[0].replay_enabled
+
+    def test_unknown_execution_rejected(self):
+        with pytest.raises(ValueError):
+            CMPSystem(_config(), [assemble(MIXED)], execution="turbo")
