@@ -6,6 +6,7 @@ Installed as the ``repro`` console script::
     repro run "DB2 OLTP" --mode reunion --latency 10
     repro asm program.s --mode reunion  # assemble, run to halt, dump state
     repro reproduce --only fig5 table3  # regenerate paper artifacts
+    repro trace mem-chase --level events  # telemetry-armed replay of a sample
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.sim.config import (
     PhantomStrength,
     TLBMode,
 )
+from repro.sim.options import TRACE_LEVELS, SimOptions
 from repro.sim.sampling import run_sample
 from repro.workloads import by_name, suite
 from repro.workloads.micro import micro_suite
@@ -56,6 +58,30 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cpus", type=int, default=4, help="logical processors")
 
 
+def _add_options_args(parser: argparse.ArgumentParser) -> None:
+    """Simulation-strategy flags; unset values fall through to REPRO_* env."""
+    parser.add_argument(
+        "--kernel",
+        choices=["event", "naive"],
+        default=None,
+        help="simulation kernel (default: REPRO_KERNEL or event)",
+    )
+    parser.add_argument(
+        "--execution",
+        choices=["replay", "dual"],
+        default=None,
+        help="mute-core execution strategy (default: REPRO_EXEC or replay)",
+    )
+
+
+def _options_from_args(args, **overrides) -> SimOptions:
+    return SimOptions.from_env(
+        kernel=getattr(args, "kernel", None),
+        execution=getattr(args, "execution", None),
+        **overrides,
+    )
+
+
 def cmd_list(_args) -> int:
     print(f"{'workload':<16}{'class':<12}")
     print("-" * 28)
@@ -76,7 +102,10 @@ def cmd_run(args) -> int:
             print(f"unknown workload {args.workload!r}; try `repro list`", file=sys.stderr)
             return 2
     config = _config_from_args(args)
-    sample = run_sample(config, workload, args.warmup, args.measure, args.seed)
+    options = _options_from_args(args, seed=args.seed)
+    sample = run_sample(
+        config, workload, args.warmup, args.measure, args.seed, options=options
+    )
     print(f"workload            : {workload.name} ({workload.category})")
     print(f"mode                : {args.mode} @ {args.latency}-cycle comparison")
     print(f"cycles measured     : {sample.cycles}")
@@ -95,14 +124,15 @@ def cmd_asm(args) -> int:
         source = handle.read()
     program = assemble(source, name=args.file)
     config = _config_from_args(args).replace(n_logical=1)
-    system = CMPSystem(config, [program])
+    options = _options_from_args(args, max_cycles=args.max_cycles)
+    system = CMPSystem(config, [program], options=options)
     tracer = None
     if args.trace:
         from repro.pipeline.trace import PipelineTracer
 
         tracer = PipelineTracer()
         system.vocal_cores[0].tracer = tracer
-    cycles = system.run_until_idle(max_cycles=args.max_cycles)
+    cycles = system.run_until_idle()
     core = system.vocal_cores[0]
     print(f"halted after {cycles} cycles; {core.user_retired} instructions, "
           f"IPC {core.user_retired / cycles:.3f}")
@@ -142,7 +172,7 @@ def cmd_reproduce(args) -> int:
 
     scale = scale_by_name(args.scale) if args.scale else current_scale()
     cache = None if args.no_cache else default_cache()
-    runner = Runner(scale, cache=cache)
+    runner = Runner(scale, cache=cache, options=_options_from_args(args))
     experiments = {
         "fig5": (lambda: plan_fig5(scale), lambda: run_fig5(runner=runner)),
         "fig6a": (
@@ -188,6 +218,77 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Replay one sample with telemetry armed; write JSONL + Chrome traces.
+
+    The sample itself is the cache's business: if the equivalent
+    telemetry-off job is already cached, the armed re-run must reproduce
+    it bit-identically (the telemetry contract) — a mismatch is reported
+    as an error.  An uncached run populates the cache as a side effect.
+    """
+    from repro.exec.cache import default_cache
+    from repro.exec.jobs import SampleJob, resolve_workload
+    from repro.obs.export import summarize, write_chrome_trace, write_jsonl
+    from repro.sim.sampling import run_sample_system
+
+    try:
+        workload = resolve_workload(args.workload)
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; try `repro list`", file=sys.stderr)
+        return 2
+    config = _config_from_args(args)
+    options = _options_from_args(
+        args, trace=args.level, trace_capacity=args.capacity, seed=args.seed
+    )
+    job = SampleJob(
+        config=config,
+        workload_name=workload.name,
+        seed=args.seed,
+        warmup=args.warmup,
+        measure=args.measure,
+        options=options,
+    )
+    cache = None if args.no_cache else default_cache()
+    cached = cache.get(job) if cache is not None else None
+
+    sample, system = run_sample_system(
+        config, workload, args.warmup, args.measure, args.seed, options
+    )
+    telemetry = system.obs
+    if telemetry is None:  # pragma: no cover - level choices exclude "off"
+        print("telemetry did not arm (level 'off'?)", file=sys.stderr)
+        return 2
+
+    if cached is not None and cached != sample:
+        print(
+            "ERROR: telemetry-armed replay diverged from the cached sample "
+            f"for job {job.key[:12]} — the telemetry bit-identity contract "
+            "is broken",
+            file=sys.stderr,
+        )
+        return 1
+    if cache is not None and cached is None:
+        cache.put(job, sample)
+
+    stem = args.out or f"TRACE_{workload.name.replace(' ', '_')}"
+    jsonl_path = f"{stem}.jsonl"
+    chrome_path = f"{stem}.trace.json"
+    with open(jsonl_path, "w") as handle:
+        jsonl_lines = write_jsonl(telemetry, handle)
+    with open(chrome_path, "w") as handle:
+        chrome_events = write_chrome_trace(
+            telemetry, handle, process_name=f"reunion-sim {workload.name}"
+        )
+
+    source = "cache-verified" if cached is not None else "fresh run"
+    print(f"sample              : {job.describe()} ({source})")
+    print(f"aggregate IPC       : {sample.ipc:.3f}")
+    print(summarize(telemetry))
+    print(f"wrote {jsonl_path} ({jsonl_lines} lines)")
+    print(f"wrote {chrome_path} ({chrome_events} trace events)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.exec.benchreport import BenchReport, check_regression, run_bench
 
@@ -198,6 +299,7 @@ def cmd_bench(args) -> int:
             only=args.only,
             compare_kernels=not args.no_kernel_comparison,
             compare_exec=not args.no_exec_comparison,
+            compare_telemetry=not args.no_telemetry_comparison,
             quick=args.quick,
         )
     except ValueError as exc:
@@ -234,6 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--measure", type=int, default=3000)
     run_parser.add_argument("--seed", type=int, default=0)
     _add_system_args(run_parser)
+    _add_options_args(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     asm_parser = subparsers.add_parser("asm", help="assemble and run a .s file")
@@ -241,7 +344,43 @@ def build_parser() -> argparse.ArgumentParser:
     asm_parser.add_argument("--max-cycles", type=int, default=1_000_000)
     asm_parser.add_argument("--trace", action="store_true", help="print a pipeline waterfall")
     _add_system_args(asm_parser)
+    _add_options_args(asm_parser)
     asm_parser.set_defaults(func=cmd_asm)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="replay one sample with telemetry armed; write JSONL and "
+        "Chrome trace_event files",
+    )
+    trace_parser.add_argument("workload")
+    trace_parser.add_argument("--warmup", type=int, default=1500)
+    trace_parser.add_argument("--measure", type=int, default=3000)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--level",
+        choices=[level for level in TRACE_LEVELS if level != "off"],
+        default="events",
+        help="telemetry level (default events)",
+    )
+    trace_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="event ring-buffer capacity (default 65536)",
+    )
+    trace_parser.add_argument(
+        "--out",
+        help="output stem; writes <stem>.jsonl and <stem>.trace.json "
+        "(default TRACE_<workload>)",
+    )
+    trace_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result cache (.repro-cache/)",
+    )
+    _add_system_args(trace_parser)
+    _add_options_args(trace_parser)
+    trace_parser.set_defaults(func=cmd_trace)
 
     repro_parser = subparsers.add_parser(
         "reproduce", help="regenerate the paper's tables and figures"
@@ -262,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the persistent result cache (.repro-cache/)",
     )
+    _add_options_args(repro_parser)
     repro_parser.set_defaults(func=cmd_reproduce)
 
     bench_parser = subparsers.add_parser(
@@ -297,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-exec-comparison",
         action="store_true",
         help="skip the dual-vs-replay execution timing",
+    )
+    bench_parser.add_argument(
+        "--no-telemetry-comparison",
+        action="store_true",
+        help="skip the telemetry-off-vs-armed timing and bit-identity check",
     )
     bench_parser.add_argument(
         "--quick",

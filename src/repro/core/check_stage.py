@@ -90,6 +90,10 @@ class CheckGate:
         #: Monotone counters for statistics.
         self.intervals_closed = 0
         self.fingerprints_compared = 0
+        #: Armed telemetry (see repro.obs), or None.  Set by CMPSystem;
+        #: interval closes are emitted only at the ``full`` level.
+        self.obs = None
+        self.obs_source = ""
 
     # -- pipeline side ------------------------------------------------------
     def offer(self, entry: DynInstr, now: int) -> None:
@@ -150,6 +154,16 @@ class CheckGate:
                 poisoned=self._poison_open,
             )
         )
+        obs = self.obs
+        if obs is not None and obs.full:
+            obs.emit(
+                "fingerprint.close",
+                now,
+                self.obs_source,
+                index=self._index,
+                count=self._count,
+                fingerprint=self._closed[-1].fingerprint,
+            )
         self._accum.reset()
         self._count = 0
         self._has_sync = False

@@ -93,6 +93,18 @@ class FaultInjector:
                 cycle=self._core.cycles,
             )
         )
+        obs = self._core.obs
+        if obs is not None:
+            obs.emit(
+                "fault.inject",
+                None,
+                f"core{self._core_id}",
+                seq=entry.seq,
+                pc=entry.pc,
+                bit=bit,
+                original=original,
+                corrupted=entry.result,
+            )
 
 
 def detection_latencies(

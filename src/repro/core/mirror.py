@@ -84,7 +84,7 @@ def sync_counters(vocal: OoOCore, mute: OoOCore) -> None:
     mute_gate.fingerprints_compared = vocal_gate.fingerprints_compared
 
 
-def materialize(vocal: OoOCore, mute: OoOCore) -> None:
+def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> None:
     """End a mirror window: copy the vocal's full private state to the mute.
 
     After this call the mute is exactly the core a dual-execution run
@@ -94,6 +94,15 @@ def materialize(vocal: OoOCore, mute: OoOCore) -> None:
     pair backreference, and hooks are untouched.
     """
     sync_counters(vocal, mute)
+    if obs is not None:
+        obs.emit(
+            "mirror.materialize",
+            vocal.cycles,
+            source,
+            rob_entries=len(vocal.rob),
+            fetch_queue=len(vocal.fetch_queue),
+            user_retired=vocal.user_retired,
+        )
 
     # -- clone the live dynamic-instruction graph -----------------------
     clones: dict[int, DynInstr] = {}

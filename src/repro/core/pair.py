@@ -115,8 +115,13 @@ class LogicalPair:
         self.phase = 0  # 1 or 2 while recovering
         self._recovery_at = 0
         self._recovery_escalate = False
+        self._recovery_cause = ""  # what scheduled the pending recovery
         self._exit_single_step_at: int | None = None
         self.failed = False
+
+        #: Armed telemetry (see repro.obs), or None.  Set by CMPSystem.
+        self.obs = None
+        self._obs_source = f"pair{pair_id}"
 
         # Statistics.
         self.recoveries = 0
@@ -179,6 +184,8 @@ class LogicalPair:
             vocal.mirror_watch = True
             vocal.mirror_trigger = False
             mute.mirror_passive = True
+            if self.obs is not None:
+                self.obs.emit("mirror.open", vocal.cycles, self._obs_source)
 
     def disable_replay(self) -> None:
         """Fall back to full dual execution (fault armed, or decoupling).
@@ -221,7 +228,15 @@ class LogicalPair:
         mute's next offer.
         """
         vocal, mute = self.vocal, self.mute
-        materialize(vocal, mute)
+        if self.obs is not None:
+            self.obs.emit(
+                "mirror.close",
+                vocal.cycles,
+                self._obs_source,
+                cycles=vocal.cycles,
+                user_retired=vocal.user_retired,
+            )
+        materialize(vocal, mute, obs=self.obs, source=self._obs_source)
         trace = self._replay_trace
         if trace is not None:
             end = len(trace)
@@ -285,11 +300,26 @@ class LogicalPair:
         if closed:
             latency = self.redundancy.comparison_latency
             retire_time = vocal_gate._retire_time
+            obs = self.obs
             compared = 0
             while closed:
                 a = closed.popleft()
                 retire_time[a.index] = a.close_cycle + latency
                 compared += 1
+                if obs is not None:
+                    # The virtual mute's interval is identical by
+                    # construction; emit the comparison a dual-mode pair
+                    # would have performed this cycle.
+                    obs.emit(
+                        "fingerprint.compare",
+                        now,
+                        self._obs_source,
+                        index=a.index,
+                        vocal_fp=a.fingerprint,
+                        mute_fp=a.fingerprint,
+                        count=a.count,
+                        matched=True,
+                    )
             vocal_gate.fingerprints_compared += compared
         self._replay_trace.trim(vocal.user_retired)
 
@@ -336,7 +366,7 @@ class LogicalPair:
         self._watchdog(now)
 
         if self._exit_single_step_at is not None and now >= self._exit_single_step_at:
-            self._exit_single_step()
+            self._exit_single_step(now)
 
     # -- event horizon (cycle-skipping kernel) ---------------------------------
     def next_event(self, now: int) -> int:
@@ -394,6 +424,7 @@ class LogicalPair:
         vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
         mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
         latency = self.redundancy.comparison_latency
+        obs = self.obs
         while True:
             a = vocal_gate.peek_closed()
             b = mute_gate.peek_closed()
@@ -409,6 +440,17 @@ class LogicalPair:
                 and not a.poisoned
                 and not b.poisoned
             )
+            if obs is not None:
+                obs.emit(
+                    "fingerprint.compare",
+                    now,
+                    self._obs_source,
+                    index=a.index,
+                    vocal_fp=a.fingerprint,
+                    mute_fp=b.fingerprint,
+                    count=a.count,
+                    matched=matched,
+                )
             if matched:
                 vocal_gate.clear_interval(a.index, ready)
                 mute_gate.clear_interval(b.index, ready)
@@ -418,14 +460,37 @@ class LogicalPair:
                     self._exit_single_step_at = ready
                 continue
             # Divergence detected when the fingerprints arrive.
-            self._schedule_recovery(ready, escalate=self.state is PairState.SINGLE_STEP)
+            if obs is not None:
+                if a.poisoned or b.poisoned:
+                    why = "poison"
+                elif a.count != b.count or a.has_halt != b.has_halt:
+                    why = "count"
+                else:
+                    why = "fingerprint"
+                obs.emit(
+                    "fingerprint.mismatch",
+                    now,
+                    self._obs_source,
+                    index=a.index,
+                    vocal_fp=a.fingerprint,
+                    mute_fp=b.fingerprint,
+                    vocal_count=a.count,
+                    mute_count=b.count,
+                    cause=why,
+                )
+            self._schedule_recovery(
+                ready,
+                escalate=self.state is PairState.SINGLE_STEP,
+                cause="mismatch",
+            )
             self.mismatch_recoveries += 1
             return
 
-    def _schedule_recovery(self, at: int, escalate: bool) -> None:
+    def _schedule_recovery(self, at: int, escalate: bool, cause: str = "") -> None:
         self.state = PairState.WAIT_RECOVERY
         self._recovery_at = at
         self._recovery_escalate = escalate
+        self._recovery_cause = cause
         self._exit_single_step_at = None
 
     # -- the re-execution protocol ------------------------------------------------
@@ -438,12 +503,27 @@ class LogicalPair:
             self.failures += 1
             self.vocal.halted = True
             self.mute.halted = True
+            if self.obs is not None:
+                self.obs.emit(
+                    "recovery.failure",
+                    now,
+                    self._obs_source,
+                    cause=self._recovery_cause,
+                )
             return
 
         self.recoveries += 1
         self.recovery_log.append(
             (now, "phase2" if self._recovery_escalate else "phase1")
         )
+        if self.obs is not None:
+            self.obs.emit(
+                "recovery.start",
+                now,
+                self._obs_source,
+                phase=2 if self._recovery_escalate else 1,
+                cause=self._recovery_cause,
+            )
         # Retire everything already cleared by matching comparisons, so
         # both ARFs reflect the identical compared prefix.
         self.vocal.drain_cleared(now)
@@ -465,16 +545,28 @@ class LogicalPair:
             core.flush_for_recovery(resume, now, penalty)
             core.single_step = True
             core.gate.single_step = True  # type: ignore[attr-defined]
+        if self.obs is not None:
+            self.obs.emit(
+                "recovery.rollback",
+                now,
+                self._obs_source,
+                resume_pc=resume,
+                penalty=penalty,
+            )
         # Gate flush restarted interval numbering, so the unhashed-
         # interval exemption from a mid-run replay disable is void.
         self._replay_trusted = -1
         self.state = PairState.SINGLE_STEP
         self._exit_single_step_at = None
 
-    def _exit_single_step(self) -> None:
+    def _exit_single_step(self, now: int) -> None:
         for core in (self.vocal, self.mute):
             core.single_step = False
             core.gate.single_step = False  # type: ignore[attr-defined]
+        if self.obs is not None:
+            self.obs.emit(
+                "recovery.resume", now, self._obs_source, phase=self.phase
+            )
         self.state = PairState.NORMAL
         self.phase = 0
         self._exit_single_step_at = None
@@ -503,10 +595,23 @@ class LogicalPair:
             self.vocal.sync_request = None
             self.mute.sync_request = None
             self.mismatch_recoveries += 1
-            self._schedule_recovery(now, escalate=self.state is PairState.SINGLE_STEP)
+            self._schedule_recovery(
+                now,
+                escalate=self.state is PairState.SINGLE_STEP,
+                cause="sync_divergence",
+            )
             return
 
         self.sync_requests += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "sync.request",
+                now,
+                self._obs_source,
+                pc=vocal_entry.pc,
+                addr=vocal_entry.addr,
+                op=vocal_entry.inst.op.name,
+            )
         addr = vocal_entry.addr
         line_shift = self.config.l1.line_bytes.bit_length() - 1
         reply = self.controller.synchronizing_access(
@@ -557,6 +662,14 @@ class LogicalPair:
         target = max(self.vocal.user_retired, self.mute.user_retired) + margin
         self.vocal.schedule_interrupt(target, handler)
         self.mute.schedule_interrupt(target, handler)
+        if self.obs is not None:
+            self.obs.emit(
+                "interrupt.post",
+                None,
+                self._obs_source,
+                target=target,
+                handler_len=len(handler),
+            )
         return target
 
     # -- watchdog --------------------------------------------------------------------
@@ -570,7 +683,11 @@ class LogicalPair:
         waiting = a if (a is not None and b is None) else b if (b is not None and a is None) else None
         if waiting is not None and now - waiting.close_cycle > timeout:
             self.timeout_recoveries += 1
-            self._schedule_recovery(now, escalate=self.state is PairState.SINGLE_STEP)
+            self._schedule_recovery(
+                now,
+                escalate=self.state is PairState.SINGLE_STEP,
+                cause="timeout",
+            )
 
     # -- reporting ---------------------------------------------------------------------
     def collect_stats(self, stats, prefix: str = "") -> None:

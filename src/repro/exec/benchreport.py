@@ -32,6 +32,11 @@ BENCH_SCHEMA = 1
 #: (an O(n) retire loop, a lost horizon), not scheduler noise.
 REGRESSION_FACTOR = 3.0
 
+#: Telemetry's zero-cost-when-off contract has a hot side too: an
+#: *armed* run may not slow the simulator by more than this factor
+#: (min-of-repeats damps scheduler noise; see run_telemetry_comparison).
+TELEMETRY_OVERHEAD_FACTOR = 1.10
+
 
 @dataclass
 class PhaseResult:
@@ -77,6 +82,25 @@ class ExecComparison:
 
 
 @dataclass
+class TelemetryComparison:
+    """Telemetry off vs. armed on one Reunion workload.
+
+    ``identical`` diffs the full Stats snapshots — the telemetry
+    observe-never-mutate contract.  ``overhead`` is armed/off wall time
+    (min over repeats on each side), gated by
+    :data:`TELEMETRY_OVERHEAD_FACTOR` in :func:`check_regression`.
+    """
+
+    name: str
+    off_wall_s: float
+    armed_wall_s: float
+    overhead: float
+    cycles: int
+    events: int  # total records emitted by the armed run
+    identical: bool
+
+
+@dataclass
 class BenchReport:
     """One `repro bench` run, serializable to ``BENCH_<date>.json``."""
 
@@ -86,6 +110,9 @@ class BenchReport:
     phases: list[PhaseResult] = field(default_factory=list)
     kernel_comparison: list[KernelComparison] = field(default_factory=list)
     exec_comparison: list[ExecComparison] = field(default_factory=list)
+    telemetry_comparison: list[TelemetryComparison] = field(default_factory=list)
+    #: Wall seconds by bench component (see repro.obs.profile.Profiler).
+    profile: dict[str, float] = field(default_factory=dict)
     schema: int = BENCH_SCHEMA
 
     def to_dict(self) -> dict:
@@ -104,6 +131,11 @@ class BenchReport:
             exec_comparison=[
                 ExecComparison(**c) for c in payload.get("exec_comparison", [])
             ],
+            telemetry_comparison=[
+                TelemetryComparison(**c)
+                for c in payload.get("telemetry_comparison", [])
+            ],
+            profile=payload.get("profile", {}),
             schema=payload.get("schema", BENCH_SCHEMA),
         )
 
@@ -155,6 +187,25 @@ class BenchReport:
                     f"{cmp_.name:<28}{cmp_.dual_wall_s:>10.3f}{cmp_.replay_wall_s:>10.3f}"
                     f"{cmp_.speedup:>8.2f}x{'yes' if cmp_.identical else 'NO':>11}"
                 )
+        if self.telemetry_comparison:
+            lines += [
+                "",
+                "telemetry comparison (off vs. armed, min-of-repeats wall time):",
+                f"{'artifact':<28}{'off s':>10}{'armed s':>10}{'overhead':>9}"
+                f"{'events':>9}{'identical':>11}",
+                "-" * 77,
+            ]
+            for cmp_ in self.telemetry_comparison:
+                lines.append(
+                    f"{cmp_.name:<28}{cmp_.off_wall_s:>10.3f}{cmp_.armed_wall_s:>10.3f}"
+                    f"{cmp_.overhead:>8.2f}x{cmp_.events:>9,}"
+                    f"{'yes' if cmp_.identical else 'NO':>11}"
+                )
+        if self.profile:
+            lines += ["", "profile (wall seconds by bench component):"]
+            width = max(len(name) for name in self.profile)
+            for name in sorted(self.profile):
+                lines.append(f"  {name:<{width}}  {self.profile[name]:>9.3f}")
         return "\n".join(lines)
 
 
@@ -189,6 +240,7 @@ def _compare_kernels_on(
     scale, workloads, modes=(Mode.NONREDUNDANT, Mode.REUNION)
 ) -> list[KernelComparison]:
     from repro.sim.cmp import CMPSystem
+    from repro.sim.options import SimOptions
 
     comparisons: list[KernelComparison] = []
     seed = scale.seeds[0]
@@ -203,7 +255,9 @@ def _compare_kernels_on(
             schedules = workload.itlb_schedules(config.n_logical, seed)
             results = {}
             for kernel in ("naive", "event"):
-                system = CMPSystem(config, programs, schedules, kernel=kernel)
+                system = CMPSystem(
+                    config, programs, schedules, options=SimOptions(kernel=kernel)
+                )
                 start = time.perf_counter()
                 system.run(scale.warmup)
                 system.run(scale.measure)
@@ -235,6 +289,7 @@ def run_exec_comparison(
     Stats snapshots are diffed to enforce the bit-identity contract.
     """
     from repro.sim.cmp import CMPSystem
+    from repro.sim.options import SimOptions
     from repro.workloads.micro import ComputeKernel, PointerChase
 
     workloads = [("compute-kernel", ComputeKernel())]
@@ -250,7 +305,10 @@ def run_exec_comparison(
         results = {}
         for execution in ("dual", "replay"):
             system = CMPSystem(
-                config, programs, schedules, kernel="event", execution=execution
+                config,
+                programs,
+                schedules,
+                options=SimOptions(kernel="event", execution=execution),
             )
             start = time.perf_counter()
             system.run(cycles)
@@ -271,12 +329,75 @@ def run_exec_comparison(
     return comparisons
 
 
+def run_telemetry_comparison(
+    scale, cycles: int = 60_000, repeats: int = 3
+) -> list[TelemetryComparison]:
+    """Time a Reunion pair with telemetry off and armed at ``events``.
+
+    The armed run must be bit-identical (Stats diff) and nearly free:
+    :func:`check_regression` fails a baseline check when overhead
+    exceeds :data:`TELEMETRY_OVERHEAD_FACTOR`.  Wall times are the
+    minimum over ``repeats`` fresh systems per side, which is the
+    standard defence against scheduler noise on shared CI runners.
+    The memory-bound chase exercises the chatty emitters (phantom
+    reads, fingerprint compares after the mirror window exits); a
+    16-instruction fingerprint interval keeps the event rate at the
+    realistic design point rather than the interval=1 stress corner.
+    """
+    from repro.sim.cmp import CMPSystem
+    from repro.sim.options import SimOptions
+    from repro.workloads.micro import PointerChase
+
+    workload = PointerChase(nodes=16384)
+    seed = scale.seeds[0]
+    config = (
+        scale.config.replace(n_logical=1)
+        .with_redundancy(mode=Mode.REUNION, fingerprint_interval=16)
+    )
+    programs = workload.programs(config.n_logical, seed)
+    schedules = workload.itlb_schedules(config.n_logical, seed)
+
+    results = {}
+    for label, options in (
+        ("off", SimOptions()),
+        ("armed", SimOptions(trace="events")),
+    ):
+        best_wall = float("inf")
+        stats = None
+        emitted = 0
+        for _ in range(repeats):
+            system = CMPSystem(config, programs, schedules, options=options)
+            start = time.perf_counter()
+            system.run(cycles)
+            wall = time.perf_counter() - start
+            best_wall = min(best_wall, wall)
+            stats = dict(system.collect_stats().snapshot())
+            if system.obs is not None:
+                emitted = system.obs.log.emitted
+        results[label] = (best_wall, stats, emitted)
+
+    off_wall, off_stats, _ = results["off"]
+    armed_wall, armed_stats, events = results["armed"]
+    return [
+        TelemetryComparison(
+            name="mem-chase/reunion",
+            off_wall_s=off_wall,
+            armed_wall_s=armed_wall,
+            overhead=armed_wall / off_wall if off_wall else 0.0,
+            cycles=cycles,
+            events=events,
+            identical=off_stats == armed_stats,
+        )
+    ]
+
+
 def run_bench(
     scale_name: str = "quick",
     jobs: int = 1,
     only: list[str] | None = None,
     compare_kernels: bool = True,
     compare_exec: bool = True,
+    compare_telemetry: bool = True,
     quick: bool = False,
 ) -> BenchReport:
     """Time every artifact's sample sweep; return the filled report.
@@ -319,6 +440,9 @@ def run_bench(
     if unknown:
         raise ValueError(f"unknown bench phases {unknown}; pick from {sorted(plans)}")
 
+    from repro.obs.profile import Profiler
+
+    profiler = Profiler()
     report = BenchReport(
         date=date.today().isoformat(), scale=scale.name, jobs=jobs
     )
@@ -330,7 +454,8 @@ def run_bench(
         # cache, and don't let phases share the baseline samples.
         runner = Runner(scale, cache=None)
         start = time.perf_counter()
-        runner.prefetch(requests, jobs=jobs)
+        with profiler.section(f"sweep.{name}"):
+            runner.prefetch(requests, jobs=jobs)
         wall = time.perf_counter() - start
         cycles = samples * cycles_per_sample
         report.phases.append(
@@ -343,20 +468,29 @@ def run_bench(
             )
         )
     if compare_kernels:
-        if quick:
-            from repro.workloads.micro import PointerChase
+        with profiler.section("compare.kernels"):
+            if quick:
+                from repro.workloads.micro import PointerChase
 
-            report.kernel_comparison = _compare_kernels_on(
-                scale, [("mem-chase", PointerChase(nodes=16384))]
-            )
-        else:
-            report.kernel_comparison = run_kernel_comparison(scale)
+                report.kernel_comparison = _compare_kernels_on(
+                    scale, [("mem-chase", PointerChase(nodes=16384))]
+                )
+            else:
+                report.kernel_comparison = run_kernel_comparison(scale)
     if compare_exec:
-        report.exec_comparison = run_exec_comparison(
-            scale,
-            cycles=30_000 if quick else 120_000,
-            compute_only=quick,
-        )
+        with profiler.section("compare.exec"):
+            report.exec_comparison = run_exec_comparison(
+                scale,
+                cycles=30_000 if quick else 120_000,
+                compute_only=quick,
+            )
+    if compare_telemetry:
+        with profiler.section("compare.telemetry"):
+            report.telemetry_comparison = run_telemetry_comparison(
+                scale,
+                cycles=20_000 if quick else 60_000,
+            )
+    report.profile = profiler.snapshot()
     return report
 
 
@@ -393,5 +527,15 @@ def check_regression(
         if not cmp_.identical:
             problems.append(
                 f"{cmp_.name}: dual and replay execution produced different Stats"
+            )
+    for cmp_ in current.telemetry_comparison:
+        if not cmp_.identical:
+            problems.append(
+                f"{cmp_.name}: armed telemetry changed the Stats snapshot"
+            )
+        if cmp_.overhead > TELEMETRY_OVERHEAD_FACTOR:
+            problems.append(
+                f"{cmp_.name}: armed telemetry costs {cmp_.overhead:.2f}x "
+                f"(budget {TELEMETRY_OVERHEAD_FACTOR:g}x)"
             )
     return problems

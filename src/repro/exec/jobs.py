@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.sim.config import SystemConfig
+from repro.sim.options import SimOptions, options_key_payload
 from repro.sim.sampling import Sample, run_sample
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,17 +57,27 @@ def config_payload(value: Any) -> Any:
 
 @dataclass(frozen=True)
 class SampleJob:
-    """One simulation point: a pure function of these five fields."""
+    """One simulation point: a pure function of the first five fields.
+
+    ``options`` rides along for *how* to compute the sample (kernel,
+    execution strategy, telemetry) but is deliberately near-absent from
+    the content-hash key: every current :class:`SimOptions` field is
+    result-neutral by contract, so a cache populated with telemetry off
+    serves armed runs (and dual serves replay) without re-simulating.
+    Only :func:`repro.sim.options.options_key_payload`'s projection —
+    empty today — is folded in.
+    """
 
     config: SystemConfig
     workload_name: str
     seed: int
     warmup: int
     measure: int
+    options: SimOptions | None = None
 
     def payload(self) -> dict[str, Any]:
         """The canonical dict this job's key is the hash of."""
-        return {
+        payload = {
             "schema": SCHEMA_VERSION,
             "config": config_payload(self.config),
             "workload": self.workload_name,
@@ -74,6 +85,10 @@ class SampleJob:
             "warmup": self.warmup,
             "measure": self.measure,
         }
+        extra = options_key_payload(self.options)
+        if extra:
+            payload["options"] = extra
+        return payload
 
     @property
     def key(self) -> str:
@@ -100,4 +115,6 @@ def resolve_workload(name: str) -> "Workload":
 def run_job(job: SampleJob) -> Sample:
     """Execute one job in this process.  Also the worker entry point."""
     workload = resolve_workload(job.workload_name)
-    return run_sample(job.config, workload, job.warmup, job.measure, job.seed)
+    return run_sample(
+        job.config, workload, job.warmup, job.measure, job.seed, options=job.options
+    )

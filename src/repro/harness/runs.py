@@ -19,6 +19,7 @@ from repro.exec.jobs import SampleJob, run_job
 from repro.exec.pool import ExecutionPool
 from repro.exec.progress import Progress, RunManifest
 from repro.sim.config import DEFAULT_CONFIG, PAPER_TABLE1, Mode, SystemConfig
+from repro.sim.options import SimOptions
 from repro.sim.sampling import Sample
 from repro.workloads.base import Workload
 
@@ -77,6 +78,10 @@ class Runner:
 
     scale: Scale
     cache: ResultCache | None = None
+    #: Simulation options threaded into every job.  All SimOptions
+    #: fields are result-neutral by contract, so the memo key and the
+    #: persistent content-hash key both ignore them.
+    options: SimOptions | None = None
     _cache: dict[tuple[SystemConfig, str, int], Sample] = field(default_factory=dict)
 
     def _job(self, config: SystemConfig, workload_name: str, seed: int) -> SampleJob:
@@ -86,6 +91,7 @@ class Runner:
             seed=seed,
             warmup=self.scale.warmup,
             measure=self.scale.measure,
+            options=self.options,
         )
 
     def sample(self, config: SystemConfig, workload: Workload, seed: int) -> Sample:

@@ -61,6 +61,8 @@ class SharedL2Controller:
         self._bank_free = [0] * config.banks
         #: core_id -> (l1 cache, is_mute)
         self._l1s: dict[int, tuple[Cache, bool]] = {}
+        #: Armed telemetry (see repro.obs), or None.  Set by CMPSystem.
+        self.obs = None
 
     # -- registration ------------------------------------------------------
     def register_l1(self, core_id: int, l1: Cache, is_mute: bool) -> None:
@@ -234,6 +236,16 @@ class SharedL2Controller:
 
     def vocal_evict(self, core_id: int, line_addr: int, data: list[int] | None, dirty: bool) -> None:
         """A vocal L1 evicted a line: fold back data, update the directory."""
+        obs = self.obs
+        if obs is not None and obs.full:
+            obs.emit(
+                "cache.evict",
+                None,
+                "l2",
+                core=core_id,
+                line_addr=line_addr,
+                dirty=dirty,
+            )
         entry = self.directory.peek(line_addr)
         if entry is not None:
             entry.sharers.discard(core_id)
@@ -253,9 +265,12 @@ class SharedL2Controller:
         Never changes directory state; the reply grants write permission
         *within the mute hierarchy only*.
         """
+        obs = self.obs
         if strength is PhantomStrength.NULL:
             # Trivial implementation: arbitrary data, no L2 traffic at all.
             self.stats.inc("l2.phantom_null")
+            if obs is not None:
+                self._emit_phantom(obs, core_id, line_addr, now, strength, "garbage")
             return Reply(self._garbage(line_addr), now + 1)
 
         start = self._arbitrate(line_addr, now)
@@ -264,8 +279,12 @@ class SharedL2Controller:
         if strength is PhantomStrength.SHARED:
             self.stats.inc("l2.phantom_shared")
             if line is not None:
+                if obs is not None:
+                    self._emit_phantom(obs, core_id, line_addr, now, strength, "l2")
                 return Reply(list(line.data), start + self.config.hit_latency)
             self.stats.inc("l2.phantom_garbage")
+            if obs is not None:
+                self._emit_phantom(obs, core_id, line_addr, now, strength, "garbage")
             return Reply(self._garbage(line_addr), start + self.config.hit_latency)
 
         # GLOBAL: best-effort coherent value — L2, then an owning vocal L1,
@@ -275,15 +294,38 @@ class SharedL2Controller:
         if entry is not None and entry.owner is not None:
             owner_line = self._l1(entry.owner).lookup(line_addr)
             if owner_line is not None:
+                if obs is not None:
+                    self._emit_phantom(obs, core_id, line_addr, now, strength, "owner_l1")
                 return Reply(list(owner_line.data), start + 2 * self.config.hit_latency)
         if line is not None:
+            if obs is not None:
+                self._emit_phantom(obs, core_id, line_addr, now, strength, "l2")
             return Reply(list(line.data), start + self.config.hit_latency)
         data, done = self._memory_fetch(line_addr, start)
+        if obs is not None:
+            self._emit_phantom(obs, core_id, line_addr, now, strength, "memory")
         return Reply(data, done + self.config.hit_latency)
+
+    @staticmethod
+    def _emit_phantom(obs, core_id, line_addr, now, strength, origin) -> None:
+        obs.emit(
+            "phantom.read",
+            now,
+            "l2",
+            core=core_id,
+            line_addr=line_addr,
+            strength=strength.value,
+            origin=origin,
+        )
 
     def mute_evict(self, core_id: int, line_addr: int) -> None:
         """Mute evictions and writebacks are ignored (Section 4.2)."""
         self.stats.inc("l2.mute_evicts_dropped")
+        obs = self.obs
+        if obs is not None and obs.full:
+            obs.emit(
+                "cache.writeback_drop", None, "l2", core=core_id, line_addr=line_addr
+            )
 
     # -- synchronizing requests ------------------------------------------------
     def synchronizing_access(

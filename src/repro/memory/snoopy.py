@@ -45,6 +45,8 @@ class SnoopyBus:
         self._bus_free = 0
         self._l1s: dict[int, tuple[Cache, bool]] = {}
         self._words_per_line = 8
+        #: Armed telemetry (see repro.obs), or None.  Set by CMPSystem.
+        self.obs = None
 
     # -- registration -------------------------------------------------------
     def register_l1(self, core_id: int, l1: Cache, is_mute: bool) -> None:
@@ -153,6 +155,16 @@ class SnoopyBus:
 
     def vocal_evict(self, core_id: int, line_addr: int, data: list[int] | None, dirty: bool) -> None:
         """Write-back on eviction; clean victims vanish silently."""
+        obs = self.obs
+        if obs is not None and obs.full:
+            obs.emit(
+                "cache.evict",
+                None,
+                "bus",
+                core=core_id,
+                line_addr=line_addr,
+                dirty=dirty,
+            )
         if dirty and data is not None:
             self.memory.write_line(line_addr, data)
             self.stats.inc("bus.writebacks")
@@ -162,8 +174,11 @@ class SnoopyBus:
         self, core_id: int, line_addr: int, now: int, strength: PhantomStrength
     ) -> Reply:
         """Non-coherent read: snoops without asserting any bus state."""
+        obs = self.obs
         if strength is PhantomStrength.NULL:
             self.stats.inc("bus.phantom_null")
+            if obs is not None:
+                self._emit_phantom(obs, core_id, line_addr, now, strength, "garbage")
             return Reply(self._garbage(line_addr), now + 1)
         start = self._arbitrate(now)
         # Peek peer vocal caches without changing their state.
@@ -171,16 +186,39 @@ class SnoopyBus:
             line = l1.lookup(line_addr)
             if line is not None:
                 self.stats.inc("bus.phantom_snooped")
+                if obs is not None:
+                    self._emit_phantom(obs, core_id, line_addr, now, strength, "peer_l1")
                 return Reply(list(line.data), start + self.config.transfer_latency)
         if strength is PhantomStrength.SHARED:
             self.stats.inc("bus.phantom_garbage")
+            if obs is not None:
+                self._emit_phantom(obs, core_id, line_addr, now, strength, "garbage")
             return Reply(self._garbage(line_addr), start + self.config.snoop_latency)
         self.stats.inc("bus.phantom_memory")
         data, done = self._memory_fetch(line_addr, start)
+        if obs is not None:
+            self._emit_phantom(obs, core_id, line_addr, now, strength, "memory")
         return Reply(data, done + self.config.snoop_latency)
+
+    @staticmethod
+    def _emit_phantom(obs, core_id, line_addr, now, strength, origin) -> None:
+        obs.emit(
+            "phantom.read",
+            now,
+            "bus",
+            core=core_id,
+            line_addr=line_addr,
+            strength=strength.value,
+            origin=origin,
+        )
 
     def mute_evict(self, core_id: int, line_addr: int) -> None:
         self.stats.inc("bus.mute_evicts_dropped")
+        obs = self.obs
+        if obs is not None and obs.full:
+            obs.emit(
+                "cache.writeback_drop", None, "bus", core=core_id, line_addr=line_addr
+            )
 
     # -- synchronizing requests -------------------------------------------------------
     def synchronizing_access(

@@ -1,0 +1,177 @@
+"""The event log: typed records in a bounded ring buffer.
+
+Every record is an :class:`Event` — kind, cycle, source, payload.
+Kinds are dot-namespaced strings (the module-level ``K_*`` constants
+are the full taxonomy); sources name the emitting component
+(``"pair0"``, ``"core3"``, ``"l2"``).  Payloads are flat JSON-ready
+dicts so export needs no per-kind knowledge.
+
+The buffer is a ``deque(maxlen=capacity)``: appending past capacity
+drops the *oldest* record (and counts it), so a long run keeps the tail
+of its history — the part that explains how it ended — at bounded
+memory.  ``emitted``/``dropped`` make truncation visible instead of
+silent.
+
+:class:`Telemetry` is the front door components hold a reference to
+(or ``None`` when telemetry is off — the zero-cost-when-off contract is
+that disarmed hot paths test one attribute against ``None`` and touch
+nothing else).  It pre-computes the level flags ``events_on`` and
+``full`` once so emitting sites never string-compare levels, and feeds
+every emission to the metrics sampler even when the record itself is
+below the storage threshold (the ``metrics`` level keeps time series
+without buffering events).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsSampler
+
+# -- event taxonomy ---------------------------------------------------------
+# Output comparison.
+K_FP_COMPARE = "fingerprint.compare"  # events
+K_FP_MISMATCH = "fingerprint.mismatch"  # events
+K_FP_CLOSE = "fingerprint.close"  # full
+# The re-execution protocol.
+K_RECOVERY_START = "recovery.start"  # events
+K_RECOVERY_ROLLBACK = "recovery.rollback"  # events
+K_RECOVERY_RESUME = "recovery.resume"  # events
+K_RECOVERY_FAILURE = "recovery.failure"  # events
+# Relaxed input replication.
+K_SYNC_REQUEST = "sync.request"  # events
+K_PHANTOM_READ = "phantom.read"  # events
+# Replay fast path.
+K_MIRROR_OPEN = "mirror.open"  # events
+K_MIRROR_CLOSE = "mirror.close"  # events
+K_MIRROR_MATERIALIZE = "mirror.materialize"  # events
+# Interrupt replication.
+K_INTERRUPT_POST = "interrupt.post"  # events
+# Cache controller diagnostics.
+K_CACHE_EVICT = "cache.evict"  # full
+K_CACHE_WRITEBACK_DROP = "cache.writeback_drop"  # full
+# Fault injection.
+K_FAULT_INJECT = "fault.inject"  # events
+
+#: Kinds that describe the *simulation strategy* rather than the
+#: simulated machine.  Mirror windows exist only under replay execution
+#: (dual execution steps the mute for real), so differential
+#: replay-vs-dual event comparisons exclude them — in fault-armed runs
+#: (which disable the fast path) everything else must match record for
+#: record; see tests/sim/test_telemetry.py.  One payload caveat outside
+#: that scope: when the *fast path itself* detects a divergence it does
+#: so by word comparison rather than CRC hashing, so compare/mismatch
+#: records may then carry zero fingerprints and ``cause="poison"``
+#: where dual execution would carry CRC values and
+#: ``cause="fingerprint"`` — cycles, interval indices, ``matched``
+#: flags and every recovery-protocol event still line up exactly.
+STRATEGY_KINDS = frozenset(
+    {K_MIRROR_OPEN, K_MIRROR_CLOSE, K_MIRROR_MATERIALIZE}
+)
+
+
+@dataclass(slots=True)
+class Event:
+    """One telemetry record."""
+
+    kind: str
+    cycle: int
+    source: str
+    args: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        out = {"kind": self.kind, "cycle": self.cycle, "source": self.source}
+        out.update(self.args)
+        return out
+
+
+class EventLog:
+    """Bounded ring buffer of :class:`Event` records."""
+
+    __slots__ = ("_buffer", "capacity", "emitted", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("event-log capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self.emitted = 0  # total records offered
+        self.dropped = 0  # oldest records displaced by the ring
+
+    def append(self, event: Event) -> None:
+        self.emitted += 1
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._buffer)
+
+    def snapshot(self) -> list[Event]:
+        """The buffered records, oldest first."""
+        return list(self._buffer)
+
+    def counts(self) -> Counter:
+        """Buffered-record histogram by kind (diagnostics, summaries)."""
+        return Counter(event.kind for event in self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class Telemetry:
+    """The armed-telemetry front door components emit through.
+
+    A simulated system either holds one ``Telemetry`` (telemetry armed)
+    or ``None`` (off) in every component's ``obs`` slot; nothing in the
+    simulator branches on the level strings directly.  ``last_cycle``
+    tracks the most recent emission/sample cycle so emitters without a
+    natural timestamp (cache-array evictions happen inside request
+    processing, several frames below anything holding ``now``) can
+    stamp records accurately to within the current step.
+    """
+
+    __slots__ = ("level", "events_on", "full", "log", "metrics", "last_cycle")
+
+    def __init__(
+        self,
+        level: str = "events",
+        capacity: int = 65_536,
+        fingerprint_bits: int = 16,
+        metrics_interval: int = 1_024,
+    ) -> None:
+        from repro.sim.options import TRACE_LEVELS
+
+        if level not in TRACE_LEVELS or level == "off":
+            raise ValueError(
+                f"telemetry level must be one of {TRACE_LEVELS[1:]}, got {level!r}"
+            )
+        rank = TRACE_LEVELS.index(level)
+        self.level = level
+        self.events_on = rank >= TRACE_LEVELS.index("events")
+        self.full = rank >= TRACE_LEVELS.index("full")
+        self.log = EventLog(capacity)
+        self.metrics = MetricsSampler(
+            interval=metrics_interval, fingerprint_bits=fingerprint_bits
+        )
+        self.last_cycle = 0
+
+    def emit(self, kind: str, cycle: int | None, source: str, **args: Any) -> None:
+        """Record one event (and feed the metrics counters).
+
+        ``cycle=None`` stamps the record with :attr:`last_cycle` — the
+        cycle of the in-flight step — for emitters below the timing
+        layer.
+        """
+        if cycle is None:
+            cycle = self.last_cycle
+        else:
+            self.last_cycle = cycle
+        self.metrics.observe(kind, cycle, source)
+        if self.events_on:
+            self.log.append(Event(kind, cycle, source, args))

@@ -1,0 +1,149 @@
+"""Per-interval time series sampled while a system runs.
+
+The simulation loop calls :meth:`MetricsSampler.sample` whenever ``now``
+crosses the next sampling boundary (every ``interval`` cycles, aligned
+to multiples of the interval so rows from different runs line up), and
+the :class:`~repro.obs.events.Telemetry` front door routes every event
+emission through :meth:`MetricsSampler.observe` first — so the sampler
+sees fingerprint comparisons, synchronizing requests and recoveries
+even at the ``metrics`` level, where no event records are buffered.
+
+Each :class:`MetricsRow` is a *delta* over the preceding row's window:
+IPC, serializing-request rate (per kilocycle), fingerprint-comparison
+bandwidth (bits per cycle, the Section 4.3 link-budget quantity), and
+recovery count.  Recovery latency — cycles from ``recovery.start`` to
+``recovery.resume`` — accumulates separately into a log2-bucketed
+histogram, the same shape SDC studies report detection latency in.
+
+The sampler only ever *reads* the system; it never mutates simulator
+state, which is what keeps armed runs bit-identical to disarmed ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cmp import CMPSystem
+
+
+@dataclass(slots=True)
+class MetricsRow:
+    """One sampling window's deltas."""
+
+    cycle: int  # window end (exclusive)
+    cycles: int  # window length
+    instructions: int  # user instructions retired in the window
+    ipc: float
+    sync_per_kcycle: float  # synchronizing-request rate
+    fp_compares: int
+    fp_bandwidth_bits_per_cycle: float  # fingerprint traffic both ways
+    recoveries: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+class MetricsSampler:
+    """Accumulates event counts and cuts them into time-series rows."""
+
+    __slots__ = (
+        "interval",
+        "fingerprint_bits",
+        "next_sample_at",
+        "rows",
+        "recovery_latencies",
+        "_compares",
+        "_syncs",
+        "_recoveries",
+        "_recovery_started",
+        "_last_cycle",
+        "_last_instructions",
+        "_last_compares",
+        "_last_syncs",
+        "_last_recoveries",
+    )
+
+    def __init__(self, interval: int = 1_024, fingerprint_bits: int = 16) -> None:
+        if interval < 1:
+            raise ValueError("metrics interval must be >= 1")
+        self.interval = interval
+        self.fingerprint_bits = fingerprint_bits
+        self.next_sample_at = interval
+        self.rows: list[MetricsRow] = []
+        #: Completed recovery latencies (start -> resume), in cycles.
+        self.recovery_latencies: list[int] = []
+        # Running totals, fed by observe().
+        self._compares = 0
+        self._syncs = 0
+        self._recoveries = 0
+        #: source -> cycle of the in-flight recovery's start event.
+        self._recovery_started: dict[str, int] = {}
+        # Totals at the last row cut.
+        self._last_cycle = 0
+        self._last_instructions = 0
+        self._last_compares = 0
+        self._last_syncs = 0
+        self._last_recoveries = 0
+
+    # -- event side ---------------------------------------------------------
+    def observe(self, kind: str, cycle: int, source: str = "") -> None:
+        """Fold one event into the running counters."""
+        if kind == "fingerprint.compare":
+            self._compares += 1
+        elif kind == "sync.request":
+            self._syncs += 1
+        elif kind == "recovery.start":
+            self._recoveries += 1
+            self._recovery_started[source] = cycle
+        elif kind == "recovery.resume":
+            start = self._recovery_started.pop(source, None)
+            if start is not None:
+                self.recovery_latencies.append(cycle - start)
+
+    # -- sampling side ------------------------------------------------------
+    def sample(self, system: "CMPSystem", now: int) -> None:
+        """Cut a row covering (last row's end, ``now``]."""
+        window = now - self._last_cycle
+        if window <= 0:
+            return
+        instructions = system.user_instructions()
+        d_instr = instructions - self._last_instructions
+        d_compares = self._compares - self._last_compares
+        d_syncs = self._syncs - self._last_syncs
+        d_recoveries = self._recoveries - self._last_recoveries
+        self.rows.append(
+            MetricsRow(
+                cycle=now,
+                cycles=window,
+                instructions=d_instr,
+                ipc=d_instr / window,
+                sync_per_kcycle=1_000 * d_syncs / window,
+                fp_compares=d_compares,
+                # Both cores send their fingerprint (the "swap"), so the
+                # link carries two fingerprints per comparison.
+                fp_bandwidth_bits_per_cycle=2 * self.fingerprint_bits * d_compares / window,
+                recoveries=d_recoveries,
+            )
+        )
+        self._last_cycle = now
+        self._last_instructions = instructions
+        self._last_compares = self._compares
+        self._last_syncs = self._syncs
+        self._last_recoveries = self._recoveries
+        # Align boundaries to interval multiples so rows are comparable
+        # across runs regardless of where a skip landed.
+        self.next_sample_at = now - (now % self.interval) + self.interval
+
+    def latency_histogram(self) -> dict[str, int]:
+        """Recovery latencies in log2 buckets (``"16-31" -> count``)."""
+        buckets: dict[str, int] = {}
+        for latency in self.recovery_latencies:
+            if latency <= 0:
+                label = "0"
+            else:
+                low = 1 << (latency.bit_length() - 1)
+                label = f"{low}-{2 * low - 1}"
+            buckets[label] = buckets.get(label, 0) + 1
+        return buckets

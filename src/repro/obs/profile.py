@@ -1,0 +1,60 @@
+"""Wall-time accounting for the bench harness.
+
+A :class:`Profiler` accumulates wall seconds under dot-namespaced
+section names (``"sweep.fig5"``, ``"compare.telemetry"``); `repro
+bench` wraps each phase of its work in :meth:`Profiler.section` and
+surfaces the totals in the ``profile`` block of ``BENCH_<date>.json``,
+so a regression hunt can tell *which component* of a bench run got
+slower, not just that the throughput number moved.
+
+Re-entering the same section accumulates (useful for per-item timing
+inside a loop).  The profiler is wall-clock only and lives entirely in
+the harness layer — it never touches the simulator, so it has no
+bearing on the bit-identity contracts.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Profiler:
+    """Accumulates wall time by section name."""
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into a section."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def snapshot(self) -> dict[str, float]:
+        """Section totals, rounded for stable JSON."""
+        return {name: round(seconds, 6) for name, seconds in sorted(self.totals.items())}
+
+    def render(self) -> str:
+        if not self.totals:
+            return ""
+        width = max(len(name) for name in self.totals)
+        lines = [f"{'section':<{width}}  {'wall s':>9}  {'calls':>6}"]
+        for name in sorted(self.totals):
+            lines.append(
+                f"{name:<{width}}  {self.totals[name]:>9.3f}  {self.counts[name]:>6}"
+            )
+        return "\n".join(lines)

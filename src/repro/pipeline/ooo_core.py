@@ -174,6 +174,9 @@ class OoOCore:
         self.retire_hook: Callable[[DynInstr], None] | None = None
         #: Optional pipeline tracer (see repro.pipeline.trace).
         self.tracer = None
+        #: Armed telemetry (see repro.obs), or None.  Set by CMPSystem;
+        #: the fault injector stamps its injections through this.
+        self.obs = None
 
         # Counters (plain attributes: hot path).
         self.cycles = 0

@@ -18,7 +18,7 @@ The paper assumes on-chip cache bandwidth scales with the core count
 from __future__ import annotations
 
 import dataclasses
-import os
+import warnings
 from typing import Callable, Sequence
 
 from repro.core.pair import LogicalPair
@@ -31,12 +31,31 @@ from repro.memory.snoopy import SnoopyBus
 from repro.pipeline.gates import NEVER, ImmediateGate
 from repro.pipeline.ooo_core import OoOCore
 from repro.sim.config import CacheStyle, Mode, SystemConfig
+from repro.sim.options import SimOptions
 from repro.sim.stats import Stats
 
 #: Type of a synthetic instruction-TLB miss schedule: a *pure* function of
 #: the retired user-instruction index, so the vocal and mute cores of a
 #: pair (which share the schedule) trigger at identical program points.
 ITLBSchedule = Callable[[int], bool]
+
+#: One-shot latch for the legacy-kwargs deprecation warning, so a test
+#: sweep constructing hundreds of systems warns exactly once per process.
+_LEGACY_KWARGS_WARNED = False
+
+
+def _warn_legacy_kwargs() -> None:
+    global _LEGACY_KWARGS_WARNED
+    if _LEGACY_KWARGS_WARNED:
+        return
+    _LEGACY_KWARGS_WARNED = True
+    warnings.warn(
+        "CMPSystem(kernel=..., execution=...) is deprecated; pass "
+        "CMPSystem(options=SimOptions(kernel=..., execution=...)) instead "
+        "(SimOptions.from_env() resolves REPRO_KERNEL/REPRO_EXEC/REPRO_TRACE)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class CMPSystem:
@@ -49,28 +68,33 @@ class CMPSystem:
         itlb_schedules: Sequence[ITLBSchedule | None] | None = None,
         kernel: str | None = None,
         execution: str | None = None,
+        options: SimOptions | None = None,
     ) -> None:
-        if kernel is None:
-            kernel = os.environ.get("REPRO_KERNEL", "event")
-        if kernel not in ("event", "naive"):
-            raise ValueError(f"unknown simulation kernel {kernel!r}; use 'event' or 'naive'")
+        if options is None:
+            # Legacy construction path: per-knob kwargs with env
+            # fallbacks.  SimOptions.from_env is the single resolver —
+            # explicit kwargs override REPRO_KERNEL/REPRO_EXEC exactly
+            # as they always did.
+            if kernel is not None or execution is not None:
+                _warn_legacy_kwargs()
+            options = SimOptions.from_env(kernel=kernel, execution=execution)
+        elif kernel is not None or execution is not None:
+            raise ValueError(
+                "pass kernel/execution inside SimOptions, not alongside options="
+            )
+        #: The resolved run options (see :class:`repro.sim.options.SimOptions`).
+        self.options = options
         #: Simulation kernel: ``"event"`` skips cycles in which no
         #: component can act (bit-identical to per-cycle execution by the
         #: conservative next_event() contract); ``"naive"`` steps every
-        #: cycle.  Overridable per-process with ``REPRO_KERNEL``.
-        self.kernel = kernel
-        if execution is None:
-            execution = os.environ.get("REPRO_EXEC", "replay")
-        if execution not in ("replay", "dual"):
-            raise ValueError(
-                f"unknown execution mode {execution!r}; use 'replay' or 'dual'"
-            )
+        #: cycle.
+        self.kernel = options.kernel
         #: Execution mode for Reunion pairs: ``"replay"`` drives the mute
         #: core from the vocal's value trace where provably bit-identical
         #: (single-pair systems, no faults armed — see repro.core.replay);
         #: ``"dual"`` always re-executes everything on the mute.
-        #: Overridable per-process with ``REPRO_EXEC``.
-        self.execution = execution
+        self.execution = options.execution
+        execution = options.execution
         if len(programs) != config.n_logical:
             raise ValueError(
                 f"need {config.n_logical} programs, got {len(programs)}"
@@ -160,6 +184,28 @@ class CMPSystem:
                 )
                 self.pairs.append(pair)
 
+        #: Armed telemetry (see :mod:`repro.obs`), or None when off.  The
+        #: zero-cost-when-off contract: every emitting site holds this
+        #: same reference (or None) and tests it once; a disarmed run
+        #: allocates nothing and stays bit-identical.
+        self.obs = None
+        if options.telemetry_armed:
+            from repro.obs.events import Telemetry
+
+            self.obs = Telemetry(
+                level=options.trace,
+                capacity=options.trace_capacity,
+                fingerprint_bits=config.redundancy.fingerprint_bits,
+            )
+            self.controller.obs = self.obs
+            for core in self.cores:
+                core.obs = self.obs
+            for pair in self.pairs:
+                pair.obs = self.obs
+                for paired_core in (pair.vocal, pair.mute):
+                    paired_core.gate.obs = self.obs
+                    paired_core.gate.obs_source = f"core{paired_core.core_id}"
+
         if (
             execution == "replay"
             and mode is Mode.REUNION
@@ -226,27 +272,49 @@ class CMPSystem:
             core.cycles += delta
         self.now = horizon
 
+    def _observe_step(self) -> None:
+        """Post-step telemetry bookkeeping (armed runs only).
+
+        Keeps :attr:`Telemetry.last_cycle` current for emitters below
+        the timing layer, and cuts a metrics row whenever ``now``
+        crosses the sampler's next interval boundary.  Read-only with
+        respect to simulator state — armed runs stay bit-identical.
+        """
+        obs = self.obs
+        obs.last_cycle = self.now
+        if self.now >= obs.metrics.next_sample_at:
+            obs.metrics.sample(self, self.now)
+
     def run(self, cycles: int) -> None:
         """Advance the system by exactly ``cycles`` cycles."""
         end = self.now + cycles
+        observing = self.obs is not None
         if self.kernel == "naive":
             while self.now < end:
                 self.step()
+                if observing:
+                    self._observe_step()
         else:
             while self.now < end:
                 self._advance(end)
                 if self.now >= end:
                     break
                 self.step()
+                if observing:
+                    self._observe_step()
         self._mirror_sync()
 
-    def run_until_idle(self, max_cycles: int = 1_000_000) -> int:
+    def run_until_idle(self, max_cycles: int | None = None) -> int:
         """Run until every logical processor has halted; returns cycles.
 
-        Skips are clamped at ``max_cycles`` so the timeout fires at the
-        identical cycle count as the naive per-cycle loop.
+        ``max_cycles`` defaults to ``options.max_cycles``.  Skips are
+        clamped at the bound so the timeout fires at the identical cycle
+        count as the naive per-cycle loop.
         """
+        if max_cycles is None:
+            max_cycles = self.options.max_cycles
         skipping = self.kernel == "event"
+        observing = self.obs is not None
         while not self.idle:
             if self.now >= max_cycles:
                 raise RuntimeError(f"system did not halt within {max_cycles} cycles")
@@ -255,6 +323,8 @@ class CMPSystem:
                 if self.now >= max_cycles:
                     continue  # re-check idle, then raise at max_cycles
             self.step()
+            if observing:
+                self._observe_step()
         self._mirror_sync()
         return self.now
 
@@ -409,7 +479,17 @@ class CMPSystem:
         return sum(core.dtlb_misses + core.itlb_misses for core in self.vocal_cores)
 
     def collect_stats(self) -> Stats:
-        """Fold per-core counters into the shared Stats bag and return it."""
+        """Fold per-core counters into the shared Stats bag and return it.
+
+        :class:`Stats` is the *architectural* record: every counter in it
+        must be bit-identical across simulation strategies (naive/event
+        kernel, dual/replay execution, telemetry on/off), because the
+        differential tests compare whole snapshots.  Strategy-dependent
+        diagnostics — :attr:`steps`, ``pair.mirror_cycles``,
+        ``core.replayed_binds``, anything in :mod:`repro.obs` — must
+        therefore never be folded in here.
+        ``tests/sim/test_stats_diagnostics.py`` asserts the exclusion.
+        """
         self._mirror_sync()
         for core in self.cores:
             prefix = f"core{core.core_id}."

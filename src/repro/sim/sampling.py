@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import SystemConfig
+from repro.sim.options import SimOptions
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.workloads.base import Workload
@@ -59,11 +60,31 @@ def run_sample(
     warmup: int,
     measure: int,
     seed: int = 0,
+    options: SimOptions | None = None,
 ) -> Sample:
     """Build a system for ``workload`` and measure one window."""
+    sample, _system = run_sample_system(config, workload, warmup, measure, seed, options)
+    return sample
+
+
+def run_sample_system(
+    config: SystemConfig,
+    workload: "Workload",
+    warmup: int,
+    measure: int,
+    seed: int = 0,
+    options: SimOptions | None = None,
+) -> tuple[Sample, CMPSystem]:
+    """:func:`run_sample`, also returning the finished system.
+
+    The system gives callers access to post-run diagnostics — notably
+    armed telemetry (``system.obs``) for ``repro trace``.  The sample is
+    bit-identical to :func:`run_sample`'s regardless of ``options``
+    (kernel/execution/telemetry are all result-neutral by contract).
+    """
     programs = workload.programs(config.n_logical, seed)
     schedules = workload.itlb_schedules(config.n_logical, seed)
-    system = CMPSystem(config, programs, schedules)
+    system = CMPSystem(config, programs, schedules, options=options)
     system.run(warmup)
 
     start_users = system.user_instructions()
@@ -73,7 +94,7 @@ def run_sample(
     start_ser = sum(c.serializing_retired for c in system.vocal_cores)
 
     system.run(measure)
-    return Sample(
+    sample = Sample(
         cycles=measure,
         user_instructions=system.user_instructions() - start_users,
         recoveries=system.recoveries() - start_recoveries,
@@ -81,6 +102,7 @@ def run_sample(
         sync_requests=sum(p.sync_requests for p in system.pairs) - start_sync,
         serializing=sum(c.serializing_retired for c in system.vocal_cores) - start_ser,
     )
+    return sample, system
 
 
 @dataclass(frozen=True)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.exec.jobs import SCHEMA_VERSION, SampleJob, resolve_workload, run_job
 from repro.sim.config import DEFAULT_CONFIG, Mode
+from repro.sim.options import SimOptions
 
 CONFIG = DEFAULT_CONFIG.replace(n_logical=2)
 
@@ -39,6 +40,27 @@ class TestKey:
     def test_schema_version_in_payload(self):
         assert job().payload()["schema"] == SCHEMA_VERSION
 
+    def test_options_never_change_key(self):
+        # Every SimOptions field is result-neutral by contract, so a
+        # cache populated with telemetry off (or under the other kernel
+        # or execution strategy) serves armed runs.  This also pins the
+        # legacy property that pre-options cache keys stay valid: the
+        # payload gains no "options" entry at all.
+        base = job()
+        armed = job(
+            options=SimOptions(
+                kernel="naive",
+                execution="dual",
+                trace="full",
+                trace_capacity=16,
+                max_cycles=777,
+                seed=9,
+            )
+        )
+        assert armed.key == base.key
+        assert "options" not in armed.payload()
+        assert armed.payload() == base.payload()
+
     def test_describe_names_the_point(self):
         text = job().describe()
         assert "ocean" in text and "seed0" in text and "80+160" in text
@@ -62,3 +84,8 @@ class TestRunJob:
 
         direct = run_sample(CONFIG, by_name("ocean"), 80, 160, seed=0)
         assert run_job(job()) == direct
+
+    def test_telemetry_armed_job_matches_disarmed(self):
+        # The bit-identity contract, observed through the job layer.
+        armed = job(options=SimOptions(trace="events"))
+        assert run_job(armed) == run_job(job())

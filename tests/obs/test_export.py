@@ -1,0 +1,107 @@
+"""Unit tests for the JSONL and Chrome trace_event exporters."""
+
+import io
+import json
+
+from repro.obs.events import Telemetry
+from repro.obs.export import chrome_trace, event_lines, summarize, write_jsonl
+
+
+class FakeSystem:
+    def __init__(self, instructions: int = 0) -> None:
+        self.instructions = instructions
+
+    def user_instructions(self) -> int:
+        return self.instructions
+
+
+def _armed() -> Telemetry:
+    """A telemetry object with one of everything the exporters handle."""
+    telemetry = Telemetry(level="events")
+    telemetry.emit("mirror.open", 0, "pair0", start_index=0)
+    telemetry.emit("fingerprint.compare", 90, "pair0", index=5, matched=True)
+    telemetry.emit("mirror.close", 100, "pair0", cause="serializing")
+    telemetry.emit("recovery.start", 120, "pair0", phase=1, cause="mismatch")
+    telemetry.emit("phantom.read", 130, "l2", core=1, strength="global")
+    telemetry.emit("recovery.resume", 170, "pair0", phase=1)
+    telemetry.metrics.sample(FakeSystem(256), 128)
+    return telemetry
+
+
+class TestJsonl:
+    def test_lines_cover_events_metrics_and_summary(self):
+        telemetry = _armed()
+        lines = event_lines(telemetry)
+        # 6 events + 1 metrics row + 1 summary trailer.
+        assert len(lines) == 8
+        kinds = [line["kind"] for line in lines]
+        assert kinds[0] == "mirror.open"
+        assert "metrics.sample" in kinds
+        assert kinds[-1] == "summary"
+
+    def test_summary_trailer_accounts_for_the_run(self):
+        telemetry = _armed()
+        trailer = event_lines(telemetry)[-1]
+        assert trailer["events_emitted"] == 6
+        assert trailer["events_dropped"] == 0
+        assert trailer["metrics_rows"] == 1
+        assert trailer["recovery_latency_histogram"] == {"32-63": 1}
+
+    def test_write_jsonl_emits_parseable_lines(self):
+        telemetry = _armed()
+        handle = io.StringIO()
+        count = write_jsonl(telemetry, handle)
+        lines = handle.getvalue().splitlines()
+        assert count == len(lines) == 8
+        for line in lines:
+            json.loads(line)
+
+
+class TestChromeTrace:
+    def test_duration_pairing(self):
+        trace = chrome_trace(_armed())["traceEvents"]
+        slices = {e["name"]: e for e in trace if e["ph"] == "X"}
+        # mirror.open@0 .. mirror.close@100 and recovery.start@120 ..
+        # recovery.resume@170 fold into duration slices.
+        assert slices["mirror-window"]["ts"] == 0
+        assert slices["mirror-window"]["dur"] == 100
+        assert slices["recovery"]["ts"] == 120
+        assert slices["recovery"]["dur"] == 50
+        # Open + close payloads merge into the slice args.
+        assert slices["recovery"]["args"]["cause"] == "mismatch"
+
+    def test_unpaired_open_and_close_become_instants(self):
+        telemetry = Telemetry(level="events")
+        telemetry.emit("recovery.resume", 10, "pair0")  # close without start
+        telemetry.emit("mirror.open", 20, "pair0")  # start without close
+        instants = {
+            e["name"] for e in chrome_trace(telemetry)["traceEvents"] if e["ph"] == "i"
+        }
+        assert instants == {"recovery.resume", "mirror.open"}
+
+    def test_thread_metadata_per_source(self):
+        trace = chrome_trace(_armed(), process_name="unit")["traceEvents"]
+        meta = {
+            e["args"]["name"]: e["tid"] for e in trace if e["name"] == "thread_name"
+        }
+        assert set(meta) == {"pair0", "l2"}
+        process = next(e for e in trace if e["name"] == "process_name")
+        assert process["args"]["name"] == "unit"
+
+    def test_metrics_rows_become_counters(self):
+        trace = chrome_trace(_armed())["traceEvents"]
+        counters = [e for e in trace if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["ts"] == 128
+        assert counters[0]["args"]["ipc"] == 2.0
+
+    def test_whole_trace_is_json_serializable(self):
+        json.dumps(chrome_trace(_armed()))
+
+
+class TestSummarize:
+    def test_digest_names_kinds_and_latency(self):
+        text = summarize(_armed())
+        assert "level=events" in text
+        assert "fingerprint.compare" in text
+        assert "recovery latency" in text

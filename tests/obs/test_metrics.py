@@ -1,0 +1,105 @@
+"""Unit tests for the per-interval metrics sampler."""
+
+import pytest
+
+from repro.obs.metrics import MetricsSampler
+
+
+class FakeSystem:
+    """The only thing sample() reads from a system."""
+
+    def __init__(self) -> None:
+        self.instructions = 0
+
+    def user_instructions(self) -> int:
+        return self.instructions
+
+
+class TestRows:
+    def test_first_row_is_the_window_delta(self):
+        sampler = MetricsSampler(interval=100, fingerprint_bits=16)
+        system = FakeSystem()
+        for _ in range(5):
+            sampler.observe("fingerprint.compare", 50)
+        sampler.observe("sync.request", 60)
+        system.instructions = 200
+        sampler.sample(system, 100)
+
+        (row,) = sampler.rows
+        assert row.cycle == 100 and row.cycles == 100
+        assert row.instructions == 200
+        assert row.ipc == pytest.approx(2.0)
+        assert row.fp_compares == 5
+        # Both cores send a fingerprint per comparison: 2 * 16 bits each.
+        assert row.fp_bandwidth_bits_per_cycle == pytest.approx(2 * 16 * 5 / 100)
+        assert row.sync_per_kcycle == pytest.approx(10.0)
+        assert row.recoveries == 0
+
+    def test_second_row_covers_only_its_window(self):
+        sampler = MetricsSampler(interval=100)
+        system = FakeSystem()
+        system.instructions = 100
+        sampler.observe("fingerprint.compare", 10)
+        sampler.sample(system, 100)
+        system.instructions = 150
+        sampler.observe("recovery.start", 120, "pair0")
+        sampler.sample(system, 200)
+
+        row = sampler.rows[1]
+        assert row.instructions == 50
+        assert row.fp_compares == 0  # the compare belonged to row 1
+        assert row.recoveries == 1
+
+    def test_empty_window_cuts_no_row(self):
+        sampler = MetricsSampler(interval=100)
+        system = FakeSystem()
+        sampler.sample(system, 100)
+        sampler.sample(system, 100)
+        assert len(sampler.rows) == 1
+
+    def test_boundaries_align_to_interval_multiples(self):
+        sampler = MetricsSampler(interval=100)
+        system = FakeSystem()
+        # A cycle-skip can land the loop past the boundary; the next
+        # boundary snaps back to the interval grid so rows from runs
+        # with different skip patterns stay comparable.
+        sampler.sample(system, 137)
+        assert sampler.next_sample_at == 200
+
+    def test_row_to_dict_is_json_ready(self):
+        sampler = MetricsSampler(interval=10)
+        system = FakeSystem()
+        system.instructions = 7
+        sampler.sample(system, 10)
+        record = sampler.rows[0].to_dict()
+        assert record["cycle"] == 10 and record["instructions"] == 7
+
+
+class TestRecoveryLatencies:
+    def test_start_resume_pairing_is_per_source(self):
+        sampler = MetricsSampler()
+        sampler.observe("recovery.start", 100, "pair0")
+        sampler.observe("recovery.start", 110, "pair1")
+        sampler.observe("recovery.resume", 160, "pair1")
+        sampler.observe("recovery.resume", 180, "pair0")
+        assert sorted(sampler.recovery_latencies) == [50, 80]
+
+    def test_resume_without_start_is_ignored(self):
+        sampler = MetricsSampler()
+        sampler.observe("recovery.resume", 50, "pair0")
+        assert sampler.recovery_latencies == []
+
+    def test_latency_histogram_log2_buckets(self):
+        sampler = MetricsSampler()
+        sampler.recovery_latencies.extend([0, 1, 5, 6, 20, 40])
+        assert sampler.latency_histogram() == {
+            "0": 1,
+            "1-1": 1,
+            "4-7": 2,
+            "16-31": 1,
+            "32-63": 1,
+        }
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(interval=0)

@@ -113,6 +113,62 @@ class TestReproduce:
         assert not (tmp_path / "cache").exists()
 
 
+class TestTrace:
+    """``repro trace``: telemetry-armed replay of one sample."""
+
+    ARGS = [
+        "trace", "pointer-chase", "--phantom", "null", "--cpus", "1",
+        "--warmup", "1000", "--measure", "3000",
+    ]
+
+    def test_emits_the_event_taxonomy(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main([*self.ARGS, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry level=events" in out
+        assert "fresh run" in out
+
+        jsonl = (tmp_path / "TRACE_pointer-chase.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in jsonl]
+        kinds = {record["kind"] for record in records}
+        # The acceptance taxonomy: comparisons, recoveries, mirror windows.
+        assert "fingerprint.compare" in kinds
+        assert any(kind.startswith("recovery.") for kind in kinds)
+        assert any(kind.startswith("mirror.") for kind in kinds)
+        assert records[-1]["kind"] == "summary"
+
+        trace = json.loads((tmp_path / "TRACE_pointer-chase.trace.json").read_text())
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "process_name" in names
+        assert "recovery" in names  # paired start->resume duration slices
+
+    def test_second_run_verifies_against_the_cache(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(self.ARGS) == 0
+        assert "fresh run" in capsys.readouterr().out
+        assert main(self.ARGS) == 0
+        assert "cache-verified" in capsys.readouterr().out
+
+    def test_custom_stem_and_level(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [*self.ARGS, "--no-cache", "--level", "full", "--out", "deep"]
+        )
+        assert code == 0
+        assert "level=full" in capsys.readouterr().out
+        assert (tmp_path / "deep.jsonl").exists()
+        assert (tmp_path / "deep.trace.json").exists()
+
+    def test_unknown_workload(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
