@@ -14,6 +14,7 @@ from repro.harness.report import render_table
 from repro.isa import assemble
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import Mode
+from repro.sim.options import SimOptions
 
 WORKLOAD = """
     movi r1, 200
@@ -40,12 +41,18 @@ def _measure(fp_interval: int, scale) -> tuple[int, int, float]:
         comparison_latency=COMPARISON_LATENCY,
         fingerprint_interval=fp_interval,
     )
-    system = CMPSystem(config, [assemble(WORKLOAD)])
+    # Events-armed so each upset is correlated with *its own* interval's
+    # comparison, never with the first recovery that happens along.
+    system = CMPSystem(
+        config, [assemble(WORKLOAD)], options=SimOptions(trace="events")
+    )
     injector = FaultInjector(interval=150, seed=11)
     injector.attach(system.cores[1])  # the mute
     system.run_until_idle(max_cycles=2_000_000)
     assert not system.failed
-    latencies = detection_latencies(injector.records, system.pairs[0].recovery_log)
+    latencies = detection_latencies(
+        injector.records, events=system.obs.log.snapshot()
+    )
     mean = sum(latencies) / len(latencies) if latencies else 0.0
     return len(injector.records), len(latencies), mean
 

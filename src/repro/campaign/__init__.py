@@ -1,0 +1,84 @@
+"""Statistical fault-injection campaigns.
+
+The subsystem that *measures* what the rest of the reproduction models:
+detection coverage, detection latency, and SDC/DUE outcomes under
+injected soft errors, at statistical scale.
+
+* :mod:`repro.campaign.plan` — stratified, seeded enumeration of
+  injection sites (victim core × fault target × bit octet × injection
+  point) as content-hash-keyed jobs;
+* :mod:`repro.campaign.outcome` — one injected run against an
+  uninjected golden reference, classified into the standard taxonomy
+  (masked / detected+recovered / DUE / SDC / timeout) with detection
+  cause and latency extracted from the :mod:`repro.obs` event stream;
+* :mod:`repro.campaign.stats` — coverage and SDC rates with Wilson
+  confidence intervals, plus the measured-vs-closed-form aliasing
+  cross-check against :mod:`repro.core.coverage`;
+* :mod:`repro.campaign.report` — deterministic text + JSON reports;
+* :mod:`repro.campaign.resume` — checkpointing through the
+  :mod:`repro.exec` cache, so an interrupted campaign resumes at 100%
+  cache hits;
+* :mod:`repro.campaign.run` — orchestration over
+  :class:`~repro.exec.pool.ExecutionPool`.
+"""
+
+from repro.campaign.outcome import (
+    DETECTED_RECOVERED,
+    DETECTED_UNRECOVERABLE,
+    MASKED,
+    SDC,
+    TAXONOMY,
+    TIMEOUT,
+    Outcome,
+    classify,
+    golden_reference,
+    run_injection,
+)
+from repro.campaign.plan import (
+    CAMPAIGN_SCHEMA_VERSION,
+    InjectionJob,
+    InjectionSpec,
+    available_targets,
+    campaign_config,
+    plan_campaign,
+)
+from repro.campaign.report import render_report, report_payload
+from repro.campaign.resume import OutcomeCache, campaign_cache
+from repro.campaign.run import CampaignResult, run_campaign
+from repro.campaign.stats import (
+    AliasingCrossCheck,
+    CampaignStats,
+    crosscheck_aliasing,
+    summarize,
+    wilson_interval,
+)
+
+__all__ = [
+    "AliasingCrossCheck",
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CampaignResult",
+    "CampaignStats",
+    "DETECTED_RECOVERED",
+    "DETECTED_UNRECOVERABLE",
+    "InjectionJob",
+    "InjectionSpec",
+    "MASKED",
+    "Outcome",
+    "OutcomeCache",
+    "SDC",
+    "TAXONOMY",
+    "TIMEOUT",
+    "available_targets",
+    "campaign_cache",
+    "campaign_config",
+    "classify",
+    "crosscheck_aliasing",
+    "golden_reference",
+    "plan_campaign",
+    "render_report",
+    "report_payload",
+    "run_campaign",
+    "run_injection",
+    "summarize",
+    "wilson_interval",
+]

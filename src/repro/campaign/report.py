@@ -1,0 +1,145 @@
+"""Campaign coverage reports: deterministic text and JSON.
+
+Both renderings are pure functions of the classified outcomes and the
+campaign parameters — no wall-clock times, hostnames, or manifest
+counters — so a resumed campaign (100% cache hits) reproduces them byte
+for byte.  Execution-side diagnostics belong in the
+:class:`~repro.exec.progress.RunManifest`, which the CLI prints to
+stderr.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.campaign.outcome import TAXONOMY, Outcome
+from repro.campaign.stats import AliasingCrossCheck, CampaignStats
+from repro.harness.report import render_table
+
+#: One-line bucket glosses for the text report.
+_GLOSS = {
+    "masked": "no architectural consequence",
+    "detected_recovered": "caught, re-execution restored golden stream",
+    "detected_unrecoverable": "caught, recovery escalated past phase 2 (DUE)",
+    "sdc": "corruption retired silently",
+    "timeout": "no commit window within cycle budget",
+}
+
+
+def _fmt_interval(interval: tuple[float, float]) -> str:
+    return f"[{interval[0]:.4f}, {interval[1]:.4f}]"
+
+
+def render_report(
+    workload_name: str,
+    bits: int,
+    stats: CampaignStats,
+    crosscheck: AliasingCrossCheck,
+) -> str:
+    """The human-readable coverage report."""
+    rows = [
+        [name, stats.buckets[name], _GLOSS[name]]
+        for name in TAXONOMY
+    ]
+    table = render_table(
+        f"Fault-injection campaign: {workload_name} (CRC-{bits})",
+        ["outcome", "count", "meaning"],
+        rows,
+    )
+    lines = [
+        table,
+        "",
+        f"injections : {stats.injections} planned, {stats.fired} fired",
+        (
+            f"coverage   : {stats.coverage:.4f} "
+            f"{_fmt_interval(stats.coverage_interval)} "
+            f"(detected / {stats.coverage_trials} consequential)"
+        ),
+        (
+            f"sdc rate   : {stats.sdc_rate:.4f} "
+            f"{_fmt_interval(stats.sdc_interval)} (over fired)"
+        ),
+    ]
+    if stats.latency_mean is not None:
+        lines.append(
+            f"latency    : mean {stats.latency_mean:.1f} cy, "
+            f"max {stats.latency_max} cy (detected faults)"
+        )
+    if stats.causes:
+        causes = ", ".join(f"{k}={v}" for k, v in stats.causes.items())
+        lines.append(f"causes     : {causes}")
+    lines.append(
+        f"aliasing   : measured {crosscheck.measured:.4f} "
+        f"{_fmt_interval(crosscheck.interval)} over {crosscheck.trials} CRC-decided "
+        f"trials; closed form [{crosscheck.bound_low:.4g}, {crosscheck.bound_high:.4g}] "
+        f"-> {'CONSISTENT' if crosscheck.consistent else 'INCONSISTENT'}"
+    )
+    return "\n".join(lines)
+
+
+def report_payload(
+    workload_name: str,
+    bits: int,
+    seed: int,
+    stats: CampaignStats,
+    crosscheck: AliasingCrossCheck,
+    outcomes: Sequence[Outcome],
+) -> dict:
+    """The JSON report (deterministic; see module docstring)."""
+    return {
+        "schema": 1,
+        "workload": workload_name,
+        "fingerprint_bits": bits,
+        "seed": seed,
+        "injections": stats.injections,
+        "fired": stats.fired,
+        "buckets": dict(stats.buckets),
+        "coverage": {
+            "rate": stats.coverage,
+            "interval": list(stats.coverage_interval),
+            "trials": stats.coverage_trials,
+        },
+        "sdc": {
+            "rate": stats.sdc_rate,
+            "interval": list(stats.sdc_interval),
+        },
+        "latency": {
+            "mean": stats.latency_mean,
+            "max": stats.latency_max,
+        },
+        "causes": dict(stats.causes),
+        "aliasing": {
+            "bits": crosscheck.bits,
+            "aliased": crosscheck.aliased,
+            "trials": crosscheck.trials,
+            "measured": crosscheck.measured,
+            "interval": list(crosscheck.interval),
+            "bound_low": crosscheck.bound_low,
+            "bound_high": crosscheck.bound_high,
+            "consistent": crosscheck.consistent,
+        },
+        "outcomes": [
+            {
+                "classification": outcome.classification,
+                "victim": outcome.victim,
+                "target": outcome.target,
+                "bit": outcome.bit,
+                "inject_index": outcome.inject_index,
+                "fired": outcome.fired,
+                "detected": outcome.detected,
+                "cause": outcome.cause,
+                "latency": outcome.latency,
+                "aliased": outcome.aliased,
+                "commits": outcome.commits,
+                "recoveries": outcome.recoveries,
+            }
+            for outcome in outcomes
+        ],
+    }
+
+
+def write_report(path: str | Path, payload: dict) -> None:
+    """Write the JSON report with a canonical, diff-stable rendering."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

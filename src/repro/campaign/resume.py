@@ -1,0 +1,76 @@
+"""Campaign checkpointing through the :mod:`repro.exec` cache.
+
+Every classified :class:`~repro.campaign.outcome.Outcome` persists under
+its job's content-hash key the moment it completes, so an interrupted
+campaign has already checkpointed everything it finished.  ``--resume``
+re-plans the identical job list (plans are pure functions of their
+inputs) and reads those records back as cache hits — a fully-complete
+campaign resumes with *zero* simulations and byte-identical reports.
+
+A campaign started *without* ``--resume`` still writes records (the
+checkpoint must exist before it can be resumed) but never reads them,
+via :class:`~repro.exec.cache.FreshWriteCache` — a fresh invocation is
+a fresh experiment.
+
+Campaign records live under ``<cache root>/campaign/`` so sample records
+and outcome records can never collide; the same ``REPRO_CACHE_DIR`` /
+``REPRO_NO_CACHE`` environment knobs apply.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from pathlib import Path
+
+from repro.campaign.outcome import TAXONOMY, Outcome
+from repro.campaign.plan import CAMPAIGN_SCHEMA_VERSION
+from repro.exec.cache import (
+    DEFAULT_CACHE_DIR,
+    FreshWriteCache,
+    NullCache,
+    ResultCache,
+    cache_enabled,
+)
+
+
+class OutcomeCache(ResultCache):
+    """The exec result store, reparameterized for campaign outcomes."""
+
+    schema = CAMPAIGN_SCHEMA_VERSION
+    value_field = "outcome"
+
+    def _encode(self, value: Outcome) -> dict:
+        return dataclasses.asdict(value)
+
+    def _decode(self, payload: dict) -> Outcome:
+        fields = {f.name for f in dataclasses.fields(Outcome)}
+        if set(payload) != fields:
+            raise ValueError("outcome record field mismatch")
+        outcome = Outcome(**payload)
+        if outcome.classification not in TAXONOMY:
+            raise ValueError(f"bad classification {outcome.classification!r}")
+        return outcome
+
+
+def campaign_root(root: str | os.PathLike | None = None) -> Path:
+    """The campaign shard of the configured cache root."""
+    if root is None:
+        root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return Path(root) / "campaign"
+
+
+def campaign_cache(
+    resume: bool, root: str | os.PathLike | None = None
+) -> ResultCache:
+    """The checkpoint store for one campaign invocation.
+
+    ``resume=True`` reads and writes; ``resume=False`` writes the
+    checkpoint but serves no hits.  ``REPRO_NO_CACHE=1`` disables both.
+    """
+    if not cache_enabled():
+        return NullCache()
+    store = OutcomeCache(campaign_root(root))
+    if resume:
+        return store
+    return FreshWriteCache(store)

@@ -1,0 +1,162 @@
+"""Campaign statistics: binomial rates with Wilson intervals.
+
+Coverage and SDC rates are binomial proportions over modest trial
+counts, so every reported rate carries a Wilson score interval (better
+behaved than the normal approximation near 0 and 1 — exactly where
+coverage numbers live).
+
+The aliasing cross-check ties the measurement back to
+:mod:`repro.core.coverage`'s closed form: among faulted intervals that
+actually reached a fingerprint comparison with equal instruction counts
+(the only trials where the CRC decides), the fraction that compared
+*equal* is the measured aliasing rate.  The closed form — ``2^-N`` for
+a plain N-bit CRC, ``2^-(N-1)`` with two-stage parity folding — models
+*random* corruption and is an upper bound for real upsets: a single-bit
+flip that stays a low-weight delta is exactly what a CRC detects
+outright, so structured propagation can only alias less.  The campaign
+is therefore consistent with the theory when the measured rate does not
+statistically exceed the band (its Wilson interval's lower edge stays
+at or below ``2^-(N-1)``); the *two-sided* agreement under the random-
+corruption assumption is checked directly by the Monte-Carlo test in
+``tests/campaign/test_coverage_montecarlo.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.campaign.outcome import (
+    DETECTED_RECOVERED,
+    DETECTED_UNRECOVERABLE,
+    SDC,
+    TAXONOMY,
+    TIMEOUT,
+    Outcome,
+)
+from repro.core.coverage import aliasing_probability
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion (95% by default)."""
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"bad binomial counts: {successes}/{trials}")
+    if trials == 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    z2 = z * z
+    denom = 1 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass(frozen=True)
+class CampaignStats:
+    """Aggregate rates over one campaign's classified outcomes."""
+
+    injections: int
+    fired: int
+    buckets: dict[str, int]  # classification -> count, all TAXONOMY keys
+    #: Coverage: of fired, non-masked faults, the fraction the machinery
+    #: detected (recovered or DUE) before corruption went silent.
+    coverage: float
+    coverage_interval: tuple[float, float]
+    coverage_trials: int
+    #: SDC rate over all fired faults.
+    sdc_rate: float
+    sdc_interval: tuple[float, float]
+    #: Detection-latency distribution (cycles), detected faults only.
+    latency_mean: float | None
+    latency_max: int | None
+    causes: dict[str, int]  # detection cause -> count
+
+
+@dataclass(frozen=True)
+class AliasingCrossCheck:
+    """Measured CRC aliasing vs. the closed-form band."""
+
+    bits: int
+    aliased: int  # faulted intervals that compared equal
+    trials: int  # faulted intervals whose comparison the CRC decided
+    measured: float
+    interval: tuple[float, float]  # Wilson interval on the measured rate
+    bound_low: float  # closed form, single-stage: 2^-N
+    bound_high: float  # closed form, two-stage upper bound: 2^-(N-1)
+    #: Measured rate does not statistically exceed the closed-form upper
+    #: bound: Wilson lower edge <= bound_high (see module docstring for
+    #: why the bound is one-sided for structured upset corruption).
+    consistent: bool
+
+
+def summarize(outcomes: Sequence[Outcome]) -> CampaignStats:
+    """Fold classified outcomes into campaign-level rates."""
+    buckets = Counter(outcome.classification for outcome in outcomes)
+    for name in TAXONOMY:
+        buckets.setdefault(name, 0)
+    fired = sum(1 for outcome in outcomes if outcome.fired)
+    detected = buckets[DETECTED_RECOVERED] + buckets[DETECTED_UNRECOVERABLE]
+    # Masked faults had no consequence to cover; the denominator is the
+    # faults that demanded detection (detected + escaped + hung).
+    coverage_trials = detected + buckets[SDC] + buckets[TIMEOUT]
+    coverage = detected / coverage_trials if coverage_trials else 0.0
+    sdc_rate = buckets[SDC] / fired if fired else 0.0
+
+    latencies = [
+        outcome.latency
+        for outcome in outcomes
+        if outcome.detected and outcome.latency is not None
+    ]
+    causes = Counter(
+        outcome.cause for outcome in outcomes if outcome.detected and outcome.cause
+    )
+    return CampaignStats(
+        injections=len(outcomes),
+        fired=fired,
+        buckets={name: buckets[name] for name in TAXONOMY},
+        coverage=coverage,
+        coverage_interval=wilson_interval(detected, coverage_trials),
+        coverage_trials=coverage_trials,
+        sdc_rate=sdc_rate,
+        sdc_interval=wilson_interval(buckets[SDC], fired),
+        latency_mean=(sum(latencies) / len(latencies)) if latencies else None,
+        latency_max=max(latencies) if latencies else None,
+        causes=dict(sorted(causes.items())),
+    )
+
+
+def crosscheck_aliasing(
+    outcomes: Sequence[Outcome], bits: int
+) -> AliasingCrossCheck:
+    """Compare the measured aliasing rate with the closed-form band.
+
+    A trial is a fault whose interval reached its comparison and was
+    decided by the fingerprints themselves: either the CRCs caught it
+    (``cause == "fingerprint"``) or they aliased (compared equal).
+    Count mismatches, watchdog catches, flushes, and pipeline-masked
+    faults never consulted the CRC, so they are excluded.
+    """
+    aliased = sum(1 for outcome in outcomes if outcome.aliased)
+    caught = sum(
+        1 for outcome in outcomes if outcome.detected and outcome.cause == "fingerprint"
+    )
+    trials = aliased + caught
+    measured = aliased / trials if trials else 0.0
+    interval = wilson_interval(aliased, trials)
+    bound_low = aliasing_probability(bits, two_stage=False)
+    bound_high = aliasing_probability(bits, two_stage=True)
+    consistent = interval[0] <= bound_high
+    return AliasingCrossCheck(
+        bits=bits,
+        aliased=aliased,
+        trials=trials,
+        measured=measured,
+        interval=interval,
+        bound_low=bound_low,
+        bound_high=bound_high,
+        consistent=consistent,
+    )

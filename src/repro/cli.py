@@ -289,6 +289,68 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    """Run a statistical fault-injection campaign (see repro.campaign).
+
+    The coverage report (text to stdout, JSON via --report) is a pure
+    function of the campaign inputs — a ``--resume`` re-run of a
+    completed campaign serves every outcome from the cache and emits
+    byte-identical reports.  Execution diagnostics (cache hits, workers,
+    wall time) go to stderr.
+    """
+    from repro.campaign import plan_campaign, run_campaign
+    from repro.campaign.plan import campaign_config
+    from repro.campaign.report import render_report, report_payload, write_report
+    from repro.exec.jobs import resolve_workload
+    from repro.exec.pool import ExecutionError
+    from repro.exec.progress import Progress
+
+    try:
+        workload = resolve_workload(args.workload)
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; try `repro list`", file=sys.stderr)
+        return 2
+    config = campaign_config(
+        fingerprint_bits=args.bits,
+        fingerprint_interval=args.interval,
+        comparison_latency=args.latency,
+    )
+    progress = None
+    if sys.stderr.isatty():  # pragma: no cover - interactive nicety
+        total = len(plan_campaign(args.workload, args.injections, seed=args.seed, config=config))
+        progress = Progress(total=total, stream=sys.stderr)
+    try:
+        result = run_campaign(
+            workload.name,
+            args.injections,
+            seed=args.seed,
+            config=config,
+            commit_target=args.commits,
+            max_cycles=args.max_cycles,
+            workers=args.jobs,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ExecutionError as exc:
+        print(exc, file=sys.stderr)
+        print(exc.manifest.render(), file=sys.stderr)
+        return 1
+    print(render_report(workload.name, args.bits, result.stats, result.crosscheck))
+    if args.report:
+        payload = report_payload(
+            workload.name,
+            args.bits,
+            args.seed,
+            result.stats,
+            result.crosscheck,
+            result.outcomes,
+        )
+        write_report(args.report, payload)
+        print(f"wrote {args.report}", file=sys.stderr)
+    print(result.manifest.render(), file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.exec.benchreport import BenchReport, check_regression, run_bench
 
@@ -403,6 +465,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_options_args(repro_parser)
     repro_parser.set_defaults(func=cmd_reproduce)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="statistical fault-injection campaign with coverage report",
+    )
+    campaign_parser.add_argument("workload", help="workload name (see `repro list`)")
+    campaign_parser.add_argument(
+        "--injections", type=int, default=200, help="planned injection count"
+    )
+    campaign_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign sampling seed"
+    )
+    campaign_parser.add_argument(
+        "--bits", type=int, default=16, help="fingerprint CRC width"
+    )
+    campaign_parser.add_argument(
+        "--interval", type=int, default=8, help="fingerprint comparison interval"
+    )
+    campaign_parser.add_argument(
+        "--latency", type=int, default=10, help="fingerprint comparison latency"
+    )
+    campaign_parser.add_argument(
+        "--commits",
+        type=int,
+        default=None,
+        help="golden commit target per run (default 400)",
+    )
+    campaign_parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=None,
+        help="per-run cycle budget before the timeout bucket",
+    )
+    campaign_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the injection batch"
+    )
+    campaign_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve already-completed injections from the campaign checkpoint",
+    )
+    campaign_parser.add_argument(
+        "--report", default=None, help="also write the JSON report to this path"
+    )
+    campaign_parser.set_defaults(func=cmd_campaign)
 
     bench_parser = subparsers.add_parser(
         "bench",

@@ -107,6 +107,20 @@ class CheckGate:
             return
         if not self._skip_fp:
             self._accum.add_instruction(entry)
+        if entry.faulted:
+            obs = self.obs
+            if obs is not None:
+                # Anchor for detection attribution (repro.core.faults):
+                # records which fingerprint interval absorbed the upset,
+                # so analysis can match the injection to *its* comparison
+                # instead of the first recovery that happens along.
+                obs.emit(
+                    "fault.absorb",
+                    now,
+                    self.obs_source,
+                    seq=entry.seq,
+                    interval=self._index,
+                )
         self._count += 1
         self._has_sync = self._has_sync or entry.was_sync
         is_halt = entry.inst.op is Op.HALT

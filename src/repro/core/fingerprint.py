@@ -37,8 +37,11 @@ def _make_crc_table(poly: int, bits: int) -> list[int]:
 
 
 #: CRC generator polynomials by width (CCITT-16, CRC-32, and small CRCs
-#: used only by aliasing experiments).
+#: used only by aliasing experiments).  Widths below 8 take the
+#: bit-serial path in :class:`FingerprintAccumulator` — the byte-at-a-
+#: time table needs at least one full byte of CRC register.
 _POLYS = {
+    4: 0x3,  # CRC-4-ITU (x^4 + x + 1): the narrowest aliasing-study CRC
     8: 0x07,
     12: 0x80F,
     16: 0x1021,
@@ -57,6 +60,8 @@ _BYTE_SHIFTS_64 = tuple(range(0, 64, 8))
 def _table_for(bits: int) -> list[int]:
     if bits not in _POLYS:
         raise ValueError(f"no CRC polynomial for width {bits}; pick from {sorted(_POLYS)}")
+    if bits < 8:
+        raise ValueError(f"byte-at-a-time CRC table needs width >= 8, got {bits}")
     table = _TABLES.get(bits)
     if table is None:
         table = _make_crc_table(_POLYS[bits], bits)
@@ -75,23 +80,75 @@ class FingerprintAccumulator:
         "_mask",
         "_shift",
         "_byte_shifts",
+        "_poly",
     )
 
     def __init__(self, bits: int = 16, two_stage: bool = True) -> None:
+        if bits not in _POLYS:
+            raise ValueError(
+                f"no CRC polynomial for width {bits}; pick from {sorted(_POLYS)}"
+            )
         self.bits = bits
         self.two_stage = two_stage
-        self._table = _table_for(bits)
+        self._poly = _POLYS[bits]
         self._mask = (1 << bits) - 1
+        self._crc = 0
+        if bits < 8:
+            # Narrow CRCs (aliasing experiments only) cannot hold a full
+            # byte in the register, so they clock bit-serially; the
+            # byte-table fields stay unset and ``_table is None`` routes
+            # every absorb through :meth:`_clock_bits`.
+            self._table = None
+            self._shift = 0
+            self._byte_shifts = ()
+            return
+        self._table = _table_for(bits)
         self._shift = bits - 8
         #: Byte lanes of one folded value (``bits`` wide), precomputed so
         #: the per-word absorb loop carries no range() construction.
         self._byte_shifts = tuple(range(0, bits, 8))
-        self._crc = 0
+
+    # -- narrow (bit-serial) path ------------------------------------------
+    def _clock_bits(self, crc: int, value: int, nbits: int) -> int:
+        """Clock ``nbits`` of ``value`` (MSB first) through the register.
+
+        Same convention as the byte table — non-reflected, zero init, no
+        final XOR — so the two paths agree wherever both are defined.
+        """
+        poly = self._poly
+        mask = self._mask
+        top = self.bits - 1
+        for i in range(nbits - 1, -1, -1):
+            if ((crc >> top) ^ (value >> i)) & 1:
+                crc = ((crc << 1) ^ poly) & mask
+            else:
+                crc = (crc << 1) & mask
+        return crc
+
+    def _add_word_narrow(self, word: int) -> None:
+        if self.two_stage:
+            bits = self.bits
+            mask = self._mask
+            folded = word & mask
+            word >>= bits
+            while word:
+                folded ^= word & mask
+                word >>= bits
+            self._crc = self._clock_bits(self._crc, folded, bits)
+        else:
+            # Same byte-lane order as the wide table path: low byte first.
+            crc = self._crc
+            for shift in _BYTE_SHIFTS_64:
+                crc = self._clock_bits(crc, (word >> shift) & 0xFF, 8)
+            self._crc = crc
 
     # -- raw update streams ------------------------------------------------
     def add_word(self, word: int) -> None:
         """Absorb one 64-bit state update."""
         word &= _WORD_MASK_64
+        if self._table is None:
+            self._add_word_narrow(word)
+            return
         crc = self._crc
         table = self._table
         top_shift = self._shift
@@ -129,6 +186,10 @@ class FingerprintAccumulator:
         ``tests/core/test_fingerprint_batched.py`` checks both against a
         bit-serial shift-register reference).
         """
+        if self._table is None:
+            for word in words:
+                self._add_word_narrow(word & _WORD_MASK_64)
+            return
         crc = self._crc
         table = self._table
         top_shift = self._shift
@@ -159,6 +220,9 @@ class FingerprintAccumulator:
         self._crc = crc
 
     def _absorb(self, value: int) -> None:
+        if self._table is None:
+            self._crc = self._clock_bits(self._crc, value & self._mask, self.bits)
+            return
         crc = self._crc
         table = self._table
         top_shift = self._shift
@@ -170,6 +234,9 @@ class FingerprintAccumulator:
         self._crc = crc
 
     def _absorb_byte(self, byte: int) -> None:
+        if self._table is None:
+            self._crc = self._clock_bits(self._crc, byte & 0xFF, 8)
+            return
         self._crc = (
             (self._crc << 8) ^ self._table[((self._crc >> self._shift) ^ byte) & 0xFF]
         ) & self._mask

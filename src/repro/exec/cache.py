@@ -24,7 +24,7 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.exec.jobs import SCHEMA_VERSION, SampleJob
+from repro.exec.jobs import SCHEMA_VERSION
 from repro.sim.sampling import Sample
 
 #: Default cache root, relative to the working directory.
@@ -41,25 +41,48 @@ def decode_sample(payload: dict) -> Sample:
 
 
 class ResultCache:
-    """Directory-backed sample store shared across processes and sessions."""
+    """Directory-backed result store shared across processes and sessions.
+
+    The base class stores :class:`~repro.sim.sampling.Sample` records
+    for :class:`~repro.exec.jobs.SampleJob` keys.  Other experiment
+    classes (fault campaigns, sweeps) reuse the layout, atomicity, and
+    corruption handling by subclassing and overriding the codec hooks:
+    ``schema`` (version gate), ``value_field`` (the record field holding
+    the encoded value), and ``_encode``/``_decode``.  Keys come from the
+    job (anything with ``.key`` and ``.payload()``), so subclasses never
+    touch pathing or I/O.
+    """
+
+    #: Schema version stamped on / required of every record.
+    schema: int = SCHEMA_VERSION
+    #: Record field holding the encoded value.
+    value_field: str = "sample"
 
     def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
 
-    def path(self, job: SampleJob) -> Path:
+    # -- codec hooks (override in subclasses) ------------------------------
+    def _encode(self, value) -> dict:
+        return encode_sample(value)
+
+    def _decode(self, payload: dict):
+        return decode_sample(payload)
+
+    # -- storage -----------------------------------------------------------
+    def path(self, job) -> Path:
         key = job.key
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, job: SampleJob) -> Sample | None:
-        """The cached sample for ``job``, or None on miss/corruption."""
+    def get(self, job):
+        """The cached value for ``job``, or None on miss/corruption."""
         path = self.path(job)
         try:
             record = json.loads(path.read_text())
-            if record.get("schema") != SCHEMA_VERSION:
+            if record.get("schema") != self.schema:
                 raise ValueError("schema mismatch")
-            sample = decode_sample(record["sample"])
+            value = self._decode(record[self.value_field])
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -70,16 +93,16 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return sample
+        return value
 
-    def put(self, job: SampleJob, sample: Sample) -> None:
-        """Atomically persist ``sample`` as the result of ``job``."""
+    def put(self, job, value) -> None:
+        """Atomically persist ``value`` as the result of ``job``."""
         path = self.path(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         record = {
-            "schema": SCHEMA_VERSION,
+            "schema": self.schema,
             "job": job.payload(),
-            "sample": encode_sample(sample),
+            self.value_field: self._encode(value),
         }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -105,15 +128,40 @@ class NullCache(ResultCache):
     def __init__(self):
         super().__init__(root=os.devnull)
 
-    def get(self, job: SampleJob) -> Sample | None:
+    def get(self, job):
         self.misses += 1
         return None
 
-    def put(self, job: SampleJob, sample: Sample) -> None:
+    def put(self, job, value) -> None:
         pass
 
     def __len__(self) -> int:
         return 0
+
+
+class FreshWriteCache(ResultCache):
+    """Write-through, never read: records results but serves no hits.
+
+    Campaign runs *without* ``--resume`` use this so a fresh invocation
+    actually re-executes (statistically honest timing/failure behavior)
+    while still leaving a complete checkpoint behind for a later
+    ``--resume``.  Wraps any :class:`ResultCache` subclass by holding an
+    inner cache whose ``put`` it forwards.
+    """
+
+    def __init__(self, inner: ResultCache):
+        super().__init__(root=inner.root)
+        self.inner = inner
+
+    def get(self, job):
+        self.misses += 1
+        return None
+
+    def put(self, job, value) -> None:
+        self.inner.put(job, value)
+
+    def __len__(self) -> int:
+        return len(self.inner)
 
 
 def cache_enabled() -> bool:

@@ -1,12 +1,15 @@
 """Parallel job execution across worker processes.
 
-The pool fans a batch of :class:`~repro.exec.jobs.SampleJob` out over
-``workers`` forked processes, one process per job (simulations run for
-seconds to minutes, so process start-up is noise and per-job isolation
-buys crash containment and clean per-job timeouts for free).  Each
-worker sends its :class:`~repro.sim.sampling.Sample` back over a pipe;
-the parent owns the cache and writes results as they arrive, so there
-are never concurrent cache writers.
+The pool fans a batch of keyed jobs out over ``workers`` forked
+processes, one process per job (simulations run for seconds to minutes,
+so process start-up is noise and per-job isolation buys crash
+containment and clean per-job timeouts for free).  Jobs are duck-typed:
+anything with a content-hash ``.key`` and a ``.describe()`` works —
+:class:`~repro.exec.jobs.SampleJob` for throughput samples,
+:class:`~repro.campaign.plan.InjectionJob` for fault campaigns — with a
+matching ``run_job`` callable supplied at construction.  Each worker
+sends its result back over a pipe; the parent owns the cache and writes
+results as they arrive, so there are never concurrent cache writers.
 
 Failure policy: a worker that crashes (nonzero exit without a result),
 raises, or exceeds the per-job timeout is retried once (configurable);
@@ -84,20 +87,25 @@ class _Running:
 
 @dataclass
 class ExecutionPool:
-    """Runs job batches across ``workers`` processes with retry + timeout."""
+    """Runs job batches across ``workers`` processes with retry + timeout.
+
+    Jobs are duck-typed (``.key`` + ``.describe()``); ``run_job`` maps a
+    job to its result and must be fork-inheritable (a module-level
+    function or a picklable callable built before :meth:`run`).
+    """
 
     workers: int = 1
     timeout: float | None = None  # per-job wall-clock limit, seconds
     retries: int = 1  # extra attempts after a crash/timeout
-    run_job: Callable[[SampleJob], Sample] = field(default=run_job)
+    run_job: Callable = field(default=run_job)
 
     def run(
         self,
-        jobs: Iterable[SampleJob],
+        jobs: Iterable,
         cache: ResultCache | None = None,
         progress: Progress | None = None,
-    ) -> tuple[dict[str, Sample], RunManifest]:
-        """Execute ``jobs``; return ``{job.key: sample}`` plus a manifest.
+    ) -> tuple[dict, RunManifest]:
+        """Execute ``jobs``; return ``{job.key: result}`` plus a manifest.
 
         Duplicate jobs (same key) are executed once.  Cached jobs are
         served without spawning a worker; fresh results are persisted to

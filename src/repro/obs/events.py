@@ -54,6 +54,7 @@ K_CACHE_EVICT = "cache.evict"  # full
 K_CACHE_WRITEBACK_DROP = "cache.writeback_drop"  # full
 # Fault injection.
 K_FAULT_INJECT = "fault.inject"  # events
+K_FAULT_ABSORB = "fault.absorb"  # events: a faulted entry entered a check interval
 
 #: Kinds that describe the *simulation strategy* rather than the
 #: simulated machine.  Mirror windows exist only under replay execution

@@ -693,6 +693,11 @@ class OoOCore:
                 return False
             self.port.dtlb_fill(entry.addr)
             # Hardware fill overlaps with the store's time in the buffer.
+        if self.fault_hook is not None:
+            # Store address/value generation is unprotected datapath too:
+            # an upset here corrupts the fingerprint's store-stream words
+            # (the other input class besides results and branch targets).
+            self.fault_hook(entry)
         entry.state = DynState.ISSUED
         self._schedule(entry, now + 1, now)
         return True

@@ -46,6 +46,7 @@ class DynInstr:
         "tlb_missed",
         "was_sync",
         "consumed",
+        "faulted",
         "replay",
         "replay_index",
     )
@@ -73,6 +74,7 @@ class DynInstr:
         self.tlb_missed = False
         self.was_sync = False  # completed via a synchronizing request
         self.consumed = False  # some younger instruction read this result
+        self.faulted = False  # carries an injected upset (see core/faults.py)
         self.replay: tuple | None = None  # bound vocal trace record (mute)
         self.replay_index: int | None = None  # committed-stream index
 

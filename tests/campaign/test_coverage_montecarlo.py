@@ -1,0 +1,116 @@
+"""Monte-Carlo agreement between measured aliasing and the closed form.
+
+Two layers of cross-check against :func:`repro.core.coverage.
+aliasing_probability`:
+
+* **Random-stream layer** — the closed form models *random* corruption:
+  two independent uniformly random update streams collide through an
+  N-bit CRC with probability ``2^-N`` (``2^-(N-1)`` after two-stage
+  parity folding).  Feeding the actual :class:`~repro.core.fingerprint.
+  FingerprintAccumulator` random streams must reproduce that rate to
+  within a two-sided Wilson interval — this is the direct Monte-Carlo
+  validation of the closed form at the narrow widths (4/8 bits) where
+  collisions are frequent enough to measure.
+
+* **Campaign layer** — a real injection campaign produces *structured*
+  corruption (one flipped bit, carry-chain propagation), which a CRC
+  detects at least as well as random noise.  The measured campaign
+  aliasing must therefore stay statistically at or below the closed-form
+  band (the one-sided check :func:`repro.campaign.stats.
+  crosscheck_aliasing` encodes), and at CRC-16 a small campaign must
+  show no aliasing and no SDC at all.
+"""
+
+import random
+
+from repro.campaign.outcome import SDC, TAXONOMY
+from repro.campaign.plan import campaign_config, plan_campaign
+from repro.campaign.run import run_campaign
+from repro.campaign.stats import wilson_interval
+from repro.core.coverage import aliasing_probability
+from repro.core.fingerprint import fingerprint_words
+
+WINDOW = dict(commit_target=120, max_cycles=40_000)
+
+
+def _collision_rate(bits: int, two_stage: bool, trials: int, seed: int):
+    """Collisions between CRCs of independent random 4-word streams."""
+    rng = random.Random(seed)
+    collisions = 0
+    for _ in range(trials):
+        a = [rng.getrandbits(64) for _ in range(4)]
+        b = [rng.getrandbits(64) for _ in range(4)]
+        if a == b:  # astronomically unlikely; not a CRC collision
+            continue
+        if fingerprint_words(a, bits=bits, two_stage=two_stage) == fingerprint_words(
+            b, bits=bits, two_stage=two_stage
+        ):
+            collisions += 1
+    return collisions, trials
+
+
+class TestRandomStreamAgreement:
+    """Two-sided: measured Wilson interval must contain the closed form."""
+
+    def test_crc4_single_stage(self):
+        collisions, trials = _collision_rate(4, False, trials=4_000, seed=2006)
+        low, high = wilson_interval(collisions, trials)
+        assert low <= aliasing_probability(4, two_stage=False) <= high
+
+    def test_crc4_two_stage(self):
+        collisions, trials = _collision_rate(4, True, trials=4_000, seed=2006)
+        low, high = wilson_interval(collisions, trials)
+        # Folding at most doubles aliasing: the measured rate must sit
+        # inside [2^-N, 2^-(N-1)] statistically.
+        assert low <= aliasing_probability(4, two_stage=True)
+        assert high >= aliasing_probability(4, two_stage=False)
+
+    def test_crc8_single_stage(self):
+        collisions, trials = _collision_rate(8, False, trials=20_000, seed=39)
+        low, high = wilson_interval(collisions, trials)
+        assert low <= aliasing_probability(8, two_stage=False) <= high
+
+
+class TestCampaignAgreement:
+    """One-sided: structured upsets alias at or below the random bound."""
+
+    def test_crc4_campaign_consistent_with_closed_form(self, tmp_path):
+        result = run_campaign(
+            "compute-kernel",
+            48,
+            seed=1,
+            config=campaign_config(fingerprint_bits=4),
+            workers=1,
+            cache_root=tmp_path,
+            **WINDOW,
+        )
+        assert all(o.classification in TAXONOMY for o in result.outcomes)
+        # Enough faults reached a CRC-decided comparison to measure.
+        assert result.crosscheck.trials > 0
+        assert result.crosscheck.consistent
+        assert result.crosscheck.bound_high == aliasing_probability(4, two_stage=True)
+
+    def test_crc16_campaign_has_no_silent_corruption(self, tmp_path):
+        result = run_campaign(
+            "compute-kernel",
+            16,
+            seed=1,
+            config=campaign_config(fingerprint_bits=16),
+            workers=1,
+            cache_root=tmp_path,
+            **WINDOW,
+        )
+        assert result.crosscheck.aliased == 0
+        assert result.stats.buckets[SDC] == 0
+        assert result.crosscheck.consistent
+
+
+class TestPlanCoversNarrowWidths:
+    def test_narrow_config_round_trips_through_job_keys(self):
+        jobs4 = plan_campaign(
+            "compute-kernel", 4, config=campaign_config(fingerprint_bits=4), **WINDOW
+        )
+        jobs16 = plan_campaign(
+            "compute-kernel", 4, config=campaign_config(fingerprint_bits=16), **WINDOW
+        )
+        assert {j.key for j in jobs4}.isdisjoint(j.key for j in jobs16)

@@ -1,0 +1,135 @@
+"""Campaign statistics: Wilson intervals, rate folding, the aliasing band."""
+
+import pytest
+
+from repro.campaign.outcome import (
+    DETECTED_RECOVERED,
+    MASKED,
+    SDC,
+    TAXONOMY,
+    Outcome,
+)
+from repro.campaign.stats import crosscheck_aliasing, summarize, wilson_interval
+from repro.core.coverage import aliasing_probability
+
+
+def _outcome(classification, **overrides):
+    base = dict(
+        classification=classification,
+        victim="vocal",
+        target="result",
+        bit=0,
+        inject_index=0,
+        fired=classification != MASKED or overrides.get("fired", False),
+        absorbed=True,
+        detected=classification == DETECTED_RECOVERED,
+        cause="fingerprint" if classification == DETECTED_RECOVERED else None,
+        latency=5 if classification == DETECTED_RECOVERED else None,
+        aliased=False,
+        flushed=False,
+        commits=120,
+        cycles=1000,
+        recoveries=1 if classification == DETECTED_RECOVERED else 0,
+        signature_matched=classification not in (SDC,),
+    )
+    base.update(overrides)
+    return Outcome(**base)
+
+
+class TestWilsonInterval:
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_contains_the_point_estimate(self):
+        for successes, trials in [(0, 10), (5, 10), (10, 10), (3, 1000)]:
+            low, high = wilson_interval(successes, trials)
+            assert low <= successes / trials <= high
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_narrows_with_more_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_never_degenerate_at_the_edges(self):
+        # Unlike the normal approximation, the edges stay informative.
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0.0 < high < 0.25
+        low, high = wilson_interval(20, 20)
+        assert 0.75 < low < 1.0 and high == 1.0
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 3)
+
+
+class TestSummarize:
+    def test_buckets_cover_the_taxonomy(self):
+        stats = summarize([_outcome(DETECTED_RECOVERED), _outcome(MASKED, fired=True)])
+        assert set(stats.buckets) == set(TAXONOMY)
+        assert stats.injections == 2
+        assert stats.fired == 2
+
+    def test_coverage_excludes_masked(self):
+        outcomes = [
+            _outcome(DETECTED_RECOVERED),
+            _outcome(DETECTED_RECOVERED),
+            _outcome(SDC, aliased=True),
+            _outcome(MASKED, fired=True),
+        ]
+        stats = summarize(outcomes)
+        # Masked faults demanded no detection: 2 detected of 3 consequential.
+        assert stats.coverage_trials == 3
+        assert stats.coverage == pytest.approx(2 / 3)
+        assert stats.sdc_rate == pytest.approx(1 / 4)
+        low, high = stats.coverage_interval
+        assert low <= stats.coverage <= high
+
+    def test_latency_and_causes_from_detected_only(self):
+        outcomes = [
+            _outcome(DETECTED_RECOVERED, latency=4),
+            _outcome(DETECTED_RECOVERED, latency=10, cause="count"),
+            _outcome(MASKED, fired=True),
+        ]
+        stats = summarize(outcomes)
+        assert stats.latency_mean == pytest.approx(7.0)
+        assert stats.latency_max == 10
+        assert stats.causes == {"count": 1, "fingerprint": 1}
+
+    def test_empty_campaign_degenerates_cleanly(self):
+        stats = summarize([])
+        assert stats.coverage == 0.0
+        assert stats.latency_mean is None
+
+
+class TestAliasingCrossCheck:
+    def test_trials_are_crc_decided_only(self):
+        outcomes = [
+            _outcome(DETECTED_RECOVERED),  # fingerprint-caught: a trial
+            _outcome(DETECTED_RECOVERED, cause="count"),  # count: not a trial
+            _outcome(SDC, aliased=True),  # aliased: a trial
+            _outcome(MASKED, fired=True),  # never compared: not a trial
+        ]
+        check = crosscheck_aliasing(outcomes, bits=4)
+        assert check.trials == 2
+        assert check.aliased == 1
+        assert check.measured == pytest.approx(0.5)
+
+    def test_band_matches_the_closed_form(self):
+        check = crosscheck_aliasing([], bits=8)
+        assert check.bound_low == aliasing_probability(8, two_stage=False)
+        assert check.bound_high == aliasing_probability(8, two_stage=True)
+        assert check.bound_high == 2 * check.bound_low
+
+    def test_consistency_is_one_sided(self):
+        # Measuring *less* aliasing than the random-corruption bound is
+        # consistent (structured upsets alias less); measuring
+        # statistically more is not.
+        none_aliased = [_outcome(DETECTED_RECOVERED) for _ in range(50)]
+        assert crosscheck_aliasing(none_aliased, bits=4).consistent
+        mostly_aliased = [
+            _outcome(SDC, aliased=True) for _ in range(40)
+        ] + [_outcome(DETECTED_RECOVERED) for _ in range(10)]
+        assert not crosscheck_aliasing(mostly_aliased, bits=4).consistent

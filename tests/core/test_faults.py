@@ -2,11 +2,17 @@
 
 import pytest
 
-from repro.core.faults import FaultInjector
+from repro.core.faults import (
+    FaultInjector,
+    attribute_detections,
+    detection_latencies,
+)
 from repro.isa import assemble
 from repro.isa.interpreter import run as golden_run
+from repro.sim.cmp import CMPSystem
 from repro.sim.config import Mode
-from tests.core.helpers import build
+from repro.sim.options import SimOptions
+from tests.core.helpers import SMALL, build
 
 WORKLOAD = """
     movi r1, 30
@@ -96,3 +102,140 @@ class TestDetectionAndRecovery:
                 corrupted_runs += 1
         # Some upsets land on dead values; at least one must stick.
         assert corrupted_runs >= 1
+
+
+class TestFaultTargetClasses:
+    """Store-address and branch-target upsets, per-record selectable."""
+
+    @pytest.mark.parametrize("target", ["store_addr", "branch_target"])
+    @pytest.mark.parametrize("victim", ["vocal", "mute"])
+    def test_target_class_detected_and_recovered(self, target, victim):
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        injector = FaultInjector(seed=7, target=target)
+        core = system.vocal_cores[0] if victim == "vocal" else system.cores[1]
+        injector.attach(core)
+        injector.inject_once(after=5)
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        (record,) = injector.records
+        assert record.target == target
+        assert system.recoveries() >= 1
+        golden = golden_regs()
+        for reg in range(8):
+            assert system.vocal_cores[0].arf.read(reg) == golden.read(reg)
+
+    def test_pinned_bit_is_the_flipped_bit(self):
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        injector = FaultInjector(seed=7, target="store_addr", bit=40)
+        injector.attach(system.cores[1])
+        injector.inject_once(after=5)
+        system.run_until_idle(max_cycles=500_000)
+        (record,) = injector.records
+        assert record.bit == 40
+        assert record.original ^ record.corrupted == 1 << 40
+
+    def test_eligibility_counts_only_the_target_class(self):
+        # `after` is measured in eligible (store) instructions, so the
+        # fourth store is the victim regardless of surrounding ALU ops.
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        injector = FaultInjector(seed=7, target="store_addr")
+        injector.attach(system.cores[1])
+        injector.inject_once(after=3)
+        system.run_until_idle(max_cycles=500_000)
+        (record,) = injector.records
+        # Stores hit 0x400, 0x408, ...; the fourth store's address.
+        assert record.original == 0x400 + 3 * 8
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultInjector(target="flags")
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError, match="bit"):
+            FaultInjector(bit=64)
+
+
+class TestDetectionAttribution:
+    """Events-correlated latency vs the legacy first-recovery heuristic.
+
+    The legacy ``recovery_log`` path pairs each injection with the first
+    recovery at or after it, so a second fault flushed by the *first*
+    fault's rollback is silently charged a detection it never had.  The
+    events path anchors each fault to the fingerprint interval that
+    absorbed it and only credits that interval's own comparison (or a
+    watchdog firing while the fault was live).
+    """
+
+    def _run_two_fault_storm(self):
+        config = SMALL.replace(n_logical=1).with_redundancy(
+            mode=Mode.REUNION, comparison_latency=10, fingerprint_interval=8
+        )
+        system = CMPSystem(
+            config, [assemble(WORKLOAD)], options=SimOptions(trace="events")
+        )
+        injector = FaultInjector(interval=12, seed=9)
+        injector.attach(system.cores[1])
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        assert len(injector.records) >= 4
+        return system, injector
+
+    def test_legacy_path_overattributes_flushed_faults(self):
+        system, injector = self._run_two_fault_storm()
+        events = system.obs.log.snapshot()
+        legacy = detection_latencies(
+            injector.records, system.pairs[0].recovery_log
+        )
+        correlated = detection_latencies(injector.records, events=events)
+        outcomes = attribute_detections(
+            injector.records, events, pair_source="pair0"
+        )
+        flushed = [o for o in outcomes if o.flushed]
+        # Back-to-back faults: rollbacks flush later faulted intervals
+        # before they compare, so the legacy count is inflated by
+        # exactly the detections the events path refuses to invent.
+        assert flushed
+        assert len(correlated) < len(legacy)
+        assert len(correlated) == sum(1 for o in outcomes if o.detected)
+        for outcome in outcomes:
+            assert not (outcome.flushed and outcome.detected)
+            if outcome.detected and outcome.latency is not None:
+                assert outcome.latency >= 0
+
+    def test_paths_agree_when_faults_are_isolated(self):
+        # Far-apart injections leave no unrelated recovery to steal:
+        # both attributions must then count the same detections.
+        config = SMALL.replace(n_logical=1).with_redundancy(
+            mode=Mode.REUNION, comparison_latency=10, fingerprint_interval=8
+        )
+        system = CMPSystem(
+            config, [assemble(WORKLOAD)], options=SimOptions(trace="events")
+        )
+        injector = FaultInjector(interval=70, seed=3)
+        injector.attach(system.cores[1])
+        system.run_until_idle(max_cycles=500_000)
+        assert not system.failed
+        assert len(injector.records) >= 2
+        legacy = detection_latencies(
+            injector.records, system.pairs[0].recovery_log
+        )
+        correlated = detection_latencies(
+            injector.records, events=system.obs.log.snapshot()
+        )
+        assert len(correlated) == len(legacy)
+
+    def test_unabsorbed_fault_reports_masked(self):
+        # A fault armed beyond the program's eligible instructions never
+        # fires; attribution over an empty record list is empty, and an
+        # absorbed=False outcome needs no event anchor.
+        system = build([WORKLOAD], mode=Mode.REUNION)
+        injector = FaultInjector(seed=5)
+        injector.attach(system.cores[1])
+        injector.inject_once(after=10_000)
+        system.run_until_idle(max_cycles=500_000)
+        assert injector.records == []
+        assert attribute_detections([], []) == []
+
+    def test_latencies_require_a_source(self):
+        with pytest.raises(ValueError):
+            detection_latencies([])

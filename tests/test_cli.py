@@ -169,6 +169,39 @@ class TestTrace:
         assert "unknown workload" in capsys.readouterr().err
 
 
+class TestCampaign:
+    """``repro campaign``: statistical fault injection with resume."""
+
+    ARGS = [
+        "campaign", "compute-kernel", "--injections", "8",
+        "--commits", "120", "--jobs", "1",
+    ]
+
+    def test_reports_the_taxonomy_and_resumes_identically(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = tmp_path / "campaign.json"
+        assert main([*self.ARGS, "--report", str(report)]) == 0
+        first = capsys.readouterr()
+        assert "Fault-injection campaign" in first.out
+        assert "coverage" in first.out and "aliasing" in first.out
+        assert "executed   : 8" in first.err
+        first_report = report.read_bytes()
+
+        # Resume: zero simulations, byte-identical reports.
+        assert main([*self.ARGS, "--resume", "--report", str(report)]) == 0
+        second = capsys.readouterr()
+        assert "executed   : 0" in second.err
+        assert "(100%)" in second.err
+        assert second.out == first.out
+        assert report.read_bytes() == first_report
+
+    def test_unknown_workload(self, capsys):
+        assert main(["campaign", "nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
