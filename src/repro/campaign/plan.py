@@ -27,6 +27,9 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.exec.jobs import config_payload, resolve_workload
 from repro.sim.config import (
+    BusConfig,
+    CacheStyle,
+    CoherenceStyle,
     CoreConfig,
     L1Config,
     L2Config,
@@ -43,7 +46,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Version stamp folded into every campaign job key and cache record.
 #: Bump whenever injection/classification semantics change in a way that
 #: invalidates previously cached outcomes.
-CAMPAIGN_SCHEMA_VERSION = 1
+#: v2: BusConfig grew the CoherenceStyle/directory-interconnect fields,
+#: changing every config payload.
+CAMPAIGN_SCHEMA_VERSION = 2
 
 #: Default architectural window: the golden signature and every
 #: classification cover the first this-many user commits.
@@ -111,22 +116,40 @@ def campaign_config(
     fingerprint_bits: int = 16,
     fingerprint_interval: int = 8,
     comparison_latency: int = 10,
+    coherence: str = "shared",
+    n_logical: int = 1,
 ) -> SystemConfig:
-    """A single-pair Reunion system sized for thousands of short runs.
+    """A Reunion system sized for thousands of short injected runs.
 
     Mirrors the integration-test scale (tiny caches, short watchdog) so
     one injected run costs milliseconds; the multi-instruction
     fingerprint interval matters — propagated corruption must be able to
     put several divergent words into one interval, or CRC aliasing (the
     cross-check's subject) could never be observed.
+
+    ``coherence`` picks the memory backend (``shared`` / ``snoopy`` /
+    ``directory``) and ``n_logical`` the pair count, so campaigns can
+    probe fault behavior on the directory backend's many-pair systems
+    (injection and classification always target pair 0).
     """
+    if coherence not in ("shared", "snoopy", "directory"):
+        raise ValueError(
+            f"coherence must be 'shared', 'snoopy' or 'directory', got {coherence!r}"
+        )
+    if coherence == "shared":
+        cache_style, bus = CacheStyle.SHARED, BusConfig()
+    else:
+        cache_style = CacheStyle.SNOOPY
+        bus = BusConfig(coherence=CoherenceStyle(coherence))
     return SystemConfig(
-        n_logical=1,
+        n_logical=n_logical,
         core=CoreConfig(width=4, rob_size=32, store_buffer_size=8, frontend_latency=3),
         l1=L1Config(size_bytes=1024, assoc=2, load_to_use=2, mshrs=4),
         l2=L2Config(size_bytes=16 * 1024, assoc=8, banks=2, hit_latency=8, mshrs=8),
         tlb=TLBConfig(itlb_entries=8, dtlb_entries=16, page_bits=10, hw_fill_latency=10),
         memory=MemoryConfig(latency=40),
+        cache_style=cache_style,
+        bus=bus,
         redundancy=RedundancyConfig(
             mode=Mode.REUNION,
             fingerprint_bits=fingerprint_bits,

@@ -22,6 +22,7 @@ from repro.sim.config import (
     Mode,
     PhantomStrength,
     TLBMode,
+    apply_env_coherence,
 )
 from repro.sim.options import TRACE_LEVELS, SimOptions
 from repro.sim.sampling import run_sample
@@ -41,6 +42,9 @@ def _config_from_args(args) -> "SystemConfig":
     )
     if args.software_tlb:
         config = config.with_tlb(mode=TLBMode.SOFTWARE)
+    if getattr(args, "coherence", None):
+        # Same transform the REPRO_COHERENCE env var applies at import.
+        config = apply_env_coherence(config, {"REPRO_COHERENCE": args.coherence})
     return config
 
 
@@ -56,6 +60,12 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--software-tlb", action="store_true")
     parser.add_argument("--cpus", type=int, default=4, help="logical processors")
+    parser.add_argument(
+        "--coherence",
+        choices=["shared", "snoopy", "directory"],
+        default=None,
+        help="memory backend (default: REPRO_COHERENCE or the config's own)",
+    )
 
 
 def _add_options_args(parser: argparse.ArgumentParser) -> None:
@@ -314,6 +324,8 @@ def cmd_campaign(args) -> int:
         fingerprint_bits=args.bits,
         fingerprint_interval=args.interval,
         comparison_latency=args.latency,
+        coherence=args.coherence,
+        n_logical=args.pairs,
     )
     progress = None
     if sys.stderr.isatty():  # pragma: no cover - interactive nicety
@@ -362,6 +374,7 @@ def cmd_bench(args) -> int:
             compare_kernels=not args.no_kernel_comparison,
             compare_exec=not args.no_exec_comparison,
             compare_telemetry=not args.no_telemetry_comparison,
+            directory_scenario=not args.no_directory_scenario,
             quick=args.quick,
         )
     except ValueError as exc:
@@ -502,6 +515,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="worker processes for the injection batch"
     )
     campaign_parser.add_argument(
+        "--coherence",
+        choices=["shared", "snoopy", "directory"],
+        default="shared",
+        help="memory backend for the injected systems (default shared)",
+    )
+    campaign_parser.add_argument(
+        "--pairs",
+        type=int,
+        default=1,
+        help="vocal/mute pairs per injected system (default 1)",
+    )
+    campaign_parser.add_argument(
         "--resume",
         action="store_true",
         help="serve already-completed injections from the campaign checkpoint",
@@ -549,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-telemetry-comparison",
         action="store_true",
         help="skip the telemetry-off-vs-armed timing and bit-identity check",
+    )
+    bench_parser.add_argument(
+        "--no-directory-scenario",
+        action="store_true",
+        help="skip the many-pair directory-backend scenario",
     )
     bench_parser.add_argument(
         "--quick",

@@ -101,6 +101,27 @@ class TelemetryComparison:
 
 
 @dataclass
+class DirectoryScenario:
+    """A many-pair Reunion run on the directory backend.
+
+    Exercises the regime the snoopy bus cannot reach — ``pairs``
+    vocal/mute pairs over banked home-node directories — end to end, and
+    records the Reunion-visible outcomes (recoveries, synchronizing
+    requests, phantom reads) alongside throughput so the report shows
+    the backend actually carrying redundant execution, not just booting.
+    """
+
+    name: str
+    pairs: int
+    wall_s: float
+    cycles: int
+    cycles_per_s: float
+    recoveries: int
+    sync_requests: int
+    phantom_reads: int
+
+
+@dataclass
 class BenchReport:
     """One `repro bench` run, serializable to ``BENCH_<date>.json``."""
 
@@ -111,6 +132,7 @@ class BenchReport:
     kernel_comparison: list[KernelComparison] = field(default_factory=list)
     exec_comparison: list[ExecComparison] = field(default_factory=list)
     telemetry_comparison: list[TelemetryComparison] = field(default_factory=list)
+    directory_scenario: list[DirectoryScenario] = field(default_factory=list)
     #: Wall seconds by bench component (see repro.obs.profile.Profiler).
     profile: dict[str, float] = field(default_factory=dict)
     schema: int = BENCH_SCHEMA
@@ -134,6 +156,10 @@ class BenchReport:
             telemetry_comparison=[
                 TelemetryComparison(**c)
                 for c in payload.get("telemetry_comparison", [])
+            ],
+            directory_scenario=[
+                DirectoryScenario(**s)
+                for s in payload.get("directory_scenario", [])
             ],
             profile=payload.get("profile", {}),
             schema=payload.get("schema", BENCH_SCHEMA),
@@ -200,6 +226,20 @@ class BenchReport:
                     f"{cmp_.name:<28}{cmp_.off_wall_s:>10.3f}{cmp_.armed_wall_s:>10.3f}"
                     f"{cmp_.overhead:>8.2f}x{cmp_.events:>9,}"
                     f"{'yes' if cmp_.identical else 'NO':>11}"
+                )
+        if self.directory_scenario:
+            lines += [
+                "",
+                "directory scenario (many-pair Reunion on home-node directories):",
+                f"{'artifact':<28}{'pairs':>6}{'wall s':>10}{'cycles/s':>12}"
+                f"{'recov':>7}{'sync':>7}{'phantom':>9}",
+                "-" * 79,
+            ]
+            for sc in self.directory_scenario:
+                lines.append(
+                    f"{sc.name:<28}{sc.pairs:>6}{sc.wall_s:>10.3f}"
+                    f"{sc.cycles_per_s:>12,.0f}{sc.recoveries:>7}"
+                    f"{sc.sync_requests:>7}{sc.phantom_reads:>9,}"
                 )
         if self.profile:
             lines += ["", "profile (wall seconds by bench component):"]
@@ -391,6 +431,53 @@ def run_telemetry_comparison(
     ]
 
 
+def run_directory_scenario(
+    scale, pairs_list=(4,), cycles: int = 20_000
+) -> list[DirectoryScenario]:
+    """Run memory-bound Reunion pairs on the directory backend, end to end.
+
+    One :func:`~repro.sim.config.manycore_config` system per entry in
+    ``pairs_list`` (4 pairs = 8 cores, 8 pairs = 16 cores), each pair
+    chasing its own pointer graph so every mute miss exercises phantom
+    requests and every divergence the recovery protocol, across the
+    banked directories and the weighted arbiter at realistic
+    (non-degenerate) interconnect numbers.
+    """
+    from repro.sim.cmp import CMPSystem
+    from repro.sim.config import manycore_config
+    from repro.sim.options import SimOptions
+    from repro.workloads.micro import PointerChase
+
+    workload = PointerChase(nodes=4096)
+    seed = scale.seeds[0]
+    scenarios: list[DirectoryScenario] = []
+    for pairs in pairs_list:
+        config = manycore_config(pairs)
+        programs = workload.programs(config.n_logical, seed)
+        schedules = workload.itlb_schedules(config.n_logical, seed)
+        system = CMPSystem(config, programs, schedules, options=SimOptions(kernel="event"))
+        start = time.perf_counter()
+        system.run(cycles)
+        wall = time.perf_counter() - start
+        stats = dict(system.collect_stats().snapshot())
+        phantoms = sum(
+            value for key, value in stats.items() if key.startswith("dir.phantom_")
+        )
+        scenarios.append(
+            DirectoryScenario(
+                name=f"mem-chase/{pairs}-pair-dir",
+                pairs=pairs,
+                wall_s=wall,
+                cycles=cycles,
+                cycles_per_s=cycles / wall if wall else 0.0,
+                recoveries=sum(pair.recoveries for pair in system.pairs),
+                sync_requests=int(stats.get("dir.sync_requests", 0)),
+                phantom_reads=phantoms,
+            )
+        )
+    return scenarios
+
+
 def run_bench(
     scale_name: str = "quick",
     jobs: int = 1,
@@ -398,6 +485,7 @@ def run_bench(
     compare_kernels: bool = True,
     compare_exec: bool = True,
     compare_telemetry: bool = True,
+    directory_scenario: bool = True,
     quick: bool = False,
 ) -> BenchReport:
     """Time every artifact's sample sweep; return the filled report.
@@ -489,6 +577,13 @@ def run_bench(
             report.telemetry_comparison = run_telemetry_comparison(
                 scale,
                 cycles=20_000 if quick else 60_000,
+            )
+    if directory_scenario:
+        with profiler.section("directory.scenario"):
+            report.directory_scenario = run_directory_scenario(
+                scale,
+                pairs_list=(4,) if quick else (4, 8),
+                cycles=6_000 if quick else 20_000,
             )
     report.profile = profiler.snapshot()
     return report

@@ -31,7 +31,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Version stamp folded into every job key and cache record.  Cached
 #: results from other schema versions are treated as misses.
-SCHEMA_VERSION = 1
+#: v2: BusConfig grew the CoherenceStyle/directory-interconnect fields,
+#: changing every config payload.
+SCHEMA_VERSION = 2
 
 
 def config_payload(value: Any) -> Any:

@@ -1,7 +1,15 @@
 """Memory substrate: caches, coherence, shared L2 controller, TLBs."""
 
 from repro.memory.cache import Cache, CacheLine, Eviction, LineState
-from repro.memory.coherence import Directory, DirectoryEntry
+from repro.memory.coherence import (
+    Directory,
+    DirectoryEntry,
+    MSI_TRANSITIONS,
+    MSIState,
+    Transition,
+    transition,
+)
+from repro.memory.directory import DirectoryBackend
 from repro.memory.l2_controller import Reply, SharedL2Controller
 from repro.memory.main_memory import MainMemory
 from repro.memory.mshr import MSHRFile
@@ -15,14 +23,19 @@ __all__ = [
     "CacheLine",
     "CoreMemPort",
     "Directory",
+    "DirectoryBackend",
     "DirectoryEntry",
     "Eviction",
     "LineState",
     "MSHRFile",
+    "MSIState",
+    "MSI_TRANSITIONS",
     "MainMemory",
     "Reply",
     "SharedL2Controller",
     "SnoopyBus",
     "TLB",
     "TLBPair",
+    "Transition",
+    "transition",
 ]

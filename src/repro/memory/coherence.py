@@ -1,13 +1,138 @@
-"""Directory state for the shared-cache coherence protocol.
+"""Coherence state shared by every memory backend.
 
-The reproduction models a Piranha-style inclusive shared cache controller
-that tracks, per line, which *vocal* L1s hold the line and whether one of
-them owns it exclusively.  Mute caches are deliberately invisible here —
-that is the Reunion vocal/mute semantics of Definition 2: the coherence
-protocol behaves as if mute cores were absent from the system.
+Three organizations implement the Reunion memory interface:
+
+* the Piranha-style shared L2 with an inclusive directory at the shared
+  controller (:mod:`repro.memory.l2_controller`, the paper's primary
+  design);
+* private caches kept coherent by snooping a shared bus
+  (:mod:`repro.memory.snoopy`, the Montecito design point of
+  Section 4.1);
+* private caches kept coherent by per-bank home-node directories over a
+  point-to-point interconnect (:mod:`repro.memory.directory`, the
+  many-pair scaling backend).
+
+All three enforce the *same* protocol.  This module holds the pieces
+they share so the protocol is written down exactly once:
+
+* :class:`MSIState` / :data:`MSI_TRANSITIONS` — the global MSI state of
+  a line and the transition table for the three coherence requests
+  (GetS, GetM, PutM).  The snoopy bus derives the global state by
+  probing peer caches; the home-node directory reads it off its
+  :class:`~repro.memory.directory.entry.DirectoryEntry`; both then apply
+  the identical transition.
+* :class:`DirectoryEntry` / :class:`Directory` — the sharers/owner
+  bookkeeping used by the shared-cache controller.
+
+Mute caches are deliberately invisible everywhere here — that is the
+Reunion vocal/mute semantics of Definition 2: the coherence protocol
+behaves as if mute cores were absent from the system.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import LineState
+
+
+class MSIState:
+    """Global MSI state of one line, over the *vocal* caches only.
+
+    ``MODIFIED`` means exactly one vocal cache holds the line with write
+    permission.  A clean-exclusive (MESI ``E``) grantee is tracked as
+    MODIFIED too: stores hit silently on E lines (see
+    :meth:`repro.memory.port.CoreMemPort.store`), so the protocol must
+    treat the grantee as a potential writer from the moment of the
+    grant.
+    """
+
+    INVALID = 0
+    SHARED = 1
+    MODIFIED = 2
+
+    NAMES = {0: "I", 1: "S", 2: "M"}
+
+
+#: The three coherence requests of the protocol (Culler/Sorin naming).
+GETS = "GetS"  # read miss: wants at least S
+GETM = "GetM"  # write miss / upgrade: wants M
+PUTM = "PutM"  # dirty eviction: gives the line back
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One row of the MSI table: resulting state plus required actions.
+
+    Action flags are *requirements on the backend*, phrased so both a
+    snoopy bus and a home-node directory can honour them:
+
+    * ``fetch_owner`` — the current owner supplies the data
+      (cache-to-cache); ``writeback`` additionally folds a dirty copy
+      back (to memory on the private-cache backends, into the L2 array
+      on the shared-cache one) so the backing store stays clean.
+    * ``forward_sharer`` — any clean sharer may supply the data
+      cache-to-cache instead of the backing store.
+    * ``invalidate_sharers`` — every other copy must be purged before
+      the grant.
+    * ``grant`` — the :class:`~repro.memory.cache.LineState` installed
+      in the requester's L1.  A sole reader is granted clean-exclusive
+      (MESI ``E``), which is why ``(INVALID, GetS)`` lands the *global*
+      state in MODIFIED — see :class:`MSIState`.
+    """
+
+    next_state: int
+    grant: int = LineState.INVALID
+    fetch_owner: bool = False
+    forward_sharer: bool = False
+    invalidate_sharers: bool = False
+    writeback: bool = False
+
+
+#: (global MSI state, request) -> :class:`Transition`.  The single
+#: protocol definition every backend consults.
+MSI_TRANSITIONS: dict[tuple[int, str], Transition] = {
+    (MSIState.INVALID, GETS): Transition(
+        next_state=MSIState.MODIFIED, grant=LineState.EXCLUSIVE
+    ),
+    (MSIState.SHARED, GETS): Transition(
+        next_state=MSIState.SHARED, grant=LineState.SHARED, forward_sharer=True
+    ),
+    (MSIState.MODIFIED, GETS): Transition(
+        next_state=MSIState.SHARED,
+        grant=LineState.SHARED,
+        fetch_owner=True,
+        writeback=True,
+    ),
+    (MSIState.INVALID, GETM): Transition(
+        next_state=MSIState.MODIFIED, grant=LineState.MODIFIED
+    ),
+    (MSIState.SHARED, GETM): Transition(
+        next_state=MSIState.MODIFIED,
+        grant=LineState.MODIFIED,
+        forward_sharer=True,
+        invalidate_sharers=True,
+    ),
+    (MSIState.MODIFIED, GETM): Transition(
+        next_state=MSIState.MODIFIED,
+        grant=LineState.MODIFIED,
+        fetch_owner=True,
+        invalidate_sharers=True,
+        writeback=True,
+    ),
+    (MSIState.MODIFIED, PUTM): Transition(
+        next_state=MSIState.INVALID, writeback=True
+    ),
+}
+
+
+def transition(state: int, request: str) -> Transition:
+    """Look up the transition for ``request`` against global ``state``."""
+    try:
+        return MSI_TRANSITIONS[(state, request)]
+    except KeyError:
+        name = MSIState.NAMES.get(state, state)
+        raise ValueError(f"no MSI transition for {request} in state {name}") from None
 
 
 class DirectoryEntry:
@@ -21,6 +146,14 @@ class DirectoryEntry:
 
     def is_idle(self) -> bool:
         return self.owner is None and not self.sharers
+
+    def msi_state(self) -> int:
+        """The global :class:`MSIState` this entry encodes."""
+        if self.owner is not None:
+            return MSIState.MODIFIED
+        if self.sharers:
+            return MSIState.SHARED
+        return MSIState.INVALID
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DirectoryEntry(owner={self.owner}, sharers={sorted(self.sharers)})"

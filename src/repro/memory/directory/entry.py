@@ -1,0 +1,105 @@
+"""Home-node directory state: one bitmask entry per tracked line.
+
+Unlike the shared-L2 directory (:class:`repro.memory.coherence.Directory`),
+which keeps owner and sharers in Python sets, a home-node entry packs
+the sharers into an integer bitmask — the representation real directory
+controllers use, and O(1) for the owner-extraction and membership tests
+the hot path performs.  The entry's ``state`` is the global
+:class:`~repro.memory.coherence.MSIState` of the line over the vocal
+caches; mute caches are never tracked (Reunion Definition 2).
+"""
+
+from __future__ import annotations
+
+from repro.memory.coherence import MSIState
+
+
+class DirectoryEntry:
+    """Global MSI state + sharers bitmask for one cache line.
+
+    Invariants (over vocal caches only):
+
+    * ``state == MODIFIED``  ⇒  exactly one bit set (the owner, which
+      may hold the line clean-exclusive — stores hit E silently, so the
+      grantee is a potential writer from the grant on);
+    * ``state == SHARED``    ⇒  at least one bit set, all copies clean;
+    * ``state == INVALID``   ⇒  ``sharers == 0``.
+    """
+
+    __slots__ = ("state", "sharers")
+
+    def __init__(self) -> None:
+        self.state: int = MSIState.INVALID
+        self.sharers: int = 0
+
+    def owner(self) -> int | None:
+        """The owning core id, or None when no single core owns the line.
+
+        Valid extraction requires exactly one sharer bit; the power-of-
+        two test rejects both the empty and the multi-sharer mask.
+        """
+        mask = self.sharers
+        if self.state != MSIState.MODIFIED or mask == 0 or mask & (mask - 1):
+            return None
+        return mask.bit_length() - 1
+
+    def holds(self, core_id: int) -> bool:
+        return bool(self.sharers >> core_id & 1)
+
+    def add(self, core_id: int) -> None:
+        self.sharers |= 1 << core_id
+
+    def drop(self, core_id: int) -> None:
+        """Remove one holder, demoting the global state as bits empty."""
+        self.sharers &= ~(1 << core_id)
+        if self.sharers == 0:
+            self.state = MSIState.INVALID
+
+    def holders(self):
+        """Core ids with a copy, ascending."""
+        mask = self.sharers
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def is_idle(self) -> bool:
+        return self.sharers == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = MSIState.NAMES.get(self.state, self.state)
+        return f"DirectoryEntry(state={name}, sharers={self.sharers:#b})"
+
+
+class HomeDirectory:
+    """One home bank: line address -> :class:`DirectoryEntry`.
+
+    Entries are materialized on demand and dropped when idle, so the
+    structure's footprint tracks the lines actually cached rather than
+    the address space.  A line's home bank is chosen by the controller
+    (``line_addr % dir_banks``); the bank itself is bank-number agnostic.
+    """
+
+    __slots__ = ("bank_id", "_entries")
+
+    def __init__(self, bank_id: int) -> None:
+        self.bank_id = bank_id
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line_addr] = entry
+        return entry
+
+    def peek(self, line_addr: int) -> DirectoryEntry | None:
+        return self._entries.get(line_addr)
+
+    def drop_if_idle(self, line_addr: int) -> None:
+        entry = self._entries.get(line_addr)
+        if entry is not None and entry.is_idle():
+            del self._entries[line_addr]
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.isa.registers import WORD_MASK
 from repro.memory.cache import Cache, LineState
+from repro.memory.coherence import GETM, GETS, MSIState, transition
 from repro.memory.l2_controller import Reply, _GARBAGE_MULT, _GARBAGE_XOR
 from repro.memory.main_memory import MainMemory
 from repro.memory.mshr import MSHRFile
@@ -75,6 +76,25 @@ class SnoopyBus:
             if core_id != requester and not is_mute:
                 yield core_id, l1
 
+    def _probe_state(self, requester: int, line_addr: int) -> int:
+        """Global :class:`MSIState` over the peer vocal caches.
+
+        What the address-phase snoop responses encode on a real bus: a
+        peer holding the line E/M is the owner (E counts as MODIFIED —
+        see :class:`~repro.memory.coherence.MSIState`), any other copy
+        means SHARED.  The resulting state indexes the protocol table
+        shared with the directory backend.
+        """
+        state = MSIState.INVALID
+        for _core_id, l1 in self._vocal_peers(requester):
+            line = l1.lookup(line_addr)
+            if line is None:
+                continue
+            if line.state in (LineState.MODIFIED, LineState.EXCLUSIVE):
+                return MSIState.MODIFIED
+            state = MSIState.SHARED
+        return state
+
     def _snoop(self, requester: int, line_addr: int, invalidate: bool) -> list[int] | None:
         """Snoop peer vocal caches; returns the freshest data if any hit.
 
@@ -118,30 +138,33 @@ class SnoopyBus:
 
     # -- vocal transactions -------------------------------------------------------
     def vocal_read(self, core_id: int, line_addr: int, now: int) -> Reply:
-        """BusRd: snoop peers, else read memory; grant S (E if alone)."""
+        """BusRd (GetS): the snoop responses decide owner/sharer supply."""
         self.stats.inc("bus.reads")
         start = self._arbitrate(now)
-        snooped = self._snoop(core_id, line_addr, invalidate=False)
-        if snooped is not None:
-            data = snooped
+        tr = transition(self._probe_state(core_id, line_addr), GETS)
+        if tr.fetch_owner or tr.forward_sharer:
+            # A peer copy exists: cache-to-cache transfer (a dirty owner
+            # writes back on the way — tr.writeback — inside _snoop).
+            data = self._snoop(core_id, line_addr, invalidate=False)
             done = start + self.config.transfer_latency
-            state = LineState.SHARED
         else:
             data, done = self._memory_fetch(line_addr, start)
             done += self.config.snoop_latency
-            state = LineState.EXCLUSIVE
-        self._install(core_id, line_addr, data, state)
+        self._install(core_id, line_addr, data, tr.grant)
         return Reply(data, done)
 
     def vocal_write(self, core_id: int, line_addr: int, now: int) -> Reply:
-        """BusRdX: invalidate peers, take the freshest copy, grant M."""
+        """BusRdX (GetM): invalidate peers, take the freshest copy, grant M."""
         self.stats.inc("bus.writes")
         start = self._arbitrate(now)
-        snooped = self._snoop(core_id, line_addr, invalidate=True)
+        tr = transition(self._probe_state(core_id, line_addr), GETM)
+        snooped = None
+        if tr.fetch_owner or tr.invalidate_sharers:
+            snooped = self._snoop(core_id, line_addr, invalidate=True)
         l1, _ = self._l1s[core_id]
         resident = l1.lookup(line_addr)
         if resident is not None:
-            resident.state = LineState.MODIFIED
+            resident.state = tr.grant
             l1.touch(line_addr)
             return Reply(list(resident.data), start + self.config.snoop_latency)
         if snooped is not None:
@@ -150,7 +173,7 @@ class SnoopyBus:
         else:
             data, done = self._memory_fetch(line_addr, start)
             done += self.config.snoop_latency
-        self._install(core_id, line_addr, data, LineState.MODIFIED)
+        self._install(core_id, line_addr, data, tr.grant)
         return Reply(data, done)
 
     def vocal_evict(self, core_id: int, line_addr: int, data: list[int] | None, dirty: bool) -> None:

@@ -52,6 +52,12 @@ K_INTERRUPT_POST = "interrupt.post"  # events
 # Cache controller diagnostics.
 K_CACHE_EVICT = "cache.evict"  # full
 K_CACHE_WRITEBACK_DROP = "cache.writeback_drop"  # full
+# Directory backend traffic (repro.memory.directory).
+K_DIR_GETS = "dir.gets"  # full: GetS serviced at a home bank
+K_DIR_GETM = "dir.getm"  # full: GetM serviced at a home bank
+K_DIR_INVAL = "dir.inval"  # full: one holder's copy invalidated
+K_DIR_WRITEBACK = "dir.writeback"  # full: dirty eviction folded to memory
+K_DIR_GRANT = "dir.grant"  # full: home-bank arbiter grant (WRR slot)
 # Fault injection.
 K_FAULT_INJECT = "fault.inject"  # events
 K_FAULT_ABSORB = "fault.absorb"  # events: a faulted entry entered a check interval

@@ -25,12 +25,13 @@ from repro.core.pair import LogicalPair
 from repro.core.strict import StrictCheckGate
 from repro.isa.program import Program
 from repro.memory.main_memory import MainMemory
+from repro.memory.directory import DirectoryBackend
 from repro.memory.l2_controller import SharedL2Controller
 from repro.memory.port import CoreMemPort
 from repro.memory.snoopy import SnoopyBus
 from repro.pipeline.gates import NEVER, ImmediateGate
 from repro.pipeline.ooo_core import OoOCore
-from repro.sim.config import CacheStyle, Mode, SystemConfig
+from repro.sim.config import CacheStyle, CoherenceStyle, Mode, SystemConfig
 from repro.sim.options import SimOptions
 from repro.sim.stats import Stats
 
@@ -120,7 +121,15 @@ class CMPSystem:
         self.memory.load_image(merged_image)
 
         if config.cache_style is CacheStyle.SNOOPY:
-            self.controller = SnoopyBus(config.bus, self.memory, self.stats)
+            # Private caches: the bus snoops, the banked home-node
+            # directories scale (see docs/ARCHITECTURE.md, "Memory
+            # system backends").
+            if config.bus.coherence is CoherenceStyle.DIRECTORY:
+                self.controller = DirectoryBackend(
+                    config.bus, self.memory, self.stats
+                )
+            else:
+                self.controller = SnoopyBus(config.bus, self.memory, self.stats)
         else:
             l2_config = config.l2
             if mode is Mode.REUNION:

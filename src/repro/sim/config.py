@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import os
 from dataclasses import dataclass
+
+
+def _require_power_of_two(value: int, what: str) -> None:
+    if value < 1 or value & (value - 1):
+        raise ValueError(f"{what} must be a power of two, got {value}")
 
 
 class Mode(enum.Enum):
@@ -61,6 +67,22 @@ class CacheStyle(enum.Enum):
     SNOOPY = "snoopy"  # private caches on a snoopy bus (Montecito-style)
 
 
+class CoherenceStyle(enum.Enum):
+    """How private caches are kept coherent (``CacheStyle.SNOOPY`` only).
+
+    A shared bus snoops every transaction and stops scaling at a handful
+    of cores; per-bank home-node directories over a point-to-point
+    interconnect carry the 8-32-core (4-16 pair) configurations where
+    input incoherence and serialization under contention become visible.
+    This knob is *result-affecting* — it lives on the hashed
+    :class:`SystemConfig` (via :class:`BusConfig`), never on
+    :class:`~repro.sim.options.SimOptions`.
+    """
+
+    SNOOPY = "snoopy"  # one shared bus, broadcast snooping
+    DIRECTORY = "directory"  # banked home-node directories, point-to-point
+
+
 @dataclass(frozen=True)
 class CoreConfig:
     """Out-of-order core parameters."""
@@ -96,6 +118,10 @@ class L1Config:
     def __post_init__(self) -> None:
         if self.size_bytes % (self.assoc * self.line_bytes):
             raise ValueError("L1 size must be a multiple of assoc * line size")
+        _require_power_of_two(self.line_bytes, "L1 line size")
+        _require_power_of_two(
+            self.size_bytes // (self.assoc * self.line_bytes), "L1 set count"
+        )
 
 
 @dataclass(frozen=True)
@@ -115,20 +141,58 @@ class L2Config:
             raise ValueError("L2 size must be a multiple of assoc * line size")
         if self.banks < 1:
             raise ValueError("need at least one bank")
+        _require_power_of_two(self.banks, "L2 bank count")
+        _require_power_of_two(self.line_bytes, "L2 line size")
+        _require_power_of_two(
+            self.size_bytes // (self.assoc * self.line_bytes), "L2 set count"
+        )
 
 
 @dataclass(frozen=True)
 class BusConfig:
-    """Snoopy-bus parameters (used when ``cache_style`` is SNOOPY)."""
+    """Private-cache interconnect parameters (``cache_style`` SNOOPY).
+
+    The first four fields describe any coherence fabric: with
+    ``coherence=SNOOPY`` they are literally the shared bus
+    (``snoop_latency`` is the address phase + snoop response,
+    ``bus_occupancy`` the cycles the single bus is held); with
+    ``coherence=DIRECTORY`` the same numbers parameterize each home
+    bank (``snoop_latency`` becomes the directory access, occupancy the
+    bank's service slot) so the two backends are comparable — and, at
+    ``dir_banks=1, link_latency=0`` and zero arbiter weights, provably
+    cycle-identical (see tests/sim/test_directory_differential.py).
+
+    Directory-only fields:
+
+    * ``dir_banks`` — home-node banks; a line's home is
+      ``line_addr % dir_banks``.
+    * ``link_latency`` — per-hop point-to-point latency
+      (requester→home, home→requester; forwarded replies cross
+      home→owner→requester).
+    * ``wrr_vocal_weight`` / ``wrr_mute_weight`` — weighted-round-robin
+      credits per arbitration round at each home bank.  Weight 0 means
+      the class is exempt from credit accounting (plain FCFS); that is
+      also the snoopy-equivalent degenerate setting.
+    """
 
     snoop_latency: int = 15  # address phase + snoop response
     transfer_latency: int = 25  # cache-to-cache data transfer
     bus_occupancy: int = 4  # cycles the bus is held per transaction
     mshrs: int = 16
+    coherence: CoherenceStyle = CoherenceStyle.SNOOPY
+    dir_banks: int = 4
+    link_latency: int = 2
+    wrr_vocal_weight: int = 3
+    wrr_mute_weight: int = 1
 
     def __post_init__(self) -> None:
         if self.snoop_latency < 1 or self.transfer_latency < 1:
             raise ValueError("bus latencies must be positive")
+        _require_power_of_two(self.dir_banks, "directory bank count")
+        if self.link_latency < 0:
+            raise ValueError("link latency cannot be negative")
+        if self.wrr_vocal_weight < 0 or self.wrr_mute_weight < 0:
+            raise ValueError("arbiter weights cannot be negative")
 
 
 @dataclass(frozen=True)
@@ -148,6 +212,12 @@ class MemoryConfig:
     """Main memory parameters."""
 
     latency: int = 240  # 60 ns at 4 GHz
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise ValueError(
+                f"main-memory latency must be >= 1 cycle, got {self.latency}"
+            )
 
 
 @dataclass(frozen=True)
@@ -188,6 +258,18 @@ class SystemConfig:
     consistency: Consistency = Consistency.TSO
     cache_style: CacheStyle = CacheStyle.SHARED
 
+    def __post_init__(self) -> None:
+        if self.n_logical < 1:
+            raise ValueError(
+                f"a system needs at least one logical processor, got "
+                f"n_logical={self.n_logical}"
+            )
+        if self.l1.line_bytes != self.l2.line_bytes:
+            raise ValueError(
+                f"L1 and L2 line sizes must match, got "
+                f"{self.l1.line_bytes} vs {self.l2.line_bytes}"
+            )
+
     @property
     def n_cores(self) -> int:
         """Physical cores: redundant modes pair a vocal and a mute."""
@@ -208,18 +290,91 @@ class SystemConfig:
         return dataclasses.replace(self, **kwargs)
 
 
-#: The paper's Table 1 parameters, verbatim.
+#: The paper's Table 1 parameters, verbatim.  Never env-modified.
 PAPER_TABLE1 = SystemConfig()
+
+
+def apply_env_coherence(
+    config: SystemConfig, env: dict[str, str] | None = None
+) -> SystemConfig:
+    """Re-aim ``config`` at the backend named by ``REPRO_COHERENCE``.
+
+    ``shared`` / ``snoopy`` / ``directory``; unset leaves ``config``
+    untouched.  Applied to :data:`DEFAULT_CONFIG` and the test helpers'
+    small config at import so one environment variable retargets the
+    whole suite at another memory backend (the CI matrix leg).  The
+    chosen backend lands in the *hashed* config — result caches keyed on
+    :func:`repro.exec.jobs.config_payload` stay correct — which is why
+    this is a config transform and not a :class:`~repro.sim.options`
+    knob: coherence style changes results.
+    """
+    value = (env if env is not None else os.environ).get("REPRO_COHERENCE", "")
+    value = value.strip().lower()
+    if not value:
+        return config
+    if value == "shared":
+        return config.replace(cache_style=CacheStyle.SHARED)
+    if value in ("snoopy", "directory"):
+        return config.replace(
+            cache_style=CacheStyle.SNOOPY,
+            bus=dataclasses.replace(config.bus, coherence=CoherenceStyle(value)),
+        )
+    raise ValueError(
+        f"REPRO_COHERENCE must be 'shared', 'snoopy' or 'directory', got {value!r}"
+    )
+
 
 #: Laptop-scale system: same shape, two orders of magnitude less state.
 #: L1 4 KB and L2 128 KB keep "commercial" working sets (hundreds of KB)
 #: L1-resident-hostile and partially L2-resident, as in the paper; 1 KB
 #: pages let modest footprints exercise the TLBs.
-DEFAULT_CONFIG = SystemConfig(
-    n_logical=4,
-    core=CoreConfig(width=4, rob_size=64, store_buffer_size=16, frontend_latency=6),
-    l1=L1Config(size_bytes=4 * 1024, assoc=2, load_to_use=2, mshrs=8),
-    l2=L2Config(size_bytes=128 * 1024, assoc=8, banks=4, hit_latency=20, mshrs=16),
-    tlb=TLBConfig(itlb_entries=16, dtlb_entries=32, page_bits=10, hw_fill_latency=20),
-    memory=MemoryConfig(latency=100),
+DEFAULT_CONFIG = apply_env_coherence(
+    SystemConfig(
+        n_logical=4,
+        core=CoreConfig(width=4, rob_size=64, store_buffer_size=16, frontend_latency=6),
+        l1=L1Config(size_bytes=4 * 1024, assoc=2, load_to_use=2, mshrs=8),
+        l2=L2Config(size_bytes=128 * 1024, assoc=8, banks=4, hit_latency=20, mshrs=16),
+        tlb=TLBConfig(itlb_entries=16, dtlb_entries=32, page_bits=10, hw_fill_latency=20),
+        memory=MemoryConfig(latency=100),
+    )
 )
+
+
+def manycore_config(n_logical: int) -> SystemConfig:
+    """A many-pair Reunion CMP on the directory backend.
+
+    ``n_logical`` vocal/mute pairs (``2 * n_logical`` cores) with
+    private caches kept coherent by banked home-node directories — the
+    regime the snoopy bus cannot reach.  Core and cache parameters
+    follow :data:`DEFAULT_CONFIG`'s laptop scale; the interconnect uses
+    realistic non-degenerate numbers (8 home banks, 6-cycle links,
+    3:1 vocal:mute arbitration) so contention and arbitration actually
+    happen.
+    """
+    return SystemConfig(
+        n_logical=n_logical,
+        core=CoreConfig(width=4, rob_size=64, store_buffer_size=16, frontend_latency=6),
+        l1=L1Config(size_bytes=4 * 1024, assoc=2, load_to_use=2, mshrs=8),
+        l2=L2Config(size_bytes=128 * 1024, assoc=8, banks=4, hit_latency=20, mshrs=16),
+        tlb=TLBConfig(itlb_entries=16, dtlb_entries=32, page_bits=10, hw_fill_latency=20),
+        memory=MemoryConfig(latency=100),
+        cache_style=CacheStyle.SNOOPY,
+        bus=BusConfig(
+            coherence=CoherenceStyle.DIRECTORY,
+            dir_banks=8,
+            link_latency=6,
+            wrr_vocal_weight=3,
+            wrr_mute_weight=1,
+        ),
+        redundancy=RedundancyConfig(
+            mode=Mode.REUNION,
+            comparison_latency=10,
+            fingerprint_interval=8,
+        ),
+    )
+
+
+#: Stock many-pair systems: 8/16/32 physical cores as 4/8/16 pairs.
+MANYCORE_8 = manycore_config(4)
+MANYCORE_16 = manycore_config(8)
+MANYCORE_32 = manycore_config(16)

@@ -28,6 +28,13 @@ participates in results, but travels as its own explicit argument —
 :func:`options_key_payload` deliberately contributes nothing to job
 content-hash keys.  If a future field *does* change results, it must be
 added there (and tested in ``tests/exec/test_jobs.py``).
+
+The memory-backend selector is the counter-example that proves the
+rule: ``REPRO_COHERENCE`` (shared / snoopy / directory) *does* change
+results, so it is resolved at config level —
+:func:`repro.sim.config.apply_env_coherence` rewrites the hashed
+:class:`~repro.sim.config.SystemConfig` itself — and never appears
+here.
 """
 
 from __future__ import annotations

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.isa import Program, assemble
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import (
+    CacheStyle,
     Consistency,
     CoreConfig,
     L1Config,
@@ -15,17 +16,28 @@ from repro.sim.config import (
     RedundancyConfig,
     SystemConfig,
     TLBConfig,
+    apply_env_coherence,
 )
 
-SMALL = SystemConfig(
-    n_logical=1,
-    core=CoreConfig(width=4, rob_size=32, store_buffer_size=8, frontend_latency=3),
-    l1=L1Config(size_bytes=1024, assoc=2, load_to_use=2, mshrs=4),
-    l2=L2Config(size_bytes=16 * 1024, assoc=8, banks=2, hit_latency=8, mshrs=8),
-    tlb=TLBConfig(itlb_entries=8, dtlb_entries=16, page_bits=10, hw_fill_latency=10),
-    memory=MemoryConfig(latency=40),
-    redundancy=RedundancyConfig(divergence_timeout=2000),
+# REPRO_COHERENCE retargets the whole integration suite at another
+# memory backend (the CI matrix leg); unset leaves the shared-L2 default.
+SMALL = apply_env_coherence(
+    SystemConfig(
+        n_logical=1,
+        core=CoreConfig(width=4, rob_size=32, store_buffer_size=8, frontend_latency=3),
+        l1=L1Config(size_bytes=1024, assoc=2, load_to_use=2, mshrs=4),
+        l2=L2Config(size_bytes=16 * 1024, assoc=8, banks=2, hit_latency=8, mshrs=8),
+        tlb=TLBConfig(itlb_entries=8, dtlb_entries=16, page_bits=10, hw_fill_latency=10),
+        memory=MemoryConfig(latency=40),
+        redundancy=RedundancyConfig(divergence_timeout=2000),
+    )
 )
+
+# For tests that probe shared-L2 controller *internals* (its directory
+# bookkeeping, bank scaling): pinned regardless of REPRO_COHERENCE, the
+# way test_snoopy pins SNOOPY_SMALL.  The directory backend's equivalent
+# invariants live in tests/memory/test_directory_backend.py.
+SHARED_SMALL = SMALL.replace(cache_style=CacheStyle.SHARED)
 
 
 def build(

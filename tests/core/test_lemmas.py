@@ -8,7 +8,7 @@ from repro.core.faults import FaultInjector
 from repro.isa import assemble
 from repro.isa.interpreter import run as golden_run
 from repro.sim.config import Mode, PhantomStrength
-from tests.core.helpers import build
+from tests.core.helpers import SHARED_SMALL, build
 
 
 class TestDefinition2VocalMute:
@@ -23,7 +23,10 @@ class TestDefinition2VocalMute:
     """
 
     def test_only_vocal_updates_reach_the_system(self):
-        system = build([self.PROGRAM], mode=Mode.REUNION)
+        # Pinned to the shared backend: this asserts against its
+        # directory bookkeeping.  The directory backend's version is
+        # test_directory_backend.py::test_mute_fills_never_reach_the_directory.
+        system = build([self.PROGRAM], mode=Mode.REUNION, config=SHARED_SMALL)
         system.run_until_idle()
         line_addr = 0x500 >> 6
         # Vocal owns the line per the directory.

@@ -1,0 +1,120 @@
+"""Phantom-read and input-incoherence accounting on >2-pair systems.
+
+With one or two pairs the per-pair counters are hard to get wrong; with
+four pairs sharing one fabric the failure mode worth testing is
+*leakage* — a racing pair's incoherence events (recoveries, sync
+requests) or a mute's phantom traffic being booked against the wrong
+pair.  These tests run a 4-pair system where exactly one pair observes
+a genuine race and assert the accounting stays put, on both private-
+cache backends.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import assemble
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import CacheStyle, CoherenceStyle, Mode
+from tests.core.helpers import SMALL
+from tests.core.test_pair_integration import TestInputIncoherence as Race
+
+#: Self-contained work for the bystander pairs: cold loads from a
+#: private region (so their mutes raise phantom reads) but no lines
+#: shared with any other pair (so they must never observe incoherence).
+BYSTANDER_A = """
+    .word 0xa00 5
+    .word 0xa40 6
+    movi r1, 0xa00
+    load r2, [r1]
+    load r3, [r1+64]
+    add r2, r2, r3
+    halt
+"""
+
+BYSTANDER_B = """
+    .word 0xb00 7
+    .word 0xb40 8
+    movi r1, 0xb00
+    load r2, [r1]
+    load r3, [r1+64]
+    add r2, r2, r3
+    halt
+"""
+
+
+def _backend_config(style):
+    if style == "snoopy":
+        bus = dataclasses.replace(SMALL.bus, coherence=CoherenceStyle.SNOOPY)
+    else:
+        bus = dataclasses.replace(SMALL.bus, coherence=CoherenceStyle.DIRECTORY)
+    return SMALL.replace(cache_style=CacheStyle.SNOOPY, bus=bus)
+
+
+def _run_four_pairs(style):
+    config = _backend_config(style).replace(n_logical=4).with_redundancy(
+        mode=Mode.REUNION, comparison_latency=10
+    )
+    system = CMPSystem(
+        config,
+        [
+            assemble(Race.READER),  # pair 0: observes the race
+            assemble(Race.WRITER),  # pair 1: publishes payload + flag
+            assemble(BYSTANDER_A),  # pairs 2-3: independent private loads
+            assemble(BYSTANDER_B),
+        ],
+    )
+    system.run_until_idle(max_cycles=300_000)
+    assert not system.failed
+    return system, dict(system.collect_stats().snapshot())
+
+
+@pytest.mark.parametrize("style", ["snoopy", "directory"])
+class TestMultiPairAccounting:
+    def test_race_resolves_with_eight_cores(self, style):
+        system, _ = _run_four_pairs(style)
+        reader = system.vocal_cores[0]
+        assert reader.arf.read(2) == 1  # saw the flag
+        assert reader.arf.read(3) == 77  # and the payload
+
+    def test_incoherence_recoveries_stay_on_the_racing_pair(self, style):
+        system, snapshot = _run_four_pairs(style)
+        assert system.pairs[0].recoveries >= 1
+        for pair in system.pairs[2:]:
+            assert pair.recoveries == 0, (
+                f"bystander pair {pair.pair_id} observed phantom incoherence"
+            )
+        # The per-pair stats snapshot mirrors the live counters.
+        for pair in system.pairs:
+            assert snapshot[f"pair{pair.pair_id}.recoveries"] == pair.recoveries
+            assert (
+                snapshot[f"pair{pair.pair_id}.sync_requests"] == pair.sync_requests
+            )
+
+    def test_sync_requests_only_from_pairs_that_recovered(self, style):
+        system, snapshot = _run_four_pairs(style)
+        prefix = "bus." if style == "snoopy" else "dir."
+        total_sync = snapshot.get(prefix + "sync_requests", 0)
+        assert total_sync == sum(pair.sync_requests for pair in system.pairs)
+        assert system.pairs[0].sync_requests >= 1
+        for pair in system.pairs[2:]:
+            assert pair.sync_requests == 0
+
+    def test_every_mute_contributes_phantom_traffic(self, style):
+        """All four mutes miss their cold caches, so fabric-level phantom
+        counters must reflect 4 pairs' worth of traffic — not just the
+        racing pair's."""
+        _, snapshot = _run_four_pairs(style)
+        prefix = "bus." if style == "snoopy" else "dir."
+        phantoms = sum(
+            value
+            for key, value in snapshot.items()
+            if key.startswith(prefix + "phantom_")
+        )
+        # Each pair's mute performs at least its program's cold misses.
+        assert phantoms >= 4
+
+    def test_bystander_registers_unaffected_by_the_race(self, style):
+        system, _ = _run_four_pairs(style)
+        assert system.vocal_cores[2].arf.read(2) == 11  # 5 + 6
+        assert system.vocal_cores[3].arf.read(2) == 15  # 7 + 8

@@ -2,7 +2,7 @@
 
 from repro.harness.report import render_series, render_table
 from repro.harness.runs import QUICK, Runner, Scale, category_average, current_scale
-from repro.sim.config import DEFAULT_CONFIG, Mode
+from repro.sim.config import DEFAULT_CONFIG, CacheStyle, Mode
 from repro.workloads import by_name, suite
 
 
@@ -50,7 +50,17 @@ class TestScale:
             current_scale()
 
 
-TINY = Scale("tiny", warmup=200, measure=400, seeds=(0,), config=QUICK.config)
+# Pinned to the shared-L2 substrate: the normalized-IPC shape bound
+# below is calibrated for the paper's artifact configuration, and a
+# 400-cycle window is far too noisy for it on the bus/directory
+# backends the REPRO_COHERENCE CI leg swaps in.
+TINY = Scale(
+    "tiny",
+    warmup=200,
+    measure=400,
+    seeds=(0,),
+    config=QUICK.config.replace(cache_style=CacheStyle.SHARED),
+)
 
 
 class TestRunner:

@@ -1,0 +1,81 @@
+"""Tests for the shared MSI protocol table (repro.memory.coherence).
+
+One table drives both private-cache backends — the snoopy bus indexes
+it with states derived from snoop responses, the directory backend with
+the home entry's recorded state — so these tests pin the table itself,
+independent of either backend.
+"""
+
+import pytest
+
+from repro.memory.cache import LineState
+from repro.memory.coherence import (
+    GETM,
+    GETS,
+    MSI_TRANSITIONS,
+    PUTM,
+    MSIState,
+    Transition,
+    transition,
+)
+
+
+class TestTableShape:
+    def test_every_entry_is_a_transition(self):
+        for (state, request), tr in MSI_TRANSITIONS.items():
+            assert state in (MSIState.INVALID, MSIState.SHARED, MSIState.MODIFIED)
+            assert request in (GETS, GETM, PUTM)
+            assert isinstance(tr, Transition)
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(ValueError):
+            transition(MSIState.INVALID, PUTM)
+        with pytest.raises(ValueError):
+            transition(99, GETS)
+
+
+class TestGetS:
+    def test_invalid_gets_grants_exclusive(self):
+        """A sole reader gets E — it may later write without a bus/home
+        transaction, so the global state must already be MODIFIED."""
+        tr = transition(MSIState.INVALID, GETS)
+        assert tr.next_state == MSIState.MODIFIED
+        assert tr.grant == LineState.EXCLUSIVE
+        assert not tr.fetch_owner and not tr.forward_sharer
+
+    def test_shared_gets_forwards_a_sharer(self):
+        tr = transition(MSIState.SHARED, GETS)
+        assert tr.next_state == MSIState.SHARED
+        assert tr.grant == LineState.SHARED
+        assert tr.forward_sharer and not tr.fetch_owner
+
+    def test_modified_gets_fetches_owner_and_writes_back(self):
+        tr = transition(MSIState.MODIFIED, GETS)
+        assert tr.next_state == MSIState.SHARED
+        assert tr.grant == LineState.SHARED
+        assert tr.fetch_owner and tr.writeback
+
+
+class TestGetM:
+    def test_invalid_getm_grants_modified_without_snooping(self):
+        tr = transition(MSIState.INVALID, GETM)
+        assert tr.next_state == MSIState.MODIFIED
+        assert tr.grant == LineState.MODIFIED
+        assert not (tr.fetch_owner or tr.forward_sharer or tr.invalidate_sharers)
+
+    def test_shared_getm_invalidates_sharers(self):
+        tr = transition(MSIState.SHARED, GETM)
+        assert tr.next_state == MSIState.MODIFIED
+        assert tr.invalidate_sharers and not tr.fetch_owner
+
+    def test_modified_getm_fetches_owner_and_invalidates(self):
+        tr = transition(MSIState.MODIFIED, GETM)
+        assert tr.next_state == MSIState.MODIFIED
+        assert tr.fetch_owner and tr.invalidate_sharers and tr.writeback
+
+
+class TestPutM:
+    def test_owner_writeback_returns_to_invalid(self):
+        tr = transition(MSIState.MODIFIED, PUTM)
+        assert tr.next_state == MSIState.INVALID
+        assert tr.writeback

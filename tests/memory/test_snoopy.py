@@ -1,6 +1,8 @@
 """Tests for the snoopy-bus Reunion implementation (Section 4.1's
 Montecito-style design point)."""
 
+import dataclasses
+
 import pytest
 
 from repro.isa import assemble
@@ -8,7 +10,13 @@ from repro.isa.interpreter import run as golden_run
 from repro.memory import Cache, LineState, MainMemory
 from repro.memory.snoopy import SnoopyBus
 from repro.sim.cmp import CMPSystem
-from repro.sim.config import BusConfig, CacheStyle, Mode, PhantomStrength
+from repro.sim.config import (
+    BusConfig,
+    CacheStyle,
+    CoherenceStyle,
+    Mode,
+    PhantomStrength,
+)
 from repro.sim.stats import Stats
 from tests.core.helpers import SMALL
 
@@ -104,7 +112,13 @@ class TestSnoopyMuteSemantics:
         assert l1s[1].lookup(8) is None
 
 
-SNOOPY_SMALL = SMALL.replace(cache_style=CacheStyle.SNOOPY)
+# Pin the bus coherence too: these tests are about the snoopy backend
+# specifically, so the REPRO_COHERENCE=directory CI leg must not retarget
+# them (SMALL honors the env var).
+SNOOPY_SMALL = SMALL.replace(
+    cache_style=CacheStyle.SNOOPY,
+    bus=dataclasses.replace(SMALL.bus, coherence=CoherenceStyle.SNOOPY),
+)
 
 LOOPY = """
     movi r1, 25

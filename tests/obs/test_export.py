@@ -105,3 +105,77 @@ class TestSummarize:
         assert "level=events" in text
         assert "fingerprint.compare" in text
         assert "recovery latency" in text
+
+
+class TestDirectoryEvents:
+    """Satellite of the directory backend: its traffic events reach the
+    log at ``full`` level and survive the Chrome-trace export."""
+
+    def _directory_run(self):
+        import dataclasses
+
+        from repro.isa import assemble
+        from repro.sim.cmp import CMPSystem
+        from repro.sim.config import CacheStyle, CoherenceStyle, Mode
+        from repro.sim.options import SimOptions
+        from tests.core.helpers import SMALL
+        from tests.core.test_pair_integration import TestInputIncoherence as Race
+
+        config = SMALL.replace(
+            n_logical=2,
+            cache_style=CacheStyle.SNOOPY,
+            bus=dataclasses.replace(SMALL.bus, coherence=CoherenceStyle.DIRECTORY),
+        ).with_redundancy(mode=Mode.REUNION, comparison_latency=10)
+        system = CMPSystem(
+            config,
+            [assemble(Race.READER), assemble(Race.WRITER)],
+            options=SimOptions(trace="full"),
+        )
+        system.run_until_idle(max_cycles=200_000)
+        assert not system.failed
+        return system.obs
+
+    def test_full_level_logs_directory_kinds(self):
+        from repro.obs.events import K_DIR_GETM, K_DIR_GETS, K_DIR_GRANT, K_DIR_INVAL
+
+        counts = self._directory_run().log.counts()
+        for kind in (K_DIR_GETS, K_DIR_GETM, K_DIR_GRANT, K_DIR_INVAL):
+            assert counts[kind] > 0, f"no {kind} records at full level"
+        # Every request arbitrates, so grants bound the request kinds.
+        assert counts[K_DIR_GRANT] >= counts[K_DIR_GETS] + counts[K_DIR_GETM]
+
+    def test_directory_events_reach_the_chrome_trace(self):
+        telemetry = self._directory_run()
+        trace = chrome_trace(telemetry, process_name="dir-test")["traceEvents"]
+        instants = {e["name"] for e in trace if e["ph"] == "i"}
+        assert "dir.grant" in instants
+        assert "dir.gets" in instants
+        grant = next(
+            e for e in trace if e["ph"] == "i" and e["name"] == "dir.grant"
+        )
+        assert {"bank", "cls", "line_addr"} <= set(grant["args"])
+
+    def test_events_level_stays_quiet(self):
+        """dir.* kinds are full-level diagnostics; the default events
+        level must not pay for them."""
+        import dataclasses
+
+        from repro.isa import assemble
+        from repro.sim.cmp import CMPSystem
+        from repro.sim.config import CacheStyle, CoherenceStyle, Mode
+        from repro.sim.options import SimOptions
+        from tests.core.helpers import SMALL
+
+        config = SMALL.replace(
+            n_logical=1,
+            cache_style=CacheStyle.SNOOPY,
+            bus=dataclasses.replace(SMALL.bus, coherence=CoherenceStyle.DIRECTORY),
+        ).with_redundancy(mode=Mode.REUNION)
+        system = CMPSystem(
+            config,
+            [assemble("movi r1, 0x400\nload r2, [r1]\nhalt")],
+            options=SimOptions(trace="events"),
+        )
+        system.run_until_idle(max_cycles=100_000)
+        counts = system.obs.log.counts()
+        assert not any(kind.startswith("dir.") for kind in counts)

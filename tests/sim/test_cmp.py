@@ -7,7 +7,7 @@ from repro.core.strict import StrictCheckGate
 from repro.isa import assemble
 from repro.pipeline.gates import ImmediateGate
 from repro.sim.cmp import CMPSystem
-from repro.sim.config import DEFAULT_CONFIG, Mode
+from repro.sim.config import DEFAULT_CONFIG, CacheStyle, Mode
 
 HALTING = "movi r1, 3\nloop:\naddi r1, r1, -1\nbne r1, r0, loop\nhalt"
 
@@ -48,8 +48,13 @@ class TestAssembly:
         assert system.cores[2].port.is_mute
 
     def test_reunion_scales_l2_banks(self):
-        base = CMPSystem(small(Mode.NONREDUNDANT), [assemble(HALTING)] * 2)
-        reunion = CMPSystem(small(Mode.REUNION), [assemble(HALTING)] * 2)
+        # A shared-L2 modeling choice; pinned to that backend.
+        shared = small(Mode.NONREDUNDANT).replace(cache_style=CacheStyle.SHARED)
+        base = CMPSystem(shared, [assemble(HALTING)] * 2)
+        reunion = CMPSystem(
+            small(Mode.REUNION).replace(cache_style=CacheStyle.SHARED),
+            [assemble(HALTING)] * 2,
+        )
         assert reunion.controller.config.banks == 2 * base.controller.config.banks
 
     def test_memory_images_merged(self):

@@ -6,16 +6,25 @@ import pytest
 
 from repro.sim.config import (
     DEFAULT_CONFIG,
+    MANYCORE_8,
+    MANYCORE_16,
+    MANYCORE_32,
     PAPER_TABLE1,
+    BusConfig,
+    CacheStyle,
+    CoherenceStyle,
     Consistency,
     CoreConfig,
     L1Config,
     L2Config,
+    MemoryConfig,
     Mode,
     PhantomStrength,
     RedundancyConfig,
     SystemConfig,
     TLBMode,
+    apply_env_coherence,
+    manycore_config,
 )
 
 
@@ -91,6 +100,110 @@ class TestValidation:
             CoreConfig(width=0)
         with pytest.raises(ValueError):
             CoreConfig(width=8, rob_size=4)
+
+    def test_system_needs_a_logical_processor(self):
+        with pytest.raises(ValueError, match="at least one logical"):
+            SystemConfig(n_logical=0)
+        with pytest.raises(ValueError, match="at least one logical"):
+            SystemConfig(n_logical=-2)
+
+    def test_line_sizes_must_match_across_levels(self):
+        with pytest.raises(ValueError, match="line sizes must match"):
+            SystemConfig(l1=L1Config(line_bytes=32), l2=L2Config(line_bytes=64))
+
+    def test_memory_latency_must_be_positive(self):
+        with pytest.raises(ValueError, match="latency"):
+            MemoryConfig(latency=0)
+
+    def test_l1_set_count_must_be_power_of_two(self):
+        # 1536 / (2 * 64) = 12 sets: divisible, but the index function
+        # needs a power of two.
+        with pytest.raises(ValueError, match="power of two"):
+            L1Config(size_bytes=1536, assoc=2)
+
+    def test_l2_bank_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            L2Config(banks=3)
+
+    def test_bus_directory_fields_validated(self):
+        with pytest.raises(ValueError, match="power of two"):
+            BusConfig(dir_banks=3)
+        with pytest.raises(ValueError, match="link latency"):
+            BusConfig(link_latency=-1)
+        with pytest.raises(ValueError, match="weights"):
+            BusConfig(wrr_vocal_weight=-1)
+        with pytest.raises(ValueError, match="weights"):
+            BusConfig(wrr_mute_weight=-2)
+
+
+class TestCoherenceStyle:
+    def test_default_bus_is_snoopy(self):
+        assert BusConfig().coherence is CoherenceStyle.SNOOPY
+
+    def test_coherence_lands_in_cache_keys(self):
+        """Backend choice changes results, so it must change job keys."""
+        from repro.exec.jobs import config_payload
+
+        # Set both fields explicitly: under the REPRO_COHERENCE CI leg
+        # DEFAULT_CONFIG may already carry a rewritten bus.
+        snoopy = DEFAULT_CONFIG.replace(
+            cache_style=CacheStyle.SNOOPY,
+            bus=dataclasses.replace(
+                DEFAULT_CONFIG.bus, coherence=CoherenceStyle.SNOOPY
+            ),
+        )
+        directory = snoopy.replace(
+            bus=dataclasses.replace(snoopy.bus, coherence=CoherenceStyle.DIRECTORY)
+        )
+        assert config_payload(snoopy) != config_payload(directory)
+        assert config_payload(snoopy)["bus"]["coherence"] == "snoopy"
+        assert config_payload(directory)["bus"]["coherence"] == "directory"
+
+    def test_apply_env_unset_is_identity(self):
+        assert apply_env_coherence(DEFAULT_CONFIG, {}) == DEFAULT_CONFIG
+
+    def test_apply_env_selects_each_backend(self):
+        shared = apply_env_coherence(DEFAULT_CONFIG, {"REPRO_COHERENCE": "shared"})
+        assert shared.cache_style is CacheStyle.SHARED
+        snoopy = apply_env_coherence(DEFAULT_CONFIG, {"REPRO_COHERENCE": "snoopy"})
+        assert snoopy.cache_style is CacheStyle.SNOOPY
+        assert snoopy.bus.coherence is CoherenceStyle.SNOOPY
+        directory = apply_env_coherence(
+            DEFAULT_CONFIG, {"REPRO_COHERENCE": "directory"}
+        )
+        assert directory.cache_style is CacheStyle.SNOOPY
+        assert directory.bus.coherence is CoherenceStyle.DIRECTORY
+
+    def test_apply_env_rejects_nonsense(self):
+        with pytest.raises(ValueError, match="REPRO_COHERENCE"):
+            apply_env_coherence(DEFAULT_CONFIG, {"REPRO_COHERENCE": "telepathy"})
+
+    def test_paper_table1_is_never_env_modified(self):
+        assert PAPER_TABLE1.cache_style is CacheStyle.SHARED
+
+
+class TestManycorePresets:
+    def test_core_counts(self):
+        assert MANYCORE_8.n_cores == 8
+        assert MANYCORE_16.n_cores == 16
+        assert MANYCORE_32.n_cores == 32
+
+    def test_presets_ride_the_directory_backend(self):
+        for preset in (MANYCORE_8, MANYCORE_16, MANYCORE_32):
+            assert preset.cache_style is CacheStyle.SNOOPY
+            assert preset.bus.coherence is CoherenceStyle.DIRECTORY
+            assert preset.redundancy.mode is Mode.REUNION
+
+    def test_interconnect_is_not_degenerate(self):
+        """The stock configs must exercise banking, links and WRR — the
+        degenerate settings exist only for the equivalence suite."""
+        assert MANYCORE_16.bus.dir_banks > 1
+        assert MANYCORE_16.bus.link_latency > 0
+        assert MANYCORE_16.bus.wrr_vocal_weight > MANYCORE_16.bus.wrr_mute_weight > 0
+
+    def test_manycore_config_scales_pairs_only(self):
+        a, b = manycore_config(2), manycore_config(16)
+        assert a.replace(n_logical=16) == b
 
 
 class TestDerivedConfigs:

@@ -13,7 +13,7 @@ from repro.core.faults import FaultInjector
 from repro.isa import assemble
 from repro.isa.interpreter import run as golden_run
 from repro.sim.config import Mode
-from tests.core.helpers import build
+from tests.core.helpers import SHARED_SMALL, build
 
 FIRST = """
     movi r1, 300
@@ -49,7 +49,10 @@ class TestDecouple:
         assert promoted.arf.read(3) == golden_second.read(3)
 
     def test_promoted_core_joins_coherence(self):
-        system = build([FIRST], mode=Mode.REUNION)
+        # Pinned: asserts against the shared backend's directory
+        # bookkeeping.  test_directory_backend.py::test_dual_use_works_
+        # on_directory covers the same transition on the new backend.
+        system = build([FIRST], mode=Mode.REUNION, config=SHARED_SMALL)
         system.run(100)
         promoted = system.decouple(0, assemble(SECOND))
         system.run_until_idle(max_cycles=500_000)
