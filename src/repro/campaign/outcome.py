@@ -74,7 +74,7 @@ class Outcome:
     absorbed: bool
     #: Attribution: the pair caught a divergence traceable to this fault.
     detected: bool
-    #: "fingerprint" | "count" | "poison" | "timeout" | "sync_divergence" | None.
+    #: "fingerprint" | "count" | "timeout" | "sync_divergence" | None.
     cause: str | None
     #: Injection-to-detection cycles (None when undetected).
     latency: int | None

@@ -29,6 +29,9 @@ from repro.pipeline.gates import NEVER
 from repro.pipeline.rob import DynInstr
 from repro.sim.config import RedundancyConfig
 
+#: Same 64-bit update-word domain as repro.core.fingerprint.
+_WORD_MASK_64 = (1 << 64) - 1
+
 
 @dataclass(slots=True)
 class IntervalRecord:
@@ -41,11 +44,6 @@ class IntervalRecord:
     serializing: bool
     has_sync: bool  # contains a synchronizing-request instruction
     has_halt: bool
-    #: Replay fast path: an instruction in this interval produced update
-    #: words differing from the vocal's trace — the exact condition under
-    #: which dual execution's fingerprints would mismatch.  The pair
-    #: treats a poisoned interval as a fingerprint mismatch.
-    poisoned: bool = False
 
 
 class CheckGate:
@@ -55,11 +53,35 @@ class CheckGate:
         from repro.core.fingerprint import FingerprintAccumulator
 
         self.config = config
-        self._accum = FingerprintAccumulator(
+        accum = FingerprintAccumulator(
             config.fingerprint_bits, config.two_stage_compression
         )
+        self._accum = accum
+        # The paper configs close an interval per instruction, so _close
+        # runs once per retired user instruction: with the 16-bit wide
+        # tables available, fold short word batches inline instead of
+        # paying add_words' per-call preamble.
+        self._fast_lt = (
+            accum._lt if (accum._lt is not None and accum.two_stage) else None
+        )
+        self._fast_mt = accum._mt
+        #: Partial-interval timeout (see maybe_timeout_close), hoisted out
+        #: of the per-cycle path — as are the interval length and the
+        #: comparison latency, which offer / pop_retirable / has_retirable
+        #: would otherwise chase through two attributes per instruction.
+        self._timeout_limit = max(8, config.fingerprint_interval // 2)
+        self._interval_len = config.fingerprint_interval
+        self._cmp_latency = config.comparison_latency
         # (entry, interval index or None for injected pass-through, offer cycle)
         self._pending: deque[tuple[DynInstr, int | None, int]] = deque()
+        #: Update words of the currently-open interval, captured at offer
+        #: time and hashed in one batched :meth:`FingerprintAccumulator.
+        #: add_words` call when the interval closes.  CRC chaining is
+        #: sequential over words, so hashing the concatenation at close is
+        #: bit-identical to hashing per instruction — but pays the table/
+        #: mask attribute preamble once per interval and unlocks the numpy
+        #: gather path for long intervals.
+        self._words: list[int] = []
         self._closed: deque[IntervalRecord] = deque()
         self._count = 0
         self._has_sync = False
@@ -73,20 +95,6 @@ class CheckGate:
         #: kernel must only schedule timeout-close wake-ups for paired
         #: gates — a StrictCheckGate never has its timeout invoked.
         self.paired = False
-        #: Replay fast path: when True, skip hashing offered instructions
-        #: into the accumulator.  Set symmetrically on BOTH gates of a
-        #: pair by LogicalPair.enable_replay — intervals then compare by
-        #: count/has_halt alone (0 == 0 for the unhashed fingerprints),
-        #: which is decision-identical because replayed windows are by
-        #: construction divergence-free.
-        self._skip_fp = False
-        #: Replay divergence detection (mute gate only): the open
-        #: interval absorbed an instruction whose update words differ
-        #: from the vocal's trace record at the same stream position.
-        self._poison_open = False
-        #: Offered instructions the vocal hadn't logged yet, awaiting a
-        #: deferred word comparison: (entry, stream index, interval index).
-        self._replay_checks: list[tuple[DynInstr, int, int]] = []
         #: Monotone counters for statistics.
         self.intervals_closed = 0
         self.fingerprints_compared = 0
@@ -105,8 +113,23 @@ class CheckGate:
             # of the queue — see pop_retirable.
             self._pending.append((entry, None, now))
             return
-        if not self._skip_fp:
-            self._accum.add_instruction(entry)
+        # Capture this instruction's architectural-update words (same
+        # selection as FingerprintAccumulator.add_instruction) into the
+        # open interval's buffer; the hash happens at _close.  Words are
+        # captured *now*, so a later squash of a checked entry leaves the
+        # fingerprint unchanged — exactly as the per-offer hashing did.
+        inst = entry.inst
+        words = self._words
+        if inst.writes_reg and entry.result is not None:
+            words.append(entry.result)
+        if inst.is_store and entry.addr is not None:
+            words.append(entry.addr)
+            if entry.store_value is not None:
+                words.append(entry.store_value)
+        if inst.is_atomic and entry.addr is not None:
+            words.append(entry.addr)
+        if inst.is_control and entry.actual_next is not None:
+            words.append(entry.actual_next)
         if entry.faulted:
             obs = self.obs
             if obs is not None:
@@ -128,7 +151,7 @@ class CheckGate:
         self._pending.append((entry, self._index, now))
         self._last_offer = now
         if (
-            self._count >= self.config.fingerprint_interval
+            self._count >= self._interval_len
             or entry.serializing
             or is_halt
             or self.single_step
@@ -151,21 +174,44 @@ class CheckGate:
         With long fingerprint intervals a drained pipeline would otherwise
         strand its last few instructions in check forever.
         """
-        limit = max(8, self.config.fingerprint_interval // 2)
-        if self._count and now - self._last_offer > limit:
+        if self._count and now - self._last_offer > self._timeout_limit:
             self._close(now)
 
     def _close(self, now: int) -> None:
+        accum = self._accum
+        words = self._words
+        if words:
+            lt = self._fast_lt
+            if lt is not None and len(words) < 64:
+                # Inline the accumulator's two-stage 16-bit lt/mt fold
+                # (bit-identical to add_words; see fingerprint.add_word's
+                # wide-table branch) — short intervals don't amortize the
+                # batched path's preamble, and interval length 1 is the
+                # paper default.
+                crc = accum._crc
+                mt = self._fast_mt
+                for word in words:
+                    word &= _WORD_MASK_64
+                    crc = lt[crc] ^ mt[
+                        (word ^ (word >> 16) ^ (word >> 32) ^ (word >> 48))
+                        & 0xFFFF
+                    ]
+                accum._crc = crc
+            else:
+                accum.add_words(words)
+            words.clear()
+        # Positional construction: this runs once per retired user
+        # instruction at the paper's interval length of 1, and the slots
+        # dataclass __init__ is measurably cheaper without keywords.
         self._closed.append(
             IntervalRecord(
-                index=self._index,
-                fingerprint=self._accum.digest(),
-                count=self._count,
-                close_cycle=now,
-                serializing=False,
-                has_sync=self._has_sync,
-                has_halt=self._has_halt,
-                poisoned=self._poison_open,
+                self._index,
+                accum._crc,
+                self._count,
+                now,
+                False,
+                self._has_sync,
+                self._has_halt,
             )
         )
         obs = self.obs
@@ -178,62 +224,12 @@ class CheckGate:
                 count=self._count,
                 fingerprint=self._closed[-1].fingerprint,
             )
-        self._accum.reset()
+        accum._crc = 0  # reset(), inlined
         self._count = 0
         self._has_sync = False
         self._has_halt = False
-        self._poison_open = False
         self._index += 1
         self.intervals_closed += 1
-
-    # -- replay fast path (mute gate only) ---------------------------------
-    def add_replay_check(self, entry: DynInstr, stream_index: int) -> None:
-        """Defer the word comparison for ``entry`` until the vocal logs it."""
-        self._replay_checks.append((entry, stream_index, self._index))
-
-    def poison_open(self) -> None:
-        """Mark the currently-open interval as containing a divergence."""
-        self._poison_open = True
-
-    def poison_interval(self, interval_index: int) -> None:
-        """Mark interval ``interval_index`` (open or closed) poisoned."""
-        if interval_index == self._index:
-            self._poison_open = True
-            return
-        for record in self._closed:
-            if record.index == interval_index:
-                record.poisoned = True
-                return
-        # Already popped: that comparison can only have mismatched on
-        # count (interval misalignment), so recovery is already pending.
-
-    def resolve_replay_checks(self, trace) -> bool:
-        """Run deferred word comparisons against newly-logged records.
-
-        Returns True when a divergence was found (a poison was placed).
-        Squashed entries are dropped: they re-offer after re-execution
-        with a fresh check, and their pre-squash content matches the
-        vocal's pre-squash records by the speculative-identity argument.
-        """
-        if not self._replay_checks:
-            return False
-        from repro.core.replay import entry_words, record_words
-
-        poisoned = False
-        keep = []
-        for item in self._replay_checks:
-            entry, stream_index, interval_index = item
-            if entry.squashed:
-                continue
-            rec = trace.get(stream_index)
-            if rec is None:
-                keep.append(item)
-                continue
-            if entry_words(entry) != record_words(rec):
-                self.poison_interval(interval_index)
-                poisoned = True
-        self._replay_checks = keep
-        return poisoned
 
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
         out: list[DynInstr] = []
@@ -249,7 +245,7 @@ class CheckGate:
                 # with the partner before younger instructions proceed —
                 # Section 4.4 applies to them exactly as to user code —
                 # so they wait a full comparison latency at the front.
-                if entry.serializing and now < offered + self.config.comparison_latency:
+                if entry.serializing and now < offered + self._cmp_latency:
                     break
                 pending.popleft()
                 out.append(entry)
@@ -260,6 +256,26 @@ class CheckGate:
             pending.popleft()
             out.append(entry)
         return out
+
+    def has_retirable(self, now: int) -> bool:
+        """Allocation-free precheck mirroring :meth:`pop_retirable`'s head test.
+
+        The hot loop calls this every cycle; squashed heads count as
+        "retirable" so the pop still discards them promptly.
+        """
+        pending = self._pending
+        if not pending:
+            return False
+        entry, index, offered = pending[0]
+        if entry.squashed:
+            return True
+        if index is None:
+            return (
+                not entry.serializing
+                or now >= offered + self._cmp_latency
+            )
+        retire_at = self._retire_time.get(index)
+        return retire_at is not None and retire_at <= now
 
     def next_release(self, now: int) -> int:
         """Conservative horizon: when could this gate next release work?
@@ -279,7 +295,7 @@ class CheckGate:
                 return now
             if index is None:
                 if entry.serializing:
-                    release = offered + self.config.comparison_latency
+                    release = offered + self._cmp_latency
                     return release if release > now else now
                 return now
             else:
@@ -289,8 +305,7 @@ class CheckGate:
         if self._count and self.paired:
             # The pair controller will force-close a lingering partial
             # interval one cycle past the timeout limit.
-            limit = max(8, self.config.fingerprint_interval // 2)
-            timeout = self._last_offer + limit + 1
+            timeout = self._last_offer + self._timeout_limit + 1
             if timeout <= now:
                 return now
             if timeout < wake:
@@ -326,9 +341,8 @@ class CheckGate:
         self._closed.clear()
         self._retire_time.clear()
         self._accum.reset()
+        self._words.clear()
         self._count = 0
         self._has_sync = False
         self._has_halt = False
-        self._poison_open = False
-        self._replay_checks.clear()
         self._index = 0

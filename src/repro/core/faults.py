@@ -177,9 +177,9 @@ class DetectionOutcome:
     #: fault (its interval's comparison mismatched, or a watchdog /
     #: sync-divergence recovery fired while the fault was pending).
     detected: bool
-    #: Detection mechanism: ``"fingerprint"``, ``"count"``, ``"poison"``
-    #: (mismatch causes), ``"timeout"`` or ``"sync_divergence"``
-    #: (recovery causes), else None.
+    #: Detection mechanism: ``"fingerprint"`` or ``"count"`` (mismatch
+    #: causes), ``"timeout"`` or ``"sync_divergence"`` (recovery
+    #: causes), else None.
     cause: str | None
     #: Cycles from injection to the detection event, when detected.
     latency: int | None
@@ -205,7 +205,7 @@ def attribute_detections(
     comparison:
 
     * comparison mismatched → detected (cause from the paired
-      ``fingerprint.mismatch`` record: fingerprint / count / poison);
+      ``fingerprint.mismatch`` record: fingerprint / count);
     * comparison matched → the upset aliased through the CRC;
     * a ``recovery.start`` with cause ``mismatch`` arrived first → some
       *other* divergence was detected and the rollback flushed the

@@ -17,6 +17,11 @@ aliasing probability — the trade the paper quantifies.
 
 from __future__ import annotations
 
+try:  # numpy accelerates table construction and large batches; optional.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
 from repro.pipeline.rob import DynInstr
 
 
@@ -69,6 +74,55 @@ def _table_for(bits: int) -> list[int]:
     return table
 
 
+#: Wide tables for the 16-bit CRC (the paper's configuration and the hot
+#: path): ``(LT16, MT16, MT16-as-ndarray-or-None)``, built lazily.
+_WIDE16: tuple | None = None
+
+
+def _wide_tables_16() -> tuple:
+    """Halfword-at-a-time tables for the 16-bit CRC.
+
+    One byte step is linear over GF(2) in its ``(crc, byte)`` input, so
+    the composition of two steps absorbing a 16-bit message ``m`` into
+    register ``crc`` splits exactly into independent contributions:
+    ``step2(crc, m) == LT16[crc] ^ MT16[m]`` with ``LT16[c] =
+    step2(c, 0)`` (advance the register 16 bits) and ``MT16[m] =
+    step2(0, m)`` (the message's contribution).  This turns the per-word
+    two-stage absorb into two list lookups and one XOR; the equivalence
+    is pinned against the byte path and the bit-serial reference in
+    ``tests/core/test_fingerprint_batched.py``.
+    """
+    global _WIDE16
+    if _WIDE16 is not None:
+        return _WIDE16
+    table = _table_for(16)
+    if _np is not None:
+        t = _np.array(table, dtype=_np.uint32)
+        c = _np.arange(65536, dtype=_np.uint32)
+        x = ((c << 8) ^ t[(c >> 8) & 0xFF]) & 0xFFFF
+        lt = ((x << 8) ^ t[(x >> 8) & 0xFF]) & 0xFFFF
+        m = _np.arange(65536, dtype=_np.uint32)
+        x = t[m & 0xFF]  # step(0, m_lo): register starts at zero
+        mt = ((x << 8) ^ t[((x >> 8) ^ (m >> 8)) & 0xFF]) & 0xFFFF
+        _WIDE16 = (lt.tolist(), mt.tolist(), mt.astype(_np.uint32))
+    else:  # pragma: no cover - exercised only without numpy
+        lt_list = []
+        mt_list = []
+        for v in range(65536):
+            x = ((v << 8) ^ table[(v >> 8) & 0xFF]) & 0xFFFF
+            lt_list.append(((x << 8) ^ table[(x >> 8) & 0xFF]) & 0xFFFF)
+            x = table[v & 0xFF]
+            mt_list.append(((x << 8) ^ table[((x >> 8) ^ (v >> 8)) & 0xFF]) & 0xFFFF)
+        _WIDE16 = (lt_list, mt_list, None)
+    return _WIDE16
+
+
+#: Batch size at which ``add_words`` switches its space-compression fold
+#: to one vectorized numpy pass (below it, ndarray setup costs more than
+#: the plain loop saves).
+_NP_BATCH_MIN = 64
+
+
 class FingerprintAccumulator:
     """Accumulates one fingerprint interval's worth of updates."""
 
@@ -81,6 +135,9 @@ class FingerprintAccumulator:
         "_shift",
         "_byte_shifts",
         "_poly",
+        "_lt",
+        "_mt",
+        "_mt_np",
     )
 
     def __init__(self, bits: int = 16, two_stage: bool = True) -> None:
@@ -93,6 +150,11 @@ class FingerprintAccumulator:
         self._poly = _POLYS[bits]
         self._mask = (1 << bits) - 1
         self._crc = 0
+        #: Halfword tables (16-bit CRCs only): ``_lt is not None`` routes
+        #: absorbs through the two-lookup wide step.
+        self._lt = None
+        self._mt = None
+        self._mt_np = None
         if bits < 8:
             # Narrow CRCs (aliasing experiments only) cannot hold a full
             # byte in the register, so they clock bit-serially; the
@@ -107,6 +169,8 @@ class FingerprintAccumulator:
         #: Byte lanes of one folded value (``bits`` wide), precomputed so
         #: the per-word absorb loop carries no range() construction.
         self._byte_shifts = tuple(range(0, bits, 8))
+        if bits == 16:
+            self._lt, self._mt, self._mt_np = _wide_tables_16()
 
     # -- narrow (bit-serial) path ------------------------------------------
     def _clock_bits(self, crc: int, value: int, nbits: int) -> int:
@@ -149,6 +213,21 @@ class FingerprintAccumulator:
         if self._table is None:
             self._add_word_narrow(word)
             return
+        lt = self._lt
+        if lt is not None:
+            # 16-bit wide step: two lookups per halfword of message.
+            mt = self._mt
+            crc = self._crc
+            if self.two_stage:
+                folded = (word ^ (word >> 16) ^ (word >> 32) ^ (word >> 48)) & 0xFFFF
+                crc = lt[crc] ^ mt[folded]
+            else:
+                crc = lt[crc] ^ mt[word & 0xFFFF]
+                crc = lt[crc] ^ mt[(word >> 16) & 0xFFFF]
+                crc = lt[crc] ^ mt[(word >> 32) & 0xFFFF]
+                crc = lt[crc] ^ mt[(word >> 48) & 0xFFFF]
+            self._crc = crc
+            return
         crc = self._crc
         table = self._table
         top_shift = self._shift
@@ -190,6 +269,39 @@ class FingerprintAccumulator:
             for word in words:
                 self._add_word_narrow(word & _WORD_MASK_64)
             return
+        lt = self._lt
+        if lt is not None:
+            mt = self._mt
+            crc = self._crc
+            if self.two_stage:
+                if self._mt_np is not None and len(words) >= _NP_BATCH_MIN:
+                    # Vectorize the space-compression stage: fold every
+                    # word to its 16-bit parity in one numpy pass and
+                    # gather the message contributions in one table
+                    # gather; only the inherently serial register chain
+                    # stays in the loop (one lookup + one XOR per word).
+                    w = _np.array(
+                        [word & _WORD_MASK_64 for word in words], dtype=_np.uint64
+                    )
+                    folded = (w ^ (w >> 16) ^ (w >> 32) ^ (w >> 48)) & _np.uint64(0xFFFF)
+                    for mv in self._mt_np[folded].tolist():
+                        crc = lt[crc] ^ mv
+                else:
+                    for word in words:
+                        word &= _WORD_MASK_64
+                        folded = (
+                            word ^ (word >> 16) ^ (word >> 32) ^ (word >> 48)
+                        ) & 0xFFFF
+                        crc = lt[crc] ^ mt[folded]
+            else:
+                for word in words:
+                    word &= _WORD_MASK_64
+                    crc = lt[crc] ^ mt[word & 0xFFFF]
+                    crc = lt[crc] ^ mt[(word >> 16) & 0xFFFF]
+                    crc = lt[crc] ^ mt[(word >> 32) & 0xFFFF]
+                    crc = lt[crc] ^ mt[(word >> 48) & 0xFFFF]
+            self._crc = crc
+            return
         crc = self._crc
         table = self._table
         top_shift = self._shift
@@ -222,6 +334,9 @@ class FingerprintAccumulator:
     def _absorb(self, value: int) -> None:
         if self._table is None:
             self._crc = self._clock_bits(self._crc, value & self._mask, self.bits)
+            return
+        if self._lt is not None:
+            self._crc = self._lt[self._crc] ^ self._mt[value & 0xFFFF]
             return
         crc = self._crc
         table = self._table

@@ -41,12 +41,18 @@ diff every observable between replay and dual mode to keep this honest.
 from __future__ import annotations
 
 from repro.core.check_stage import CheckGate, IntervalRecord
-from repro.pipeline.ooo_core import OoOCore, _Fetched
+from repro.pipeline.ooo_core import OoOCore
 from repro.pipeline.rob import DynInstr
 
 #: DynInstr fields copied verbatim (everything except the entry-graph
-#: reference field ``dependents``, fixed up in a second pass).
-_ENTRY_SCALARS = tuple(s for s in DynInstr.__slots__ if s != "dependents")
+#: reference fields ``dependents``, ``wait_on`` and ``prev_producer``,
+#: fixed up in a second pass — copying them verbatim would alias the
+#: mute's graph into the vocal's live entries).
+_ENTRY_SCALARS = tuple(
+    s
+    for s in DynInstr.__slots__
+    if s not in ("dependents", "wait_on", "prev_producer")
+)
 
 #: OoOCore counters a mirror sync copies vocal -> mute.
 MIRRORED_COUNTERS = (
@@ -117,6 +123,8 @@ def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> No
             for name in _ENTRY_SCALARS:
                 setattr(copied, name, getattr(entry, name))
             copied.dependents = []
+            copied.wait_on = None  # placeholders until the fixup pass
+            copied.prev_producer = None
             clones[id(entry)] = copied
             worklist.append(entry)
         return copied
@@ -129,9 +137,6 @@ def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> No
     )
     mute._ser_heap = [(s, clone(e)) for (s, e) in vocal._ser_heap]
     mute.rename = {reg: clone(e) for reg, e in vocal.rename.items()}
-    mute._prev_producer = {
-        seq: clone(e) for seq, e in vocal._prev_producer.items()
-    }
     mute.sync_request = clone(vocal.sync_request)
     mute.resume_normal_after = clone(vocal.resume_normal_after)
 
@@ -144,13 +149,13 @@ def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> No
         copied.dependents = [
             (clone(dep), slot) for dep, slot in original.dependents
         ]
+        copied.wait_on = clone(original.wait_on)
+        copied.prev_producer = clone(original.prev_producer)
         index += 1
 
     # -- frontend -------------------------------------------------------
-    mute.fetch_queue = type(vocal.fetch_queue)(
-        _Fetched(f.ready_cycle, f.pc, f.inst, f.injected, f.predicted_next, f.fill_addr)
-        for f in vocal.fetch_queue
-    )
+    # Fetch-queue entries are immutable tuples: a shallow copy suffices.
+    mute.fetch_queue = type(vocal.fetch_queue)(vocal.fetch_queue)
     mute.injection = type(vocal.injection)(vocal.injection)
     mute._injection_resume = vocal._injection_resume
     mute.fetch_stalled = vocal.fetch_stalled
@@ -161,6 +166,9 @@ def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> No
     # -- backend scalars ------------------------------------------------
     mute._next_seq = vocal._next_seq
     mute._check_pending = vocal._check_pending
+    mute._unchecked = type(vocal._unchecked)(
+        clone(e) for e in vocal._unchecked
+    )
     mute.single_step = vocal.single_step
     mute.drain = type(vocal.drain)(vocal.drain)
     mute.sb_count = vocal.sb_count
@@ -185,7 +193,6 @@ def _materialize_gate(vocal_gate: CheckGate, mute_gate: CheckGate, clone) -> Non
             serializing=r.serializing,
             has_sync=r.has_sync,
             has_halt=r.has_halt,
-            poisoned=r.poisoned,
         )
         for r in vocal_gate._closed
     )
@@ -196,6 +203,5 @@ def _materialize_gate(vocal_gate: CheckGate, mute_gate: CheckGate, clone) -> Non
     mute_gate._index = vocal_gate._index
     mute_gate._last_offer = vocal_gate._last_offer
     mute_gate._accum._crc = vocal_gate._accum._crc
+    mute_gate._words = list(vocal_gate._words)
     mute_gate.single_step = vocal_gate.single_step
-    mute_gate._poison_open = False
-    mute_gate._replay_checks.clear()

@@ -29,14 +29,12 @@ import enum
 
 from repro.core.check_stage import CheckGate
 from repro.core.mirror import materialize, sync_counters
-from repro.core.replay import ReplayTrace
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.semantics import atomic_result
 from repro.memory.l2_controller import SharedL2Controller
 from repro.pipeline.gates import NEVER
 from repro.pipeline.ooo_core import OoOCore
-from repro.pipeline.rob import DynState
 from repro.sim.config import SystemConfig
 
 #: Base address of the (per-core, uncontended) interrupt vector data.
@@ -92,16 +90,13 @@ class LogicalPair:
         vocal.pair = self
         mute.pair = self
 
-        # Replay fast path (see repro.core.replay).
+        #: Replay fast path == mirror window (see repro.core.mirror): the
+        #: mute core is not stepped at all while the pair is provably
+        #: symmetric; its state is materialized from the vocal's when the
+        #: window ends, after which the pair permanently falls back to
+        #: dual execution.  ``replay_enabled`` is True exactly while a
+        #: window is open.
         self.replay_enabled = False
-        self._replay_trace: ReplayTrace | None = None
-        #: Highest fingerprint-interval index that may contain unhashed
-        #: instructions (replay was active for part of it); such
-        #: intervals compare by count/has_halt alone.  -1 = none.
-        self._replay_trusted = -1
-        #: Mirror window (see repro.core.mirror): the mute core is not
-        #: stepped at all while the pair is provably symmetric; its state
-        #: is materialized from the vocal's when the window ends.
         self._mirror_active = False
         #: Cycles covered by the mirror window.  Diagnostic only — dual
         #: execution reports 0, so this must never be folded into
@@ -133,39 +128,30 @@ class LogicalPair:
         #: (cycle, cause) per recovery — detection-latency analysis.
         self.recovery_log: list[tuple[int, str]] = []
 
-    # -- replay fast path ------------------------------------------------
+    # -- replay fast path (mirror windows) --------------------------------
     def enable_replay(self) -> None:
-        """Drive the mute from the vocal's value trace (bit-identical).
+        """Arm the mirror-window fast path (bit-identical to dual).
 
-        Call before execution starts.  The vocal logs its in-order
-        check-stage stream into a shared :class:`ReplayTrace`; the mute
-        binds dispatched instructions to those records and reuses the
-        values instead of recomputing them.  Both gates stop hashing
-        fingerprints — intervals compare by count/has_halt, which is
-        decision-identical because replayed windows are by construction
-        divergence-free.  See :mod:`repro.core.replay` for the contract.
+        Call before execution starts.  From reset, vocal and mute are
+        bit-identical automata until the first memory / serializing /
+        injected / HALT instruction enters the vocal's frontend — so the
+        mute is not stepped at all; its state is materialized from the
+        vocal's when the window ends (see :mod:`repro.core.mirror`), and
+        the pair then permanently falls back to dual execution.
+
+        The vocal's check gate keeps hashing fingerprints throughout the
+        window, so its accumulator — copied to the mute by
+        materialization — always holds exactly the CRC dual execution
+        would hold, squash re-hash effects included.  Bit-identity to
+        dual is therefore structural, not argued per event.
+
+        Only armed from pristine state (the symmetry induction base)
+        with no observers attached; otherwise the pair simply runs dual.
         """
         if self.replay_enabled:
             return
-        trace = ReplayTrace()
-        self._replay_trace = trace
-        self.vocal.replay_log = trace
-        self.mute.replay_trace = trace
-        self.mute._replay_cursor = self.mute.user_retired
-        self.mute._replay_synced = True
-        self.mute._replay_offer_cursor = self.mute.user_retired
-        self.mute._replay_diverged = False
-        self.vocal.gate._skip_fp = True  # type: ignore[attr-defined]
-        self.mute.gate._skip_fp = True  # type: ignore[attr-defined]
-        self.replay_enabled = True
-        # Mirror window: from reset, vocal and mute are bit-identical
-        # automata until the first memory / serializing / injected
-        # instruction enters the vocal's frontend — so don't step the
-        # mute at all; materialize its state at window exit.  Only armed
-        # from pristine state (the symmetry induction base) with no
-        # observers attached.
         vocal, mute = self.vocal, self.mute
-        if (
+        if not (
             vocal.cycles == 0
             and mute.cycles == 0
             and not vocal.rob
@@ -180,52 +166,28 @@ class LogicalPair:
             and vocal.tracer is None
             and mute.tracer is None
         ):
-            self._mirror_active = True
-            vocal.mirror_watch = True
-            vocal.mirror_trigger = False
-            mute.mirror_passive = True
-            if self.obs is not None:
-                self.obs.emit("mirror.open", vocal.cycles, self._obs_source)
+            return
+        self.replay_enabled = True
+        self._mirror_active = True
+        vocal.mirror_watch = True
+        vocal.mirror_trigger = False
+        mute.mirror_passive = True
+        if self.obs is not None:
+            self.obs.emit("mirror.open", vocal.cycles, self._obs_source)
 
     def disable_replay(self) -> None:
-        """Fall back to full dual execution (fault armed, or decoupling).
-
-        Safe mid-run: not-yet-issued bound entries are unbound so a
-        fault hook's corruption propagates to consumers exactly as in
-        dual mode, and intervals that were partially unhashed on either
-        gate keep comparing by count until recovery renumbers them.
-        """
-        if not self.replay_enabled:
-            return
+        """Fall back to full dual execution (fault armed, or decoupling)."""
         if self._mirror_active:
             self._exit_mirror()
-        trusted = -1
-        for gate in (self.vocal.gate, self.mute.gate):
-            idx = gate._index if gate.open_count else gate._index - 1
-            trusted = max(trusted, idx)
-            gate._skip_fp = False
-        self._replay_trusted = max(self._replay_trusted, trusted)
-        self.vocal.replay_log = None
-        self.mute.replay_trace = None
-        for entry in self.mute.rob:
-            if entry.replay is not None and entry.state == DynState.DISPATCHED:
-                entry.replay = None
-        # Unresolved deferred checks fall under the count-only compare
-        # of the trusted window; placed poisons (definite divergences)
-        # are kept.
-        self.mute.gate._replay_checks.clear()  # type: ignore[attr-defined]
-        self._replay_trace = None
-        self.replay_enabled = False
 
     def _exit_mirror(self) -> None:
-        """End the mirror window: reconstruct the mute from the vocal.
+        """End the mirror window: materialize the mute, fall back to dual.
 
         The copied state is exactly what dual execution's mute would hold
-        at this cycle boundary (the window was symmetric), so normal
-        per-cycle stepping resumes seamlessly.  The conservative replay
-        layer stays enabled; its cursors are re-anchored to the vocal's
-        log position, which equals the committed-stream position of the
-        mute's next offer.
+        at this cycle boundary (the window was symmetric, and the vocal's
+        gate hashed fingerprints normally throughout), so normal
+        per-cycle dual stepping resumes seamlessly and every subsequent
+        comparison decision is bit-equal to dual execution's.
         """
         vocal, mute = self.vocal, self.mute
         if self.obs is not None:
@@ -237,16 +199,14 @@ class LogicalPair:
                 user_retired=vocal.user_retired,
             )
         materialize(vocal, mute, obs=self.obs, source=self._obs_source)
-        trace = self._replay_trace
-        if trace is not None:
-            end = len(trace)
-            mute._replay_offer_cursor = end
-            mute._replay_cursor = end
-            mute._replay_synced = False
-            mute._replay_diverged = False
         self.mirror_cycles += vocal.cycles
         self._mirror_active = False
+        self.replay_enabled = False
         vocal.mirror_watch = False
+        # The mute re-enters the step loop (and the vocal's gate state
+        # just changed shape): both skip caches are stale.
+        vocal._skip_until = 0
+        mute._skip_until = 0
         vocal.mirror_trigger = False
         mute.mirror_passive = False
 
@@ -321,7 +281,9 @@ class LogicalPair:
                         matched=True,
                     )
             vocal_gate.fingerprints_compared += compared
-        self._replay_trace.trim(vocal.user_retired)
+            # Cleared intervals open the vocal's retire path at a cycle
+            # its cached skip horizon could not have known about.
+            vocal._skip_until = 0
 
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
@@ -333,37 +295,32 @@ class LogicalPair:
                 self._step_mirror(now)
                 return
             self._exit_mirror()
-        if self.replay_enabled:
-            if self.vocal.fault_hook is not None or self.mute.fault_hook is not None:
-                # Latch: a fault injector armed this pair — the mute must
-                # recompute (and hash) everything from here on so the
-                # corruption is detected exactly as in dual execution.
-                self.disable_replay()
-            else:
-                self._replay_trace.trim(self.mute.user_retired)
         vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
         mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
-        vocal_gate.maybe_timeout_close(now)
-        mute_gate.maybe_timeout_close(now)
-        if self.replay_enabled:
-            # Resolve deferred word comparisons before any interval
-            # compare can pop the affected records.
-            if mute_gate.resolve_replay_checks(self._replay_trace):
-                self.mute._replay_diverged = True
+        # maybe_timeout_close, inlined: this runs every pair-cycle and
+        # pair gates are always plain CheckGates (never Strict), so the
+        # attribute test replaces two method calls.
+        if vocal_gate._count and now - vocal_gate._last_offer > vocal_gate._timeout_limit:
+            vocal_gate._close(now)
+        if mute_gate._count and now - mute_gate._last_offer > mute_gate._timeout_limit:
+            mute_gate._close(now)
 
         if self.state is PairState.WAIT_RECOVERY:
             if now >= self._recovery_at:
                 self._begin_recovery(now)
             return
 
-        self._compare_intervals(now)
-        if self.state is PairState.WAIT_RECOVERY:
-            if now >= self._recovery_at:
-                self._begin_recovery(now)
-            return
+        if vocal_gate._closed and mute_gate._closed:
+            self._compare_intervals(now)
+            if self.state is PairState.WAIT_RECOVERY:
+                if now >= self._recovery_at:
+                    self._begin_recovery(now)
+                return
 
-        self._service_sync_requests(now)
-        self._watchdog(now)
+        if self.vocal.sync_request is not None and self.mute.sync_request is not None:
+            self._service_sync_requests(now)
+        if vocal_gate._closed or mute_gate._closed:
+            self._watchdog(now)
 
         if self._exit_single_step_at is not None and now >= self._exit_single_step_at:
             self._exit_single_step(now)
@@ -425,20 +382,23 @@ class LogicalPair:
         mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
         latency = self.redundancy.comparison_latency
         obs = self.obs
-        while True:
-            a = vocal_gate.peek_closed()
-            b = mute_gate.peek_closed()
-            if a is None or b is None:
-                return
-            vocal_gate.pop_closed()
-            mute_gate.pop_closed()
+        vocal_closed = vocal_gate._closed
+        mute_closed = mute_gate._closed
+        vocal_retire = vocal_gate._retire_time
+        mute_retire = mute_gate._retire_time
+        # Both sides have a closed interval, so at least one comparison
+        # happens below: the cores' cached skip horizons predate the
+        # retire times being set here.
+        self.vocal._skip_until = 0
+        self.mute._skip_until = 0
+        while vocal_closed and mute_closed:
+            a = vocal_closed.popleft()
+            b = mute_closed.popleft()
             ready = max(a.close_cycle, b.close_cycle) + latency
             matched = (
-                (a.fingerprint == b.fingerprint or a.index <= self._replay_trusted)
+                a.fingerprint == b.fingerprint
                 and a.count == b.count
                 and a.has_halt == b.has_halt
-                and not a.poisoned
-                and not b.poisoned
             )
             if obs is not None:
                 obs.emit(
@@ -452,8 +412,11 @@ class LogicalPair:
                     matched=matched,
                 )
             if matched:
-                vocal_gate.clear_interval(a.index, ready)
-                mute_gate.clear_interval(b.index, ready)
+                # clear_interval on both gates, inlined.
+                vocal_retire[a.index] = ready
+                vocal_gate.fingerprints_compared += 1
+                mute_retire[b.index] = ready
+                mute_gate.fingerprints_compared += 1
                 if self.state is PairState.SINGLE_STEP and (a.has_sync or a.has_halt):
                     # Recovery has made forward progress through the
                     # synchronizing access: resume normal execution.
@@ -461,9 +424,7 @@ class LogicalPair:
                 continue
             # Divergence detected when the fingerprints arrive.
             if obs is not None:
-                if a.poisoned or b.poisoned:
-                    why = "poison"
-                elif a.count != b.count or a.has_halt != b.has_halt:
+                if a.count != b.count or a.has_halt != b.has_halt:
                     why = "count"
                 else:
                     why = "fingerprint"
@@ -496,6 +457,8 @@ class LogicalPair:
     # -- the re-execution protocol ------------------------------------------------
     def _begin_recovery(self, now: int) -> None:
         """Rollback both cores to safe state and enter single-step mode."""
+        self.vocal._skip_until = 0
+        self.mute._skip_until = 0
         if self._recovery_escalate and self.phase >= 2:
             # Phase two already failed: unrecoverable (fingerprint
             # aliasing let a soft error retire).  Signal failure.
@@ -553,9 +516,6 @@ class LogicalPair:
                 resume_pc=resume,
                 penalty=penalty,
             )
-        # Gate flush restarted interval numbering, so the unhashed-
-        # interval exemption from a mid-run replay disable is void.
-        self._replay_trusted = -1
         self.state = PairState.SINGLE_STEP
         self._exit_single_step_at = None
 
@@ -563,6 +523,7 @@ class LogicalPair:
         for core in (self.vocal, self.mute):
             core.single_step = False
             core.gate.single_step = False  # type: ignore[attr-defined]
+            core._skip_until = 0
         if self.obs is not None:
             self.obs.emit(
                 "recovery.resume", now, self._obs_source, phase=self.phase
@@ -594,6 +555,8 @@ class LogicalPair:
             # executes: recover now, before anything becomes visible.
             self.vocal.sync_request = None
             self.mute.sync_request = None
+            self.vocal._skip_until = 0
+            self.mute._skip_until = 0
             self.mismatch_recoveries += 1
             self._schedule_recovery(
                 now,

@@ -1,45 +1,30 @@
-"""The mute-core replay fast path: the vocal's speculative value trace.
+"""Committed-stream value logging (the RepTFD-style recording substrate).
 
 RepTFD and MEEK observe that in fault-free, race-free windows a checker
 core re-executing the leader's instruction stream computes — by
-definition — exactly the values the leader already computed.  Simulating
-that recomputation is pure overhead.  This module provides the shared
-log that lets the mute core of a :class:`~repro.core.pair.LogicalPair`
-*replay* the vocal core's results instead of recomputing them, while
-every timing-relevant structure (the mute's L1, phantom requests, MSHRs,
-check-stage occupancy, branch-predictor redirects) is still modeled
-cycle-accurately.
+definition — exactly the values the leader already computed.  This
+module provides the value log for that style of decoupled, replay-based
+checking: when a :class:`ReplayTrace` is attached to a core's
+``replay_log`` hook, the core records its in-order check-stage value
+stream, squash-consistently (entries re-squashed by traps, interrupts or
+recoveries are truncated and re-logged).
 
-The contract is **bit identity**: a system built with
-``CMPSystem(execution="replay")`` must produce exactly the same
-``Stats``, architectural register state, fingerprint-comparison
-sequence, and recovery/timeout cycle counts as ``execution="dual"``.
-That holds because a replayed value is only ever substituted where the
-dual-execution value is *guaranteed equal*:
-
-* the system has a single logical pair and no other cores, so no third
-  party can hold a writable copy of a line the mute loads (no input
-  incoherence, Section 3 of the paper);
-* no fault injector is attached to either core (the pair disables
-  replay the moment one is — see ``LogicalPair.disable_replay``);
-* the mute only binds trace records while provably on the committed
-  control-flow path (the sync/resync protocol in
-  :mod:`repro.pipeline.ooo_core`).
-
-The trace is *speculative at the tail*: the vocal logs entries when they
-enter the check stage (in-order, completed, all older branches
-resolved), which can precede retirement.  Entries squashed after that
-point — trap, interrupt, or recovery squashes — are truncated and later
-re-logged; the mute may have bound a since-truncated record, which is
-harmless because the vocal's squashed speculative execution and the
-mute's squashed speculative execution compute identical values from the
-identical pre-squash architectural state.
+The live replay *fast path* no longer consumes this log: the pair's
+mirror window (see :mod:`repro.core.mirror`) is self-contained — it
+skips the mute only while the pair is a provably symmetric automaton and
+falls back to full dual execution afterwards, so no per-instruction
+value substitution happens anywhere.  The log remains the recording
+substrate for decoupled offline checking (ROADMAP item 4) and for the
+word-level fingerprint utilities below, which the differential tests use
+to reason about interval contents without hashing.
 
 Records are plain tuples ``(pc, result, addr, store_value, actual_next,
-inst)`` indexed by committed user-instruction number.  The log is
-bounded: the pair trims records the mute has retired past (a recovery
-can never roll back below the retired prefix), so the live window is at
-most the vocal-to-mute skew the fingerprint flow control already bounds.
+inst)`` indexed by committed user-instruction number.  The trace is
+*speculative at the tail*: the vocal logs entries when they enter the
+check stage (in-order, completed, all older branches resolved), which
+can precede retirement.  The log is bounded: callers trim records below
+the consumer's retired prefix (a recovery can never roll back below it),
+keeping the backing list a small sliding window.
 """
 
 from __future__ import annotations

@@ -15,6 +15,7 @@ cache hit would say nothing about the simulator.
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from dataclasses import asdict, dataclass, field
@@ -31,6 +32,12 @@ BENCH_SCHEMA = 1
 #: and the check should catch accidental algorithmic regressions
 #: (an O(n) retire loop, a lost horizon), not scheduler noise.
 REGRESSION_FACTOR = 3.0
+
+#: Replay execution must stay within 5% of dual on every exec-comparison
+#: scenario.  The mirror window is one-shot and its arm/exit costs are
+#: O(1), so even where it barely engages (the memory-bound chase) replay
+#: should time out at parity with dual, not below it.
+REPLAY_SPEEDUP_FLOOR = 0.95
 
 #: Telemetry's zero-cost-when-off contract has a hot side too: an
 #: *armed* run may not slow the simulator by more than this factor
@@ -65,12 +72,14 @@ class KernelComparison:
 class ExecComparison:
     """Dual vs. replay execution on one single-pair Reunion workload.
 
-    The replay fast path (see :mod:`repro.core.replay` and
-    :mod:`repro.core.mirror`) pays off most where redundant execution's
-    cost is pure pipeline simulation, so the headline artifact is the
-    compute-bound kernel; the memory-bound chase bounds the overhead in
-    the fast path's worst case.  ``identical`` diffs the full Stats
-    snapshots — the bit-identity contract, enforced on every bench run.
+    The replay fast path — a mirror window from reset, then permanent
+    dual fallback (see :mod:`repro.core.mirror`) — pays off most where
+    redundant execution's cost is pure pipeline simulation, so the
+    headline artifact is the compute-bound kernel; the memory-bound
+    chase bounds the overhead in the fast path's worst case (its window
+    closes at the first load fetch, after which replay *is* dual).
+    ``identical`` diffs the full Stats snapshots — the bit-identity
+    contract, enforced on every bench run.
     """
 
     name: str
@@ -119,6 +128,11 @@ class DirectoryScenario:
     recoveries: int
     sync_requests: int
     phantom_reads: int
+    #: Total mirrored cycles across all pairs (replay execution is the
+    #: default even at MANYCORE scale: every pair arms a window from
+    #: reset and exits it at its first load fetch).  Zero would mean the
+    #: fast path silently stopped arming on many-pair systems.
+    mirror_cycles: int = 0
 
 
 @dataclass
@@ -232,7 +246,7 @@ class BenchReport:
                 "",
                 "directory scenario (many-pair Reunion on home-node directories):",
                 f"{'artifact':<28}{'pairs':>6}{'wall s':>10}{'cycles/s':>12}"
-                f"{'recov':>7}{'sync':>7}{'phantom':>9}",
+                f"{'recov':>7}{'sync':>7}{'phantom':>9}{'mirror':>8}",
                 "-" * 79,
             ]
             for sc in self.directory_scenario:
@@ -240,6 +254,7 @@ class BenchReport:
                     f"{sc.name:<28}{sc.pairs:>6}{sc.wall_s:>10.3f}"
                     f"{sc.cycles_per_s:>12,.0f}{sc.recoveries:>7}"
                     f"{sc.sync_requests:>7}{sc.phantom_reads:>9,}"
+                    f"{sc.mirror_cycles:>8,}"
                 )
         if self.profile:
             lines += ["", "profile (wall seconds by bench component):"]
@@ -319,7 +334,7 @@ def _compare_kernels_on(
 
 
 def run_exec_comparison(
-    scale, cycles: int = 120_000, compute_only: bool = False
+    scale, cycles: int = 120_000, compute_only: bool = False, repeats: int = 3
 ) -> list[ExecComparison]:
     """Time a single Reunion pair under dual and replay execution.
 
@@ -327,6 +342,11 @@ def run_exec_comparison(
     mirror window covers essentially the whole run); the memory-bound
     chase bounds the fast path's overhead where it can barely engage.
     Stats snapshots are diffed to enforce the bit-identity contract.
+
+    Wall times are the minimum over ``repeats`` fresh systems per side
+    (the same scheduler-noise defence as the telemetry comparison): the
+    memory-bound run finishes in ~0.1s, where a single timing pass can
+    swing past the replay-vs-dual floor check_regression enforces.
     """
     from repro.sim.cmp import CMPSystem
     from repro.sim.options import SimOptions
@@ -344,15 +364,17 @@ def run_exec_comparison(
         schedules = workload.itlb_schedules(config.n_logical, seed)
         results = {}
         for execution in ("dual", "replay"):
-            system = CMPSystem(
-                config,
-                programs,
-                schedules,
-                options=SimOptions(kernel="event", execution=execution),
-            )
-            start = time.perf_counter()
-            system.run(cycles)
-            wall = time.perf_counter() - start
+            wall = math.inf
+            for _ in range(repeats):
+                system = CMPSystem(
+                    config,
+                    programs,
+                    schedules,
+                    options=SimOptions(kernel="event", execution=execution),
+                )
+                start = time.perf_counter()
+                system.run(cycles)
+                wall = min(wall, time.perf_counter() - start)
             results[execution] = (wall, dict(system.collect_stats().snapshot()))
         dual_wall, dual_stats = results["dual"]
         replay_wall, replay_stats = results["replay"]
@@ -473,6 +495,7 @@ def run_directory_scenario(
                 recoveries=sum(pair.recoveries for pair in system.pairs),
                 sync_requests=int(stats.get("dir.sync_requests", 0)),
                 phantom_reads=phantoms,
+                mirror_cycles=sum(pair.mirror_cycles for pair in system.pairs),
             )
         )
     return scenarios
@@ -622,6 +645,11 @@ def check_regression(
         if not cmp_.identical:
             problems.append(
                 f"{cmp_.name}: dual and replay execution produced different Stats"
+            )
+        if cmp_.speedup < REPLAY_SPEEDUP_FLOOR:
+            problems.append(
+                f"{cmp_.name}: replay runs at {cmp_.speedup:.2f}x dual "
+                f"(floor {REPLAY_SPEEDUP_FLOOR:g}x)"
             )
     for cmp_ in current.telemetry_comparison:
         if not cmp_.identical:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import gc
 import hashlib
 import json
 from dataclasses import dataclass
@@ -103,20 +104,47 @@ class SampleJob:
         return f"{self.workload_name}/{mode}/seed{self.seed}/{self.warmup}+{self.measure}"
 
 
+#: Resolved workload instances by lowercased name.  Workloads are
+#: stateless (programs are a pure function of ``seed``), so handing every
+#: job the same instance is result-neutral — and it makes the per-instance
+#: program-generation memo (:mod:`repro.sim.sampling`) hit across the
+#: jobs that share a workload, instead of regenerating identical programs
+#: once per redundancy mode.
+_RESOLVED: dict = {}
+
+
 def resolve_workload(name: str) -> "Workload":
     """Find a workload by name across the Table 2 suite and the micros."""
     from repro.workloads import suite
     from repro.workloads.micro import micro_suite
 
+    key = name.lower()
+    workload = _RESOLVED.get(key)
+    if workload is not None:
+        return workload
     for workload in [*suite(), *micro_suite()]:
-        if workload.name.lower() == name.lower():
-            return workload
+        _RESOLVED.setdefault(workload.name.lower(), workload)
+    if key in _RESOLVED:
+        return _RESOLVED[key]
     raise KeyError(f"unknown workload {name!r}")
 
 
 def run_job(job: SampleJob) -> Sample:
-    """Execute one job in this process.  Also the worker entry point."""
+    """Execute one job in this process.  Also the worker entry point.
+
+    Generational GC is paused for the duration of the sample: the
+    simulator allocates millions of short-lived DynInstr graphs whose
+    liveness is acyclic (reference counting frees them promptly), so
+    collector sweeps are pure overhead on the hot loop.
+    """
     workload = resolve_workload(job.workload_name)
-    return run_sample(
-        job.config, workload, job.warmup, job.measure, job.seed, options=job.options
-    )
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        return run_sample(
+            job.config, workload, job.warmup, job.measure, job.seed, options=job.options
+        )
+    finally:
+        if was_enabled:
+            gc.enable()

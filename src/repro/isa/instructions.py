@@ -28,6 +28,36 @@ NUM_REGS = 32
 _IMM_FORM_OPS = frozenset({Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.MOVI})
 
 
+def _op_traits(op: Op) -> tuple:
+    """Classification tuple for one opcode, in ``__post_init__`` order.
+
+    Every flag except ``writes_reg`` is a pure function of the opcode, and
+    ``writes_reg`` depends only on the opcode and ``rd != 0`` — so the whole
+    set-membership battery runs once per opcode, not once per constructed
+    instruction (program generation builds tens of thousands of them).
+    The final element is ``writes_reg`` assuming a nonzero ``rd``.
+    """
+    is_alu = op in REG_REG_OPS or op in REG_IMM_OPS
+    return (
+        is_alu,
+        op in MEM_READ_OPS or op in MEM_WRITE_OPS,  # is_mem
+        op in MEM_READ_OPS,  # is_load
+        op in MEM_WRITE_OPS,  # is_store
+        op is Op.ATOMIC or op is Op.CAS,  # is_atomic
+        op in BRANCH_OPS,  # is_branch
+        op in BRANCH_OPS or op is Op.JUMP or op is Op.HALT,  # is_control
+        # Serializing ops (Section 4.4 of the paper): traps, membars,
+        # atomics and non-idempotent accesses stall retirement for a full
+        # comparison latency in any redundant checking microarchitecture.
+        op in SERIALIZING_OPS,  # is_serializing
+        op in _IMM_FORM_OPS,  # imm_form
+        is_alu or op is Op.LOAD or op is Op.ATOMIC or op is Op.CAS,  # can write
+    )
+
+
+_TRAITS: dict[Op, tuple] = {op: _op_traits(op) for op in Op}
+
+
 @dataclass(frozen=True, slots=True)
 class Instruction:
     """A single static instruction.
@@ -62,33 +92,24 @@ class Instruction:
     imm_form: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        for name in ("rd", "rs1", "rs2"):
-            reg = getattr(self, name)
-            if not 0 <= reg < NUM_REGS:
-                raise ValueError(f"{name}={reg} out of range [0, {NUM_REGS})")
-        op = self.op
+        rd = self.rd
+        if not (0 <= rd < NUM_REGS and 0 <= self.rs1 < NUM_REGS and 0 <= self.rs2 < NUM_REGS):
+            for name in ("rd", "rs1", "rs2"):
+                reg = getattr(self, name)
+                if not 0 <= reg < NUM_REGS:
+                    raise ValueError(f"{name}={reg} out of range [0, {NUM_REGS})")
+        traits = _TRAITS[self.op]
         set_attr = object.__setattr__  # frozen dataclass: derived fields
-        is_alu = op in REG_REG_OPS or op in REG_IMM_OPS
-        set_attr(self, "is_alu", is_alu)
-        set_attr(self, "is_mem", op in MEM_READ_OPS or op in MEM_WRITE_OPS)
-        set_attr(self, "is_load", op in MEM_READ_OPS)
-        set_attr(self, "is_store", op in MEM_WRITE_OPS)
-        set_attr(self, "is_atomic", op is Op.ATOMIC or op is Op.CAS)
-        set_attr(self, "is_branch", op in BRANCH_OPS)
-        set_attr(
-            self, "is_control", op in BRANCH_OPS or op is Op.JUMP or op is Op.HALT
-        )
-        # Serializing ops (Section 4.4 of the paper): traps, membars,
-        # atomics and non-idempotent accesses stall retirement for a full
-        # comparison latency in any redundant checking microarchitecture.
-        set_attr(self, "is_serializing", op in SERIALIZING_OPS)
-        set_attr(
-            self,
-            "writes_reg",
-            self.rd != 0
-            and (is_alu or op is Op.LOAD or op is Op.ATOMIC or op is Op.CAS),
-        )
-        set_attr(self, "imm_form", op in _IMM_FORM_OPS)
+        set_attr(self, "is_alu", traits[0])
+        set_attr(self, "is_mem", traits[1])
+        set_attr(self, "is_load", traits[2])
+        set_attr(self, "is_store", traits[3])
+        set_attr(self, "is_atomic", traits[4])
+        set_attr(self, "is_branch", traits[5])
+        set_attr(self, "is_control", traits[6])
+        set_attr(self, "is_serializing", traits[7])
+        set_attr(self, "imm_form", traits[8])
+        set_attr(self, "writes_reg", rd != 0 and traits[9])
 
     @property
     def reads(self) -> tuple[int, ...]:

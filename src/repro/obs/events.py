@@ -65,15 +65,11 @@ K_FAULT_ABSORB = "fault.absorb"  # events: a faulted entry entered a check inter
 #: Kinds that describe the *simulation strategy* rather than the
 #: simulated machine.  Mirror windows exist only under replay execution
 #: (dual execution steps the mute for real), so differential
-#: replay-vs-dual event comparisons exclude them — in fault-armed runs
-#: (which disable the fast path) everything else must match record for
-#: record; see tests/sim/test_telemetry.py.  One payload caveat outside
-#: that scope: when the *fast path itself* detects a divergence it does
-#: so by word comparison rather than CRC hashing, so compare/mismatch
-#: records may then carry zero fingerprints and ``cause="poison"``
-#: where dual execution would carry CRC values and
-#: ``cause="fingerprint"`` — cycles, interval indices, ``matched``
-#: flags and every recovery-protocol event still line up exactly.
+#: replay-vs-dual event comparisons exclude them — everything else
+#: matches record for record, payloads included: the vocal gate keeps
+#: hashing fingerprints inside a mirror window, so even in-window
+#: ``fingerprint.compare`` records carry the same CRC values dual
+#: execution would; see tests/sim/test_telemetry.py.
 STRATEGY_KINDS = frozenset(
     {K_MIRROR_OPEN, K_MIRROR_CLOSE, K_MIRROR_MATERIALIZE}
 )

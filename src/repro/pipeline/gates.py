@@ -38,6 +38,14 @@ class RetireGate(Protocol):
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
         """Entries cleared for architectural retirement, oldest first."""
 
+    def has_retirable(self, now: int) -> bool:
+        """Cheap allocation-free precheck: would ``pop_retirable`` act?
+
+        True whenever ``pop_retirable(now, ...)`` would return entries
+        *or* discard squashed ones — the hot loop calls this every cycle
+        and only pays for the real pop when something can happen.
+        """
+
     def close_open(self, now: int) -> None:
         """A serializing instruction is waiting: end the open interval now.
 
@@ -79,6 +87,9 @@ class ImmediateGate:
         while self._queue and len(out) < limit:
             out.append(self._queue.popleft())
         return out
+
+    def has_retirable(self, now: int) -> bool:
+        return bool(self._queue)
 
     def close_open(self, now: int) -> None:
         pass  # no intervals without checking

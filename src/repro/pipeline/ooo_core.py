@@ -30,11 +30,26 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from itertools import islice
 from operator import attrgetter
 from typing import Callable
 
-from repro.core.replay import entry_words, record_words
+from repro.isa.decode import (
+    F_ALU,
+    F_BRANCH,
+    F_CONTROL,
+    F_HALT,
+    F_JUMP,
+    F_LOAD,
+    F_MUL,
+    F_NEEDS1,
+    F_NEEDS2,
+    F_SER,
+    F_STORE,
+    F_WINDOW_END,
+    F_WRITES,
+    decode_program,
+    flags_of,
+)
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.program import Program
@@ -55,19 +70,15 @@ from repro.sim.config import Consistency, SystemConfig, TLBMode
 #: Sort key for the ready list (program order); hoisted out of _do_issue.
 _BY_SEQ = attrgetter("seq")
 
+#: Serializing-or-HALT: deferred to _issue_serializing by both loops.
+_F_SER_HALT = F_SER | F_HALT
 
-class _Fetched:
-    """A fetched, pre-decoded instruction waiting for dispatch."""
-
-    __slots__ = ("ready_cycle", "pc", "inst", "injected", "predicted_next", "fill_addr")
-
-    def __init__(self, ready_cycle, pc, inst, injected, predicted_next, fill_addr=None):
-        self.ready_cycle = ready_cycle
-        self.pc = pc
-        self.inst = inst
-        self.injected = injected
-        self.predicted_next = predicted_next
-        self.fill_addr = fill_addr
+# A fetched instruction waiting for dispatch is a plain 7-tuple (cheaper
+# to build and copy than a slotted object at fetch-queue rates):
+#   (ready_cycle, pc, inst, injected, predicted_next, fill_addr, row)
+# ``row`` indexes the pre-decoded tables (see repro.isa.decode) and is
+# -1 for injected instructions and for entries produced by the object
+# reference loop, which does not consult the tables.
 
 
 class OoOCore:
@@ -98,7 +109,7 @@ class OoOCore:
 
         # Frontend.
         self.pc = program.entry
-        self.fetch_queue: deque[_Fetched] = deque()
+        self.fetch_queue: deque[tuple] = deque()
         self.injection: deque[tuple[Instruction, int | None]] = deque()
         self._injection_resume: int | None = None
         self.predictor = BranchPredictor(self.core_cfg.branch_predictor_entries)
@@ -107,7 +118,6 @@ class OoOCore:
         # Backend.
         self.rob: deque[DynInstr] = deque()
         self.rename: dict[int, DynInstr] = {}
-        self._prev_producer: dict[int, DynInstr | None] = {}
         self.ready: list[DynInstr] = []
         self.completions: list[tuple[int, int, DynInstr]] = []  # heap
         self._store_entries: deque[DynInstr] = deque()
@@ -129,23 +139,20 @@ class OoOCore:
         #: the replay fast path when it hooks a paired core).
         self.pair = None
 
-        # Replay fast path (see repro.core.replay).  At most one of these
-        # is set, by the pair controller: the vocal *logs* its in-order
-        # check-stage stream; the mute *binds* dispatched instructions to
-        # logged records and reuses their values instead of recomputing.
-        self.replay_log = None  # ReplayTrace the vocal appends to
-        self.replay_trace = None  # ReplayTrace the mute binds from
-        self._replay_cursor = 0  # next committed index to bind (mute)
-        self._replay_synced = True  # cursor provably equals next dispatch
-        self._replay_offer_cursor = 0  # next committed index to offer (mute)
-        #: A load observed a value differing from the vocal's trace: the
-        #: mute has genuinely diverged (input incoherence).  No binding
-        #: or resync until recovery rolls back to the compared prefix.
-        self._replay_diverged = False
-        #: Instructions issued from bound records.  Diagnostic only — the
-        #: bind rate depends on vocal/mute skew, so this must never be
-        #: folded into :class:`Stats`.
-        self.replayed_binds = 0
+        # Committed-stream logging hook (see repro.core.replay): when a
+        # ReplayTrace is attached, the core logs its in-order check-stage
+        # value stream (squash-consistent).  Unused by the pair fast path
+        # since mirror windows became self-contained; kept as the
+        # recording substrate for decoupled replay-based checking
+        # (RepTFD, ROADMAP item 4).
+        self.replay_log = None  # ReplayTrace appended to at offer
+
+        # Structure-of-arrays hot loop (REPRO_HOTLOOP=soa, the default).
+        # ``use_soa_hotloop`` pre-decodes the program into flat tables
+        # (repro.isa.decode) and rebinds ``step`` to ``_step_soa``; the
+        # object loop stays as the bit-identical reference.
+        self._soa = False
+        self._decoded = None
 
         # Mirror window (see repro.core.mirror).  On the vocal,
         # ``mirror_watch`` arms fetch-side detection of the first
@@ -166,6 +173,21 @@ class OoOCore:
         self.halted = False
         self.stall_fetch_until = 0
         self._check_pending = 0  # offered-but-unretired prefix of the ROB
+        #: The not-yet-offered suffix of the ROB (same entries, same
+        #: order).  Kept separately so the per-cycle check-boundary tests
+        #: in _do_retire / _issue_serializing / next_event are O(1) head
+        #: peeks instead of O(depth) deque indexing.
+        self._unchecked: deque[DynInstr] = deque()
+
+        #: Per-core skip cache for the event kernel: every cycle strictly
+        #: before this one is a proven no-op for this core (same contract
+        #: as :meth:`next_event`, whose result it caches).  Refreshed
+        #: after each real step; reset to 0 by anything that mutates core
+        #: state from outside ``step`` — the pair controller (comparison
+        #: clears, sync servicing, recovery, mirror exit) and the
+        #: external APIs (``schedule_interrupt``, ``complete_sync``,
+        #: ``drain_cleared``).  The naive kernel never reads it.
+        self._skip_until = 0
 
         #: Optional fault-injection hook, called with each entry right
         #: after its result is computed (see repro.core.faults).
@@ -202,6 +224,345 @@ class OoOCore:
         self._do_dispatch(now)
         self._do_fetch(now)
 
+    # ------------------------------------------------------------------
+    # Structure-of-arrays hot loop (REPRO_HOTLOOP=soa, the default).
+    #
+    # Same pipeline, same cycle-by-cycle decisions, different data
+    # layout: the program is pre-decoded once into flat parallel tables
+    # (repro.isa.decode), fetch/dispatch/issue classify dynamic
+    # instructions by indexing those tables and testing one int bitmask
+    # (`entry.flags`) instead of chasing `Instruction` attributes, and
+    # the per-cycle phase methods are fused into one function with the
+    # no-op guards hoisted.  `DynInstr` objects still materialize at
+    # dispatch — they are the view every cold path (squash, recovery,
+    # interrupts, fault injection, mirror materialization) operates on —
+    # but the hot stages never touch `entry.inst` for classification.
+    #
+    # The object loop above stays selectable (REPRO_HOTLOOP=object) as
+    # the bit-identical reference; tests/sim/test_hotloop.py fuzzes the
+    # two against each other.
+    # ------------------------------------------------------------------
+    def use_soa_hotloop(self) -> None:
+        """Bind the pre-decoded tables and switch ``step`` to the SoA path."""
+        self._soa = True
+        self._bind_decode()
+        # Instance-attribute rebind: selection costs nothing per cycle.
+        self.step = self._step_soa  # type: ignore[method-assign]
+
+    def _bind_decode(self) -> None:
+        d = decode_program(self.program, self.sc_mode)
+        self._decoded = d
+        self._d_flags = d.flags
+        self._d_rs1 = d.rs1
+        self._d_rs2 = d.rs2
+        self._d_rd = d.rd
+        self._d_target = d.target
+        self._d_inst = d.inst
+        self._d_n = d.n
+
+    def _step_soa(self, now: int) -> None:
+        self.cycles += 1
+        heap = self.completions
+        if heap and heap[0][0] <= now:
+            self._do_completions(now)
+        if self._drain_inflight is not None or self.drain:
+            self._do_drain(now)
+        rob = self.rob
+        if rob or self.gate.open_count:
+            self._do_retire(now)
+            # _do_issue_soa is _issue_serializing plus the ready scan;
+            # skip its call (and local setup) on ready-less stall cycles.
+            if self.ready:
+                self._do_issue_soa(now)
+            elif rob and self._ser_heap:
+                # An empty ser-heap proves no serializing/HALT entry is
+                # in flight (they are pushed at dispatch), so the head-of
+                # -ROB serializing scan would be a guaranteed no-op.
+                self._issue_serializing(now)
+        fq = self.fetch_queue
+        if fq and fq[0][0] <= now:
+            self._do_dispatch_soa(now)
+        self._do_fetch_soa(now)
+
+    def _do_issue_soa(self, now: int) -> None:
+        """`_do_issue` + `_issue_simple` over decode masks, fused."""
+        if self._ser_heap:
+            self._issue_serializing(now)
+            ser_limit = self._oldest_active_serializing()
+        else:
+            # No serializing/HALT entry in flight: skip the head-of-ROB
+            # scan and the heap peek entirely.
+            ser_limit = None
+        ready = self.ready
+        if not ready:
+            return
+        ready.sort(key=_BY_SEQ)
+        cc = self.core_cfg
+        issue_budget = cc.width
+        load_ports = cc.load_ports
+        alu_latency = cc.alu_latency
+        mul_latency = cc.mul_latency
+        completions = self.completions
+        heappush = heapq.heappush
+        fault_hook = self.fault_hook
+        tracer = self.tracer
+        dispatched = DynState.DISPATCHED
+        issued = DynState.ISSUED
+        remaining: list[DynInstr] = []
+        defer = remaining.append
+        for entry in ready:
+            if entry.squashed or entry.state != dispatched:
+                continue
+            f = entry.flags
+            if (
+                issue_budget == 0
+                or f & _F_SER_HALT
+                or (ser_limit is not None and entry.seq > ser_limit)
+            ):
+                defer(entry)
+                continue
+            if f & F_LOAD:
+                if load_ports == 0:
+                    defer(entry)
+                    continue
+                blocker = entry.wait_on
+                if blocker is not None and blocker.addr is None and not blocker.squashed:
+                    # Memoized disambiguation block: don't burn a load port
+                    # (or the _issue_load call) on a known "wait".
+                    defer(entry)
+                    continue
+                outcome = self._issue_load(entry, now)
+                if outcome == "trap":
+                    return  # pipeline flushed; ready list rebuilt
+                if outcome == "wait":
+                    defer(entry)
+                    continue
+                load_ports -= 1
+            elif f & F_STORE:
+                if not self._issue_store(entry, now):
+                    return  # TLB trap flush
+            else:
+                # ALU / branch / jump / nop: _issue_simple, inlined.
+                latency = alu_latency
+                if f & F_ALU:
+                    inst = entry.inst
+                    entry.result = alu_result(
+                        inst.op, entry.val1 or 0, entry.val2 or 0, inst.imm
+                    )
+                    if f & F_MUL:
+                        latency = mul_latency
+                elif f & F_BRANCH:
+                    inst = entry.inst
+                    entry.actual_next = (
+                        inst.target
+                        if branch_taken(inst.op, entry.val1 or 0, entry.val2 or 0)
+                        else entry.pc + 1
+                    )
+                elif f & F_JUMP:
+                    entry.actual_next = entry.inst.target
+                if fault_hook is not None:
+                    fault_hook(entry)
+                entry.state = issued
+                if tracer is not None:
+                    tracer.issue(entry, now)
+                heappush(completions, (now + latency, entry.seq, entry))
+            issue_budget -= 1
+        self.ready = remaining
+
+    def _do_dispatch_soa(self, now: int) -> None:
+        fq = self.fetch_queue
+        cc = self.core_cfg
+        width = cc.width
+        rob_size = cc.rob_size
+        sb_size = cc.store_buffer_size
+        rob = self.rob
+        d_flags = self._d_flags
+        single_step = self.single_step
+        dispatched = 0
+        while dispatched < width and fq:
+            fetched = fq[0]
+            if fetched[0] > now or len(rob) >= rob_size:
+                break
+            row = fetched[6]
+            if row >= 0:
+                f = d_flags[row]
+                if f & F_STORE and self.sb_count >= sb_size:
+                    break
+                if single_step and rob:
+                    break  # one instruction at a time during re-execution
+                fq.popleft()
+                self._dispatch_row(fetched, row, f, now)
+            else:
+                # Injected handler instruction (or a post-injection user
+                # fetch from the shared path): no decode row.
+                if fetched[2].op is Op.STORE and self.sb_count >= sb_size:
+                    break
+                if single_step and rob:
+                    break
+                fq.popleft()
+                self._dispatch_one(fetched, now)
+            dispatched += 1
+
+    def _dispatch_row(self, fetched: tuple, row: int, f: int, now: int) -> None:
+        """`_dispatch_one` + `_capture` over decode-table rows, fused."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        # DynInstr.__init__, inlined: one dispatch per simulated
+        # instruction makes the constructor call (and its double-written
+        # defaults for flags / predicted_next / serializing) measurable.
+        # Keep the slot list in sync with rob.DynInstr.__slots__.
+        entry = DynInstr.__new__(DynInstr)
+        entry.seq = seq
+        entry.pc = fetched[1]
+        entry.inst = self._d_inst[row]
+        entry.injected = False
+        entry.state = 0  # DynState.DISPATCHED
+        entry.squashed = False
+        entry.pending = 0
+        entry.val1 = None
+        entry.val2 = None
+        entry.dependents = []
+        entry.result = None
+        entry.addr = None
+        entry.store_value = None
+        entry.predicted_next = fetched[4]
+        entry.actual_next = None
+        entry.complete_cycle = -1
+        entry.fill_addr = None
+        entry.handler_resume = None
+        entry.serializing = bool(f & F_SER)
+        entry.tlb_missed = False
+        entry.was_sync = False
+        entry.consumed = False
+        entry.faulted = False
+        entry.flags = f
+        entry.replay_index = None
+        entry.wait_on = None
+        entry.prev_producer = None
+
+        # Operand capture.  (Decoded MOVI rows take the register-0 path
+        # — val1/val2 become 0 instead of the object loop's untouched
+        # None; both are unread for MOVI, so this is value-identical.)
+        rename = self.rename
+        arf = self.arf
+        if f & F_NEEDS1:
+            reg = self._d_rs1[row]
+            producer = rename.get(reg)
+            if producer is None or producer.squashed:
+                entry.val1 = arf.read(reg)
+            else:
+                producer.consumed = True
+                result = producer.result
+                if result is not None:
+                    entry.val1 = result
+                else:
+                    entry.pending += 1
+                    producer.dependents.append((entry, 1))
+        else:
+            reg = self._d_rs1[row]
+            entry.val1 = 0 if reg == 0 else arf.read(reg)
+        if f & F_NEEDS2:
+            reg = self._d_rs2[row]
+            producer = rename.get(reg)
+            if producer is None or producer.squashed:
+                entry.val2 = arf.read(reg)
+            else:
+                producer.consumed = True
+                result = producer.result
+                if result is not None:
+                    entry.val2 = result
+                else:
+                    entry.pending += 1
+                    producer.dependents.append((entry, 2))
+        else:
+            entry.val2 = 0
+
+        if f & F_WRITES:
+            rd = self._d_rd[row]
+            entry.prev_producer = rename.get(rd)
+            rename[rd] = entry
+        if f & F_STORE:
+            self.sb_count += 1
+            self._store_entries.append(entry)
+        if f & _F_SER_HALT:
+            heapq.heappush(self._ser_heap, (seq, entry))
+
+        # Non-branch control flow resolves immediately; branches carry
+        # the prediction and verify at completion.
+        if not f & F_CONTROL or f & F_HALT:
+            entry.actual_next = fetched[1] + 1
+        elif f & F_JUMP:
+            entry.actual_next = self._d_target[row]
+
+        self.rob.append(entry)
+        self._unchecked.append(entry)
+        if self.tracer is not None:
+            self.tracer.dispatch(entry, now)
+        if entry.pending == 0:
+            self.ready.append(entry)
+
+    def _do_fetch_soa(self, now: int) -> None:
+        if self.halted or self.fetch_stalled or now < self.stall_fetch_until:
+            return
+        if self.injection:
+            # Handler injection mixes injected and user fetches within
+            # one cycle: take the cold shared path for the whole call.
+            self._do_fetch(now)
+            return
+        cc = self.core_cfg
+        fq = self.fetch_queue
+        room = cc.fetch_queue_size - len(fq)
+        if room <= 0:
+            return
+        width = cc.width
+        if room > width:
+            room = width
+        d_flags = self._d_flags
+        d_inst = self._d_inst
+        d_target = self._d_target
+        d_n = self._d_n
+        predictor = self.predictor
+        p_table = predictor._table
+        p_key = predictor._history & predictor._mask  # XOR pc per row below
+        p_mask = predictor._mask
+        mirror_watch = self.mirror_watch
+        single_step = self.single_step
+        append = fq.append
+        ready = now + cc.frontend_latency
+        pc = self.pc
+        fetched = 0
+        while fetched < room:
+            row = pc if 0 <= pc < d_n else d_n
+            f = d_flags[row]
+            if mirror_watch and f & F_WINDOW_END:
+                # The first memory / serializing / halt instruction ends
+                # the mirror window (see _do_fetch for the full timing
+                # argument).
+                self.mirror_trigger = True
+            if f & F_BRANCH:
+                # Inlined gshare predict (predictor.update never runs
+                # between fetches within one step call).
+                if p_table[(pc ^ p_key) & p_mask] >= 2:
+                    next_pc = d_target[row]
+                else:
+                    next_pc = pc + 1
+                append((ready, pc, d_inst[row], False, next_pc, None, row))
+                pc = next_pc
+            elif f & F_CONTROL:
+                append((ready, pc, d_inst[row], False, None, None, row))
+                if f & F_HALT:
+                    self.fetch_stalled = True
+                    fetched += 1
+                    break  # pc intentionally not advanced past HALT
+                pc = d_target[row]  # JUMP
+            else:
+                append((ready, pc, d_inst[row], False, None, None, row))
+                pc += 1
+            fetched += 1
+            if single_step:
+                break
+        self.pc = pc
+
     @property
     def idle(self) -> bool:
         """True when nothing is in flight and the core has halted."""
@@ -235,6 +596,12 @@ class OoOCore:
         * the fetch queue head's dispatch-ready cycle, and
         * the frontend's ``stall_fetch_until``.
         """
+        # Issue: a nonempty ready list is rescanned every cycle.  This is
+        # the cheapest and by far the most common "busy" signal, so it is
+        # tested before anything else (ordering is free: every branch
+        # either returns ``now`` or only lowers ``wake``).
+        if self.ready:
+            return now
         wake = NEVER
         # Completions: nothing executes out of the heap before its head.
         heap = self.completions
@@ -255,17 +622,9 @@ class OoOCore:
                 wake = t
         elif self.drain:
             return now
-        # Retire gate: cleared intervals, injected-serializing stalls,
-        # and (for paired gates) the interval-timeout close.
-        t = self.gate.next_release(now)
-        if t <= now:
-            return now
-        if t < wake:
-            wake = t
-        rob = self.rob
-        check_pending = self._check_pending
-        if check_pending < len(rob):
-            waiting = rob[check_pending]
+        unchecked = self._unchecked
+        if unchecked:
+            waiting = unchecked[0]
             # Completed entries are offered to the gate width-per-cycle.
             if waiting.state == DynState.COMPLETED:
                 return now
@@ -278,9 +637,14 @@ class OoOCore:
                 and (waiting.serializing or waiting.inst.op is Op.HALT)
             ):
                 return now
-        # Issue: a nonempty ready list is rescanned every cycle.
-        if self.ready:
+        # Retire gate: cleared intervals, injected-serializing stalls,
+        # and (for paired gates) the interval-timeout close.
+        t = self.gate.next_release(now)
+        if t <= now:
             return now
+        if t < wake:
+            wake = t
+        rob = self.rob
         if rob:
             head = rob[0]
             if (
@@ -304,13 +668,13 @@ class OoOCore:
         fetch_queue = self.fetch_queue
         if fetch_queue:
             head = fetch_queue[0]
-            t = head.ready_cycle
+            t = head[0]  # ready_cycle
             if t > now:
                 if t < wake:
                     wake = t
             elif len(rob) < self.core_cfg.rob_size and not (self.single_step and rob):
                 if not (
-                    head.inst.op is Op.STORE
+                    head[2].op is Op.STORE
                     and self.sb_count >= self.core_cfg.store_buffer_size
                 ):
                     return now
@@ -333,25 +697,32 @@ class OoOCore:
         heap = self.completions
         if not heap or heap[0][0] > now:
             return
-        # Hot path: hoist bound methods and the ready list out of the loop.
+        # Hot path: hoist bound methods and the ready list out of the loop,
+        # and inline the producer wake-up (DynInstr.set_src).
         heappop = heapq.heappop
         ready_append = self.ready.append
         completed = DynState.COMPLETED
         dispatched = DynState.DISPATCHED
+        tracer = self.tracer
         while heap and heap[0][0] <= now:
             entry = heappop(heap)[2]
             if entry.squashed:
                 continue
             entry.state = completed
             entry.complete_cycle = now
-            if self.tracer is not None:
-                self.tracer.complete(entry, now)
+            if tracer is not None:
+                tracer.complete(entry, now)
             result = entry.result
             if result is not None:
                 for dependent, slot in entry.dependents:
                     if not dependent.squashed:
-                        dependent.set_src(slot, result)
-                        if dependent.pending == 0 and dependent.state == dispatched:
+                        if slot == 1:
+                            dependent.val1 = result
+                        else:
+                            dependent.val2 = result
+                        pending = dependent.pending - 1
+                        dependent.pending = pending
+                        if pending == 0 and dependent.state == dispatched:
                             ready_append(dependent)
                 entry.dependents = []
             if entry.inst.is_branch:
@@ -359,7 +730,6 @@ class OoOCore:
                 if entry.actual_next != entry.predicted_next:
                     self.mispredicts += 1
                     self._squash_after(entry)
-                    self._replay_resync(entry)
                     self._redirect_fetch(entry.actual_next)
 
     # -- store drain ------------------------------------------------------
@@ -385,79 +755,83 @@ class OoOCore:
     # -- retirement -------------------------------------------------------
     def _do_retire(self, now: int) -> None:
         width = self.core_cfg.width
-        # 1. Architecturally retire entries the gate has cleared.
-        for entry in self.gate.pop_retirable(now, width):
-            if entry.squashed:
-                continue
-            self._retire(entry, now)
+        # 1. Architecturally retire entries the gate has cleared.  The
+        # precheck keeps the common nothing-to-release cycle free of the
+        # pop's list allocation and deque churn.
+        gate = self.gate
+        if gate.has_retirable(now):
+            for entry in gate.pop_retirable(now, width):
+                if entry.squashed:
+                    continue
+                self._retire(entry, now)
         # 2. Offer the oldest completed-but-unchecked entries to the gate.
-        # The first `_check_pending` ROB entries are already in check.
+        unchecked = self._unchecked
+        if not unchecked:
+            return
+        completed = DynState.COMPLETED
+        if unchecked[0].state != completed:
+            return  # head of the unchecked region not done: nothing to offer
         offered = 0
         log = self.replay_log
-        trace = self.replay_trace
-        for entry in islice(self.rob, self._check_pending, None):
-            if entry.state != DynState.COMPLETED or offered >= width:
+        in_check = DynState.IN_CHECK
+        while unchecked and offered < width:
+            entry = unchecked[0]
+            if entry.state != completed:
                 break
-            entry.state = DynState.IN_CHECK
-            if not entry.injected:
-                if log is not None:
-                    # Vocal: log the in-order value stream for the mute.
-                    # Offered entries can still be squashed (trap,
-                    # interrupt, recovery); _squash_to truncates the log.
-                    entry.replay_index = len(log)
-                    log.append(
-                        (
-                            entry.pc,
-                            entry.result,
-                            entry.addr,
-                            entry.store_value,
-                            entry.actual_next,
-                            entry.inst,
-                        )
+            unchecked.popleft()
+            entry.state = in_check
+            if log is not None and not entry.injected:
+                # Vocal: log the in-order value stream for the pair's
+                # window-exit interval reconstruction.  Offered entries
+                # can still be squashed (trap, interrupt, recovery);
+                # _squash_to truncates the log.
+                entry.replay_index = len(log)
+                log.append(
+                    (
+                        entry.pc,
+                        entry.result,
+                        entry.addr,
+                        entry.store_value,
+                        entry.actual_next,
+                        entry.inst,
                     )
-                elif trace is not None:
-                    # Mute: offer order IS the mute's committed-stream
-                    # order, so compare this entry's fingerprint update
-                    # words against the vocal's record at the same
-                    # position — the exact condition under which dual
-                    # execution's hashed fingerprints would differ.
-                    index = self._replay_offer_cursor
-                    self._replay_offer_cursor = index + 1
-                    entry.replay_index = index
-                    rec = trace.get(index)
-                    if rec is None:
-                        self.gate.add_replay_check(entry, index)
-                    elif entry_words(entry) != record_words(rec):
-                        self._replay_diverged = True
-                        self.gate.poison_open()
-            self.gate.offer(entry, now)
-            self._check_pending += 1
+                )
+            gate.offer(entry, now)
             offered += 1
+        self._check_pending += offered
 
     def _retire(self, entry: DynInstr, now: int) -> None:
-        """Update architectural state for one checked instruction."""
-        assert self.rob and self.rob[0] is entry, "retirement must be in order"
+        """Update architectural state for one checked instruction.
+
+        The gate releases strictly in offer order, so ``entry`` is always
+        the ROB head here.
+        """
         self.rob.popleft()
         self._check_pending -= 1
-        self._prev_producer.pop(entry.seq, None)
         entry.state = DynState.RETIRED
         if self.tracer is not None:
             self.tracer.retire(entry, now)
         inst = entry.inst
+        op = inst.op
         self.total_retired += 1
-        if inst.op is Op.STORE and self._store_entries and self._store_entries[0] is entry:
-            self._store_entries.popleft()
-
-        if inst.writes_reg and entry.result is not None:
-            self.arf.write(inst.rd, entry.result)
-        if self.rename.get(inst.rd) is entry:
-            del self.rename[inst.rd]
-
-        if inst.op is Op.STORE:
+        if op is Op.STORE:
+            store_entries = self._store_entries
+            if store_entries and store_entries[0] is entry:
+                store_entries.popleft()
             self.drain.append((entry.addr, entry.store_value))
             # sb_count is released when the drain completes.
-        elif inst.op is Op.HALT:
+        elif op is Op.HALT:
             self.halted = True
+
+        if inst.writes_reg:
+            # Clear the displaced-producer link so retired entries never
+            # chain-retain their predecessors.
+            entry.prev_producer = None
+            if entry.result is not None:
+                self.arf.write(inst.rd, entry.result)
+            rename = self.rename
+            if rename.get(inst.rd) is entry:
+                del rename[inst.rd]
 
         if entry.injected:
             self.injected_retired += 1
@@ -477,7 +851,6 @@ class OoOCore:
             # User-level traps redirect fetch through the trap vector:
             # model as a full pipeline flush and refetch.
             self._squash_after(entry)
-            self._replay_resync(entry)
             self._redirect_fetch(entry.pc + 1)
         elif not self.single_step:
             if (
@@ -500,13 +873,13 @@ class OoOCore:
         the paper's fingerprint-comparison-based alignment (Section 4.3).
         """
         self._interrupts.append((at_user_count, handler))
+        self._skip_until = 0
 
     def _service_interrupt(self, entry: DynInstr) -> None:
         _, handler = self._interrupts.popleft()
         self.interrupts_serviced += 1
         resume = entry.actual_next if entry.actual_next is not None else entry.pc + 1
         self._squash_after(entry)
-        self._replay_resync(entry)
         self.fetch_queue.clear()
         self.injection.clear()
         for inst in handler:
@@ -519,7 +892,6 @@ class OoOCore:
         resume = entry.actual_next if entry.actual_next is not None else entry.pc + 1
         if self.config.tlb.mode is TLBMode.SOFTWARE:
             self._squash_after(entry)
-            self._replay_resync(entry)
             self._inject_handler(page=self.user_retired, fill_addr=None, resume_pc=resume)
         else:
             self.stall_fetch_until = max(
@@ -579,19 +951,7 @@ class OoOCore:
         inst = entry.inst
         op = inst.op
         latency = self.core_cfg.alu_latency
-        rec = entry.replay
-        if rec is not None:
-            # Replay fast path: reuse the vocal's values — guaranteed
-            # equal on the committed path.  Timing is untouched.
-            if inst.is_alu:
-                entry.result = rec[1]
-                if op is Op.MUL:
-                    latency = self.core_cfg.mul_latency
-            elif inst.is_branch:
-                entry.actual_next = rec[4]
-            elif op is Op.JUMP:
-                entry.actual_next = rec[4]
-        elif inst.is_alu:
+        if inst.is_alu:
             entry.result = alu_result(op, entry.val1 or 0, entry.val2 or 0, inst.imm)
             if op is Op.MUL:
                 latency = self.core_cfg.mul_latency
@@ -607,12 +967,10 @@ class OoOCore:
 
     def _issue_load(self, entry: DynInstr, now: int) -> str:
         """Try to issue a load; returns 'done', 'wait', or 'trap'."""
-        inst = entry.inst
-        rec = entry.replay
-        if rec is not None:
-            entry.addr = rec[2]
-        else:
-            entry.addr = effective_address(entry.val1 or 0, inst.imm)
+        if entry.addr is None:
+            # Operands are immutable once captured, so compute the
+            # effective address once across issue retries.
+            entry.addr = effective_address(entry.val1 or 0, entry.inst.imm)
 
         if self.single_step and self.pair_sync_atomics and not entry.injected:
             # Re-execution protocol: the first load is issued by both
@@ -624,7 +982,16 @@ class OoOCore:
             self.sync_request = entry
             return "done"
 
-        forwarded = self._forward_from_stores(entry)
+        blocker = entry.wait_on
+        if blocker is not None:
+            if blocker.addr is None and not blocker.squashed:
+                return "wait"  # memoized "blocked" (see DynInstr.wait_on)
+            entry.wait_on = None
+
+        if self._store_entries or self.drain or self._drain_inflight is not None:
+            forwarded = self._forward_from_stores(entry)
+        else:
+            forwarded = None
         if forwarded == "blocked":
             return "wait"
         if isinstance(forwarded, int):
@@ -651,25 +1018,6 @@ class OoOCore:
         if access.retry:
             return "wait"
         entry.result = access.value
-        if self.replay_trace is not None and not entry.injected and not self._replay_diverged:
-            rec = entry.replay
-            if rec is None and entry.replay_index is not None:
-                # Late lookup: the vocal may have logged this position
-                # since dispatch.
-                rec = self.replay_trace.get(entry.replay_index)
-                if rec is not None and rec[0] != entry.pc:
-                    rec = None
-            if rec is None:
-                # The vocal hasn't vouched for this memory value: if it
-                # is stale, dependents must recompute from it exactly as
-                # in dual execution.
-                self._replay_cut(entry)
-            elif rec[1] != entry.result:
-                # Incoherent read — the mute has genuinely diverged.
-                # Stop replaying; the check stage flags the divergence
-                # when this entry's update words are compared.
-                self._replay_diverged = True
-                self._replay_cut(entry)
         if self.fault_hook is not None:
             self.fault_hook(entry)
         entry.state = DynState.ISSUED
@@ -679,13 +1027,8 @@ class OoOCore:
     def _issue_store(self, entry: DynInstr, now: int) -> bool:
         """Compute a store's address and value (no memory access yet)."""
         inst = entry.inst
-        rec = entry.replay
-        if rec is not None:
-            entry.addr = rec[2]
-            entry.store_value = rec[3]
-        else:
-            entry.addr = effective_address(entry.val1 or 0, inst.imm)
-            entry.store_value = entry.val2 or 0
+        entry.addr = effective_address(entry.val1 or 0, inst.imm)
+        entry.store_value = entry.val2 or 0
         if not entry.injected and not self.port.dtlb_hit(entry.addr):
             self.dtlb_misses += 1
             if self.sw_tlb:
@@ -718,6 +1061,7 @@ class OoOCore:
             if store.state == DynState.RETIRED:
                 break  # retired stores are visible via the drain queue
             if store.addr is None:
+                load.wait_on = store  # memoize: skip rescans until resolved
                 return "blocked"
             if store.addr == addr:
                 if store.store_value is None:
@@ -744,8 +1088,9 @@ class OoOCore:
         # When the next unchecked instruction is serializing and ready,
         # end the open fingerprint interval immediately so the older
         # instructions ahead of it can compare and retire (Section 4.4).
-        if self._check_pending < len(self.rob):
-            waiting = self.rob[self._check_pending]
+        unchecked = self._unchecked
+        if unchecked:
+            waiting = unchecked[0]
             if (
                 (waiting.serializing or waiting.inst.op is Op.HALT)
                 and waiting.pending == 0
@@ -778,11 +1123,7 @@ class OoOCore:
 
     def _issue_atomic(self, entry: DynInstr, now: int) -> None:
         inst = entry.inst
-        rec = entry.replay
-        if rec is not None:
-            entry.addr = rec[2]
-        else:
-            entry.addr = effective_address(entry.val1 or 0, inst.imm)
+        entry.addr = effective_address(entry.val1 or 0, inst.imm)
         if not entry.injected and not self.port.dtlb_hit(entry.addr):
             self.dtlb_misses += 1
             if self.sw_tlb:
@@ -811,6 +1152,7 @@ class OoOCore:
         For atomics the controller has already applied the memory update;
         ``value`` is the single coherent value returned to both cores.
         """
+        self._skip_until = 0
         if entry.squashed:
             self.sync_request = None
             return
@@ -839,7 +1181,6 @@ class OoOCore:
         """Software TLB miss on a data access: flush and run the handler."""
         page = entry.addr >> self.config.tlb.page_bits
         self._squash_from(entry)
-        self._replay_resync(entry, rerun=True)
         self._inject_handler(page=page, fill_addr=entry.addr, resume_pc=entry.pc)
 
     def _inject_handler(self, page: int, fill_addr: int | None, resume_pc: int) -> None:
@@ -861,9 +1202,9 @@ class OoOCore:
         dispatched = 0
         while dispatched < width and self.fetch_queue:
             fetched = self.fetch_queue[0]
-            if fetched.ready_cycle > now or len(self.rob) >= rob_size:
+            if fetched[0] > now or len(self.rob) >= rob_size:
                 break
-            inst = fetched.inst
+            inst = fetched[2]
             if inst.op is Op.STORE and self.sb_count >= sb_size:
                 break
             if self.single_step and self.rob:
@@ -872,47 +1213,17 @@ class OoOCore:
             self._dispatch_one(fetched, now)
             dispatched += 1
 
-    def _dispatch_one(self, fetched: _Fetched, now: int) -> None:
-        inst = fetched.inst
-        entry = DynInstr(self._next_seq, fetched.pc, inst, injected=fetched.injected)
+    def _dispatch_one(self, fetched: tuple, now: int) -> None:
+        inst = fetched[2]
+        entry = DynInstr(self._next_seq, fetched[1], inst, injected=fetched[3])
         self._next_seq += 1
-        entry.predicted_next = fetched.predicted_next
-        entry.fill_addr = fetched.fill_addr
+        entry.predicted_next = fetched[4]
+        entry.fill_addr = fetched[5]
         entry.serializing = inst.is_serializing or (self.sc_mode and inst.op is Op.STORE)
-
-        trace = self.replay_trace
-        if trace is not None and not fetched.injected and not self._replay_diverged:
-            # Replay fast path: bind this dispatch to the vocal's logged
-            # record for the same committed-stream position, when the
-            # cursor provably tracks the committed control-flow path.
-            if not self._replay_synced and not self.rob:
-                # Empty ROB at a user dispatch: everything older has
-                # retired, so this IS committed instruction user_retired.
-                self._replay_synced = True
-                self._replay_cursor = self.user_retired
-            if self._replay_synced:
-                index = self._replay_cursor
-                self._replay_cursor = index + 1
-                entry.replay_index = index
-                rec = trace.get(index)
-                if rec is not None and rec[0] != entry.pc:
-                    # Impossible while genuinely synced — never bind on a
-                    # mismatch; fall back to full execution.
-                    rec = None
-                    self._replay_synced = False
-                if rec is None:
-                    if inst.is_branch:
-                        # Vocal hasn't logged this far: without rec we
-                        # can't vet the prediction, so sync is lost until
-                        # the next anchor (resolution resyncs us).
-                        self._replay_synced = False
-                else:
-                    entry.replay = rec
-                    self.replayed_binds += 1
-                    if inst.is_branch and rec[4] != fetched.predicted_next:
-                        # Known mispredict: fetch now runs down the wrong
-                        # path until this branch resolves and resyncs.
-                        self._replay_synced = False
+        if self._soa:
+            # Cold dispatches (injected handlers, post-injection fetches)
+            # still need the decode mask the SoA issue stage tests.
+            entry.flags = flags_of(inst, self.sc_mode)
 
         # Capture operands / subscribe to producers.
         op = inst.op
@@ -939,7 +1250,7 @@ class OoOCore:
                 entry.val2 = 0
 
         if inst.writes_reg:
-            self._prev_producer[entry.seq] = self.rename.get(inst.rd)
+            entry.prev_producer = self.rename.get(inst.rd)
             self.rename[inst.rd] = entry
 
         if op is Op.STORE:
@@ -956,6 +1267,7 @@ class OoOCore:
             entry.actual_next = inst.target
 
         self.rob.append(entry)
+        self._unchecked.append(entry)
         if self.tracer is not None:
             self.tracer.dispatch(entry, now)
         if entry.pending == 0:
@@ -995,7 +1307,7 @@ class OoOCore:
                     # Injected handlers perform loads; end the window.
                     self.mirror_trigger = True
                 self.fetch_queue.append(
-                    _Fetched(ready, self._injection_resume or 0, inst, True, None, fill_addr)
+                    (ready, self._injection_resume or 0, inst, True, None, fill_addr, -1)
                 )
                 if not self.injection and self._injection_resume is not None:
                     self.pc = self._injection_resume
@@ -1024,7 +1336,7 @@ class OoOCore:
                 self.fetch_stalled = True
             else:
                 self.pc = pc + 1
-            self.fetch_queue.append(_Fetched(ready, pc, inst, False, predicted_next))
+            self.fetch_queue.append((ready, pc, inst, False, predicted_next, None, -1))
             fetched += 1
             if self.single_step:
                 break
@@ -1041,40 +1353,34 @@ class OoOCore:
     def _squash_to(self, first_bad_seq: int) -> None:
         rob = self.rob
         log = self.replay_log
-        trace = self.replay_trace
         truncate = -1
-        rewind = -1
         while rob and rob[-1].seq >= first_bad_seq:
             victim = rob.pop()
             victim.squashed = True
-            if victim.replay_index is not None:
-                if log is not None:
-                    # Vocal: un-log squashed speculative records; they are
-                    # re-logged (with identical content) after re-execution.
-                    truncate = victim.replay_index  # popped youngest-first
-                elif trace is not None and victim.state == DynState.IN_CHECK:
-                    # Mute: squashed offered entries re-offer after
-                    # re-execution at the same stream positions.
-                    rewind = victim.replay_index
+            if log is not None and victim.replay_index is not None:
+                # Vocal: un-log squashed speculative records; they are
+                # re-logged (with identical content) after re-execution.
+                truncate = victim.replay_index  # popped youngest-first
 
             if self.tracer is not None:
                 self.tracer.squash(victim)
             if victim.state == DynState.IN_CHECK:
                 self._check_pending -= 1
+            else:
+                unchecked = self._unchecked
+                if unchecked and unchecked[-1] is victim:
+                    unchecked.pop()
             inst = victim.inst
             if inst.op is Op.STORE and victim.state != DynState.RETIRED:
                 self.sb_count -= 1
             if inst.writes_reg and self.rename.get(inst.rd) is victim:
-                previous = self._prev_producer.get(victim.seq)
+                previous = victim.prev_producer
                 if previous is not None and not previous.squashed and previous.state != DynState.RETIRED:
                     self.rename[inst.rd] = previous
                 else:
                     del self.rename[inst.rd]
-            self._prev_producer.pop(victim.seq, None)
         if truncate >= 0:
             log.truncate_to(truncate)
-        if rewind >= 0:
-            self._replay_offer_cursor = rewind
         self._store_entries = deque(s for s in self._store_entries if not s.squashed)
         if self.sync_request is not None and self.sync_request.squashed:
             self.sync_request = None
@@ -1088,44 +1394,6 @@ class OoOCore:
         self.pc = new_pc
         self.fetch_stalled = False
 
-    def _replay_resync(self, entry: DynInstr, rerun: bool = False) -> None:
-        """Re-anchor the replay cursor after squashing ``entry``'s path.
-
-        Every caller has just squashed younger instructions because of an
-        event on the *committed* path (mispredict resolution, trap,
-        interrupt, synthetic ITLB miss, DTLB trap).  Such an ``entry``
-        carries its committed-stream index, so fetch provably continues
-        at that index (``rerun``, when the entry itself re-dispatches)
-        or right after it.  Entries dispatched while out of sync carry
-        no index, in which case the cursor stays unsynced until the next
-        anchor (or an empty ROB at a user dispatch).
-        """
-        if (
-            self.replay_trace is not None
-            and not self._replay_diverged
-            and entry.replay_index is not None
-        ):
-            self._replay_cursor = entry.replay_index + (0 if rerun else 1)
-            self._replay_synced = True
-
-    def _replay_cut(self, entry: DynInstr) -> None:
-        """Stop trusting dispatch-time bindings younger than ``entry``.
-
-        Called when a load obtains a memory value the vocal's trace
-        cannot vouch for (or contradicts): if the value is stale (input
-        incoherence), every dependent must recompute from it exactly as
-        in dual execution, and no younger squash may re-anchor the
-        cursor on what is now potentially a divergent path.  Younger
-        entries cannot have been offered yet (offers are blocked behind
-        this load's completion), so stripping their indices is safe.
-        """
-        self._replay_synced = False
-        seq = entry.seq
-        for e in self.rob:
-            if e.seq > seq:
-                e.replay = None
-                e.replay_index = None
-
     def hard_reset(self, program: Program, now: int) -> None:
         """Reset all architectural and microarchitectural state for a new
         program — used when a core is repurposed (dual-use switching)."""
@@ -1134,7 +1402,6 @@ class OoOCore:
         self.gate.flush()
         self.completions.clear()
         self.rename.clear()
-        self._prev_producer.clear()
         self.ready.clear()
         self._store_entries.clear()
         self._ser_heap.clear()
@@ -1142,16 +1409,14 @@ class OoOCore:
         self._drain_inflight = None
         self.sb_count = 0
         self._check_pending = 0
+        self._unchecked.clear()
         self.sync_request = None
         self.single_step = False
         self._interrupts.clear()
         self.replay_log = None
-        self.replay_trace = None
-        self._replay_cursor = 0
-        self._replay_synced = True
-        self._replay_offer_cursor = 0
-        self._replay_diverged = False
         self.program = program
+        if self._soa:
+            self._bind_decode()
         self.arf = RegisterFile()
         for index, value in program.initial_regs.items():
             self.arf.write(index, value)
@@ -1167,6 +1432,7 @@ class OoOCore:
         Used at the start of recovery so both cores' architectural state
         reflects the full compared prefix before rollback.
         """
+        self._skip_until = 0
         while True:
             cleared = self.gate.pop_retirable(now, 1 << 30)
             if not cleared:
@@ -1180,7 +1446,7 @@ class OoOCore:
         if self.rob:
             return self.rob[0].pc
         if self.fetch_queue:
-            return self.fetch_queue[0].pc
+            return self.fetch_queue[0][1]  # pc
         return self.pc
 
     def flush_for_recovery(self, resume_pc: int, now: int, penalty: int) -> None:
@@ -1197,14 +1463,7 @@ class OoOCore:
         self.gate.flush()
         self.completions.clear()
         self._check_pending = 0
-        if self.replay_trace is not None:
-            # Rollback lands exactly on the retired prefix, so the next
-            # user dispatch (and the next offer) is committed
-            # instruction `user_retired`; divergent state is gone.
-            self._replay_cursor = self.user_retired
-            self._replay_synced = True
-            self._replay_offer_cursor = self.user_retired
-            self._replay_diverged = False
+        self._unchecked.clear()
         self.pc = resume_pc
         self.fetch_stalled = False
         self.halted = False

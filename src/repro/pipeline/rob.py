@@ -47,8 +47,10 @@ class DynInstr:
         "was_sync",
         "consumed",
         "faulted",
-        "replay",
+        "flags",
         "replay_index",
+        "wait_on",
+        "prev_producer",
     )
 
     def __init__(self, seq: int, pc: int, inst: Instruction, injected: bool = False) -> None:
@@ -75,8 +77,21 @@ class DynInstr:
         self.was_sync = False  # completed via a synchronizing request
         self.consumed = False  # some younger instruction read this result
         self.faulted = False  # carries an injected upset (see core/faults.py)
-        self.replay: tuple | None = None  # bound vocal trace record (mute)
+        self.flags = 0  # F_* decode mask (SoA hot loop; see isa/decode.py)
         self.replay_index: int | None = None  # committed-stream index
+        #: A load's memoized disambiguation blocker: the youngest older
+        #: store whose address was unresolved at the last issue attempt.
+        #: While it stays unresolved (and unsquashed) a rescan of the
+        #: store entries provably returns "blocked" again — every store
+        #: between it and the load had a resolved non-matching address
+        #: (addresses are immutable once set) and dispatch order means no
+        #: new older stores can appear — so issue retries skip the scan.
+        self.wait_on: DynInstr | None = None
+        #: For register writers: the rename-map entry this one displaced
+        #: at dispatch (None if the register was unmapped).  Squash
+        #: rollback restores it; retirement clears it so retired entries
+        #: never chain-retain their predecessors.
+        self.prev_producer: DynInstr | None = None
 
     def set_src(self, slot: int, value: int) -> None:
         """Producer wake-up: fill operand ``slot`` (1 or 2)."""

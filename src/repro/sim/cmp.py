@@ -90,10 +90,12 @@ class CMPSystem:
         #: conservative next_event() contract); ``"naive"`` steps every
         #: cycle.
         self.kernel = options.kernel
-        #: Execution mode for Reunion pairs: ``"replay"`` drives the mute
-        #: core from the vocal's value trace where provably bit-identical
-        #: (single-pair systems, no faults armed — see repro.core.replay);
-        #: ``"dual"`` always re-executes everything on the mute.
+        #: Execution mode for Reunion pairs: ``"replay"`` opens a mirror
+        #: window from reset — the mute is a provably identical copy of
+        #: the vocal until the first asymmetry trigger, at which point its
+        #: state is materialized and the pair falls back to dual execution
+        #: permanently (see repro.core.mirror); ``"dual"`` always
+        #: re-executes everything on the mute.
         self.execution = options.execution
         execution = options.execution
         if len(programs) != config.n_logical:
@@ -193,6 +195,15 @@ class CMPSystem:
                 )
                 self.pairs.append(pair)
 
+        if options.hotloop == "soa":
+            # Structure-of-arrays hot loop: pre-decode each program once
+            # into flat tables and rebind ``core.step`` to the fused fast
+            # path (see repro.isa.decode and OoOCore.use_soa_hotloop).
+            # Bit-identical to the object loop; REPRO_HOTLOOP=object
+            # keeps the reference implementation selectable.
+            for core in self.cores:
+                core.use_soa_hotloop()
+
         #: Armed telemetry (see :mod:`repro.obs`), or None when off.  The
         #: zero-cost-when-off contract: every emitting site holds this
         #: same reference (or None) and tests it once; a disarmed run
@@ -215,16 +226,15 @@ class CMPSystem:
                     paired_core.gate.obs = self.obs
                     paired_core.gate.obs_source = f"core{paired_core.core_id}"
 
-        if (
-            execution == "replay"
-            and mode is Mode.REUNION
-            and len(self.pairs) == 1
-            and len(self.cores) == 2
-        ):
-            # Replay is only provably race-free when no third core can
-            # hold a writable copy of lines the mute will load (no input
-            # incoherence); multi-pair systems run full dual execution.
-            self.pairs[0].enable_replay()
+        if execution == "replay" and mode is Mode.REUNION:
+            # A mirror window covers only the symmetric prefix before the
+            # pair's first memory access: in-window the pair touches no
+            # shared structure at all, so skipping the mute is invisible
+            # to every other pair under any coherence backend.  Arming is
+            # therefore safe per-pair even on MANYCORE systems; each pair
+            # falls back to dual execution at its own first trigger.
+            for pair in self.pairs:
+                pair.enable_replay()
 
     # -- simulation loop ----------------------------------------------------
     def step(self) -> None:
@@ -237,6 +247,33 @@ class CMPSystem:
                 # state is materialized by the pair at window exit.
                 continue
             core.step(now)
+        for pair in self.pairs:
+            pair.step(now)
+        self.now = now + 1
+
+    def _step_event(self) -> None:
+        """One cycle of the event kernel, with per-core skip caches.
+
+        :meth:`step` is the reference per-cycle loop; this one skips any
+        core whose cached ``next_event`` horizon proves the cycle is a
+        no-op for it, applying only the unconditional cycle-counter
+        increment a real step would have performed.  The cache is
+        refreshed after every real step and reset to 0 by every path
+        that mutates a core from outside ``step`` (see
+        ``OoOCore._skip_until``), so a stale horizon can never hide
+        work.  Unlike :meth:`_advance`, this skips *per core*: one busy
+        core no longer forces every stalled core through a no-op step.
+        """
+        self.steps += 1
+        now = self.now
+        for core in self.cores:
+            if core.mirror_passive:
+                continue
+            if core._skip_until > now:
+                core.cycles += 1
+                continue
+            core.step(now)
+            core._skip_until = core.next_event(now + 1)
         for pair in self.pairs:
             pair.step(now)
         self.now = now + 1
@@ -258,9 +295,14 @@ class CMPSystem:
                 # Not stepped: its stale state must not be polled (it
                 # would report spurious activity and kill every skip).
                 continue
-            t = core.next_event(now)
+            t = core._skip_until
             if t <= now:
-                return
+                # Cache expired: recompute and refresh it, so the
+                # per-core loop in _step_event benefits too.
+                t = core.next_event(now)
+                if t <= now:
+                    return
+                core._skip_until = t
             if t < horizon:
                 horizon = t
         for pair in self.pairs:
@@ -304,11 +346,16 @@ class CMPSystem:
                 if observing:
                     self._observe_step()
         else:
+            # External callers may have mutated cores between runs
+            # (armed hooks, posted interrupts): start from fresh
+            # horizons.
+            for core in self.cores:
+                core._skip_until = 0
             while self.now < end:
                 self._advance(end)
                 if self.now >= end:
                     break
-                self.step()
+                self._step_event()
                 if observing:
                     self._observe_step()
         self._mirror_sync()
@@ -324,6 +371,9 @@ class CMPSystem:
             max_cycles = self.options.max_cycles
         skipping = self.kernel == "event"
         observing = self.obs is not None
+        if skipping:
+            for core in self.cores:
+                core._skip_until = 0
         while not self.idle:
             if self.now >= max_cycles:
                 raise RuntimeError(f"system did not halt within {max_cycles} cycles")
@@ -331,7 +381,9 @@ class CMPSystem:
                 self._advance(max_cycles)
                 if self.now >= max_cycles:
                     continue  # re-check idle, then raise at max_cycles
-            self.step()
+                self._step_event()
+            else:
+                self.step()
             if observing:
                 self._observe_step()
         self._mirror_sync()
@@ -457,9 +509,9 @@ class CMPSystem:
         partner.synthetic_itlb = vocal.synthetic_itlb
         partner.stall_fetch_until = max(partner.stall_fetch_until, now + penalty)
 
-        # A re-formed pair stays in dual execution: the mute's retired-
-        # instruction counter no longer matches the vocal's, so the
-        # committed-stream indexing the replay trace relies on is gone.
+        # A re-formed pair stays in dual execution: mirror windows only
+        # arm from pristine reset state (see LogicalPair.enable_replay),
+        # and this pair resumes mid-program.
         pair = LogicalPair(logical_id, vocal, partner, self.controller, self.config)
         if partner in self.vocal_cores:
             self.vocal_cores.remove(partner)
@@ -494,9 +546,8 @@ class CMPSystem:
         must be bit-identical across simulation strategies (naive/event
         kernel, dual/replay execution, telemetry on/off), because the
         differential tests compare whole snapshots.  Strategy-dependent
-        diagnostics — :attr:`steps`, ``pair.mirror_cycles``,
-        ``core.replayed_binds``, anything in :mod:`repro.obs` — must
-        therefore never be folded in here.
+        diagnostics — :attr:`steps`, ``pair.mirror_cycles``, anything in
+        :mod:`repro.obs` — must therefore never be folded in here.
         ``tests/sim/test_stats_diagnostics.py`` asserts the exclusion.
         """
         self._mirror_sync()

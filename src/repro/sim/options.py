@@ -58,6 +58,7 @@ TRACE_LEVELS = ("off", "metrics", "events", "full")
 
 _KERNELS = ("event", "naive")
 _EXECUTIONS = ("replay", "dual")
+_HOTLOOPS = ("soa", "object")
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,7 @@ class SimOptions:
 
     kernel: str = "event"
     execution: str = "replay"
+    hotloop: str = "soa"  # core stepping implementation (bit-identical pair)
     trace: str = "off"
     trace_capacity: int = 65_536  # event ring-buffer size (records)
     max_cycles: int = 1_000_000  # run_until_idle bound
@@ -86,6 +88,10 @@ class SimOptions:
         if self.execution not in _EXECUTIONS:
             raise ValueError(
                 f"unknown execution mode {self.execution!r}; use 'replay' or 'dual'"
+            )
+        if self.hotloop not in _HOTLOOPS:
+            raise ValueError(
+                f"unknown hot loop {self.hotloop!r}; use 'soa' or 'object'"
             )
         if self.trace not in TRACE_LEVELS:
             raise ValueError(
@@ -110,7 +116,8 @@ class SimOptions:
         """Resolve options from the environment, explicit values winning.
 
         The *only* place ``REPRO_KERNEL`` / ``REPRO_EXEC`` /
-        ``REPRO_TRACE`` / ``REPRO_TRACE_CAPACITY`` are consulted.
+        ``REPRO_HOTLOOP`` / ``REPRO_TRACE`` / ``REPRO_TRACE_CAPACITY``
+        are consulted.
         ``overrides`` mirror the dataclass fields; ``None`` values mean
         "not specified" and fall through to the environment (and from
         there to the field default), so argparse results can be passed
@@ -118,10 +125,14 @@ class SimOptions:
         """
         if env is None:
             env = os.environ
+        # Empty strings mean "unset" (a CI matrix leg that doesn't pin a
+        # knob exports the variable as "") — same convention as
+        # REPRO_COHERENCE in repro.sim.config.
         values: dict[str, Any] = {
-            "kernel": env.get("REPRO_KERNEL", cls.kernel),
-            "execution": env.get("REPRO_EXEC", cls.execution),
-            "trace": env.get("REPRO_TRACE", cls.trace),
+            "kernel": env.get("REPRO_KERNEL") or cls.kernel,
+            "execution": env.get("REPRO_EXEC") or cls.execution,
+            "hotloop": env.get("REPRO_HOTLOOP") or cls.hotloop,
+            "trace": env.get("REPRO_TRACE") or cls.trace,
         }
         capacity = env.get("REPRO_TRACE_CAPACITY", "").strip()
         if capacity:
@@ -136,10 +147,12 @@ def options_key_payload(options: SimOptions | None) -> dict[str, Any]:
     """The result-affecting projection of ``options`` for job hashing.
 
     Telemetry is excluded *by design* (it must never change results —
-    ``tests/exec/test_jobs.py`` pins this), and ``kernel``/``execution``
-    are excluded by their bit-identity contracts: a sample is the same
-    sample however it was computed, so a cache populated under
-    ``REPRO_EXEC=dual`` serves ``replay`` runs and vice versa.
+    ``tests/exec/test_jobs.py`` pins this), and ``kernel`` /
+    ``execution`` / ``hotloop`` are excluded by their bit-identity
+    contracts: a sample is the same sample however it was computed, so a
+    cache populated under ``REPRO_EXEC=dual`` serves ``replay`` runs,
+    one populated under ``REPRO_HOTLOOP=object`` serves ``soa`` runs,
+    and vice versa.
     ``max_cycles`` and ``seed`` are not consumed by
     :func:`~repro.sim.sampling.run_sample` (windows and seed are
     explicit :class:`~repro.exec.jobs.SampleJob` fields).  The payload

@@ -24,6 +24,29 @@ from repro.sim.options import SimOptions
 if TYPE_CHECKING:  # pragma: no cover
     from repro.workloads.base import Workload
 
+#: Generated programs/schedules per (workload, n_logical, seed), keyed by
+#: workload *identity* (Workload defines no __eq__).  The contract on
+#: :meth:`Workload.programs` — deterministic in ``seed`` — makes reuse
+#: result-neutral, and a bench phase asks for the same generation three
+#: times (once per redundancy mode), so this removes a third or more of
+#: quick-scale wall time.  Programs are immutable to the simulator (the
+#: per-``Program`` decode cache is additive and deterministic) and ITLB
+#: schedules are pure functions of the retired-instruction index, so
+#: sharing across systems cannot couple their results.
+_generation_memo: dict = {}
+
+
+def _generated(workload: "Workload", n_logical: int, seed: int):
+    key = (workload, n_logical, seed)
+    entry = _generation_memo.get(key)
+    if entry is None:
+        entry = (
+            workload.programs(n_logical, seed),
+            workload.itlb_schedules(n_logical, seed),
+        )
+        _generation_memo[key] = entry
+    return entry
+
 
 @dataclass(frozen=True)
 class Sample:
@@ -82,8 +105,7 @@ def run_sample_system(
     bit-identical to :func:`run_sample`'s regardless of ``options``
     (kernel/execution/telemetry are all result-neutral by contract).
     """
-    programs = workload.programs(config.n_logical, seed)
-    schedules = workload.itlb_schedules(config.n_logical, seed)
+    programs, schedules = _generated(workload, config.n_logical, seed)
     system = CMPSystem(config, programs, schedules, options=options)
     system.run(warmup)
 

@@ -1,0 +1,136 @@
+"""Equivalence of the SoA hot loop and the object reference loop.
+
+``REPRO_HOTLOOP=soa`` (the default) pre-decodes each program into flat
+int tables and rebinds ``OoOCore.step`` to a fused fast path;
+``REPRO_HOTLOOP=object`` keeps the original attribute-chasing loop.
+Their contract is *bit identity*: same statistics, same fingerprint
+comparison sequence, same recoveries, same architectural state — on any
+program, under any kernel, execution strategy, or fault plan.  These
+tests diff everything observable between the two loops, on curated
+scenarios and on Hypothesis-generated random programs with randomized
+fault injection.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.faults import FaultInjector
+from repro.isa import assemble
+from repro.sim.cmp import CMPSystem
+from repro.sim.config import Mode, PhantomStrength
+from repro.sim.options import SimOptions
+from repro.workloads.micro import PointerChase
+from tests.core.helpers import SMALL
+from tests.pipeline.test_differential_random import random_program
+from tests.sim.test_replay_exec import MIXED, _observe
+
+CHASE = PointerChase(nodes=48, chases_per_iteration=6)
+
+
+def _config(fingerprint_interval: int = 8):
+    return SMALL.replace(n_logical=1).with_redundancy(
+        mode=Mode.REUNION,
+        comparison_latency=10,
+        fingerprint_interval=fingerprint_interval,
+        phantom=PhantomStrength.GLOBAL,
+    )
+
+
+def _run(
+    program, hotloop, *, kernel="event", execution="dual", injector=None, cycles=None
+):
+    options = SimOptions(hotloop=hotloop, kernel=kernel, execution=execution)
+    system = CMPSystem(_config(), [program], options=options)
+    if injector is not None:
+        interval, seed, target = injector
+        FaultInjector(interval=interval, seed=seed, target=target).attach(
+            system.cores[1]
+        )
+    if cycles is None:
+        system.run_until_idle(max_cycles=500_000)
+    else:
+        system.run(cycles)  # non-terminating workloads: fixed horizon
+    return system
+
+
+@pytest.mark.parametrize("kernel", ["naive", "event"])
+@pytest.mark.parametrize("execution", ["dual", "replay"])
+class TestHotLoopEquivalence:
+    """Curated scenarios across the full kernel x execution matrix."""
+
+    def test_mixed_workload(self, kernel, execution):
+        program = assemble(MIXED)
+        soa = _run(program, "soa", kernel=kernel, execution=execution)
+        obj = _run(program, "object", kernel=kernel, execution=execution)
+        assert _observe(soa) == _observe(obj)
+
+    def test_memory_bound_workload(self, kernel, execution):
+        program = CHASE.programs(1, seed=3)[0]
+        soa = _run(program, "soa", kernel=kernel, execution=execution, cycles=30_000)
+        obj = _run(
+            program, "object", kernel=kernel, execution=execution, cycles=30_000
+        )
+        assert _observe(soa) == _observe(obj)
+
+
+@pytest.mark.parametrize("target", ["result", "store_addr", "branch_target"])
+def test_fault_recovery_is_loop_independent(target):
+    """Injected faults must detect and recover identically under both loops.
+
+    The injector counts *eligible* instructions, so any divergence in
+    issue order or re-execution between the loops would shift every
+    subsequent injection and show up as a different recovery log.
+    """
+    program = assemble(MIXED)
+    injector = (40, 11, target)
+    soa = _run(program, "soa", injector=injector)
+    obj = _run(program, "object", injector=injector)
+    soa_obs, obj_obs = _observe(soa), _observe(obj)
+    assert soa_obs == obj_obs
+    assert soa.pairs[0].recoveries > 0  # the plan actually fired
+
+
+@given(
+    program=random_program(),
+    fault=st.one_of(
+        st.none(),
+        st.tuples(
+            st.integers(min_value=20, max_value=80),  # interval
+            st.integers(min_value=0, max_value=2**16),  # seed
+            st.sampled_from(["result", "store_addr", "branch_target"]),
+        ),
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_programs_bit_identical(program, fault):
+    """Fuzz: random programs and fault plans, diffed loop-vs-loop."""
+    soa = _run(program, "soa", injector=fault)
+    obj = _run(program, "object", injector=fault)
+    assert _observe(soa) == _observe(obj)
+
+
+class TestHotLoopSelection:
+    def test_env_selects_object_loop(self):
+        options = SimOptions.from_env({"REPRO_HOTLOOP": "object"})
+        assert options.hotloop == "object"
+        system = CMPSystem(_config(), [assemble(MIXED)], options=options)
+        core = system.cores[0]
+        assert core.step.__func__ is type(core).step
+
+    def test_empty_env_value_means_unset(self):
+        # A CI matrix leg that doesn't pin the knob exports "".
+        assert SimOptions.from_env({"REPRO_HOTLOOP": ""}).hotloop == "soa"
+
+    def test_default_is_soa(self):
+        options = SimOptions.from_env({})
+        assert options.hotloop == "soa"
+        system = CMPSystem(_config(), [assemble(MIXED)], options=options)
+        core = system.cores[0]
+        assert core.step.__func__ is type(core)._step_soa
+
+    def test_unknown_hotloop_rejected(self):
+        with pytest.raises(ValueError, match="hot loop"):
+            SimOptions(hotloop="vectorized")
