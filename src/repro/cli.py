@@ -364,7 +364,17 @@ def cmd_campaign(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.exec.benchreport import BenchReport, check_regression, run_bench
+    from repro.exec.benchreport import (
+        BenchReport,
+        check_regression,
+        compare_reports,
+        run_bench,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        print(compare_reports(BenchReport.load(old_path), BenchReport.load(new_path)))
+        return 0
 
     try:
         report = run_bench(
@@ -559,6 +569,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         help="a prior BENCH json; exit 1 if any phase regresses >3x "
         "or the kernels disagree",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        help="diff two BENCH_*.json reports (per-phase cycles/s ratio, "
+        "speedup drift) instead of running the bench",
     )
     bench_parser.add_argument(
         "--no-kernel-comparison",

@@ -22,9 +22,18 @@ to fingerprints, and never close intervals.  See
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from typing import NamedTuple
 
+from repro.isa.decode import (
+    F_ATOMIC,
+    F_CONTROL,
+    F_HALT,
+    F_SER,
+    F_STORE,
+    F_WRITES,
+)
 from repro.isa.opcodes import Op
+from repro.pipeline.flat import M_FAULTED, M_INJECTED, M_SYNC
 from repro.pipeline.gates import NEVER
 from repro.pipeline.rob import DynInstr
 from repro.sim.config import RedundancyConfig
@@ -32,10 +41,18 @@ from repro.sim.config import RedundancyConfig
 #: Same 64-bit update-word domain as repro.core.fingerprint.
 _WORD_MASK_64 = (1 << 64) - 1
 
+#: Instructions whose address enters the fingerprint's store stream
+#: (``Instruction.is_store``: plain stores *and* atomics).
+_F_STORE_STREAM = F_STORE | F_ATOMIC
 
-@dataclass(slots=True)
-class IntervalRecord:
-    """A closed fingerprint interval, ready for comparison."""
+
+class IntervalRecord(NamedTuple):
+    """A closed fingerprint interval, ready for comparison.
+
+    A NamedTuple rather than a dataclass: one is built per retired user
+    instruction at the paper's interval length of 1, and tuple
+    construction is C-speed where a ``__init__`` frame is not.
+    """
 
     index: int
     fingerprint: int
@@ -73,7 +90,11 @@ class CheckGate:
         self._interval_len = config.fingerprint_interval
         self._cmp_latency = config.comparison_latency
         # (entry, interval index or None for injected pass-through, offer cycle)
-        self._pending: deque[tuple[DynInstr, int | None, int]] = deque()
+        # — ``entry`` is a DynInstr in object mode, a packed flat-ROB ref
+        # (int) in flat mode; a gate only ever serves one loop flavour.
+        self._pending: deque[tuple] = deque()
+        #: Reused pop_retirable output buffer (valid until the next pop).
+        self._scratch: list = []
         #: Update words of the currently-open interval, captured at offer
         #: time and hashed in one batched :meth:`FingerprintAccumulator.
         #: add_words` call when the interval closes.  CRC chaining is
@@ -158,6 +179,62 @@ class CheckGate:
         ):
             self._close(now)
 
+    def offer_f(self, core, slot: int, now: int) -> None:
+        """Flat twin of :meth:`offer` over the core's column arrays.
+
+        Same decisions, same word-capture order (result → store addr/value
+        → atomic addr → branch target), keyed off the decode ``F_*`` mask
+        and the packed booleans instead of ``Instruction`` attributes.
+        """
+        packed = (core.f_seq[slot] << core._f_sbits) | slot
+        mask = core.f_mask[slot]
+        if mask & M_INJECTED:
+            self._pending.append((packed, None, now))
+            return
+        flags = core.f_flags[slot]
+        words = self._words
+        if flags & F_WRITES:
+            result = core.f_res[slot]
+            if result is not None:
+                words.append(result)
+        if flags & _F_STORE_STREAM:
+            addr = core.f_addr[slot]
+            if addr is not None:
+                words.append(addr)
+                store_value = core.f_sval[slot]
+                if store_value is not None:
+                    words.append(store_value)
+            if flags & F_ATOMIC and addr is not None:
+                words.append(addr)
+        if flags & F_CONTROL:
+            actual_next = core.f_anext[slot]
+            if actual_next is not None:
+                words.append(actual_next)
+        if mask & M_FAULTED:
+            obs = self.obs
+            if obs is not None:
+                obs.emit(
+                    "fault.absorb",
+                    now,
+                    self.obs_source,
+                    seq=packed >> core._f_sbits,
+                    interval=self._index,
+                )
+        self._count += 1
+        self._has_sync = self._has_sync or bool(mask & M_SYNC)
+        is_halt = flags & F_HALT
+        if is_halt:
+            self._has_halt = True
+        self._pending.append((packed, self._index, now))
+        self._last_offer = now
+        if (
+            self._count >= self._interval_len
+            or flags & F_SER
+            or is_halt
+            or self.single_step
+        ):
+            self._close(now)
+
     def close_open(self, now: int) -> None:
         """Serializing instruction encountered: end the interval early.
 
@@ -201,8 +278,7 @@ class CheckGate:
                 accum.add_words(words)
             words.clear()
         # Positional construction: this runs once per retired user
-        # instruction at the paper's interval length of 1, and the slots
-        # dataclass __init__ is measurably cheaper without keywords.
+        # instruction at the paper's interval length of 1.
         self._closed.append(
             IntervalRecord(
                 self._index,
@@ -232,7 +308,11 @@ class CheckGate:
         self.intervals_closed += 1
 
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
-        out: list[DynInstr] = []
+        # ``out`` is the reused scratch buffer: valid until the next pop,
+        # consumed immediately by every caller (retire loop, recovery
+        # drain), never retained.
+        out = self._scratch
+        out.clear()
         pending = self._pending
         while pending and len(out) < limit:
             entry, index, offered = pending[0]
@@ -276,6 +356,82 @@ class CheckGate:
             )
         retire_at = self._retire_time.get(index)
         return retire_at is not None and retire_at <= now
+
+    def pop_retirable_f(self, core, now: int, limit: int) -> list[int]:
+        """Flat twin of :meth:`pop_retirable` over packed refs.
+
+        Returned refs share the object pop's scratch-buffer lifetime and
+        must be seq-re-validated by the caller (a TRAP/interrupt retire
+        mid-batch squashes younger refs still in the batch).
+        """
+        out = self._scratch
+        out.clear()
+        pending = self._pending
+        if not pending:
+            return out
+        f_seq = core.f_seq
+        smask = core._f_smask
+        sbits = core._f_sbits
+        f_flags = core.f_flags
+        while pending and len(out) < limit:
+            packed, index, offered = pending[0]
+            if f_seq[packed & smask] != packed >> sbits:
+                pending.popleft()  # squashed after offer
+                continue
+            if index is None:
+                # Injected handler instruction (see pop_retirable).
+                if (
+                    f_flags[packed & smask] & F_SER
+                    and now < offered + self._cmp_latency
+                ):
+                    break
+                pending.popleft()
+                out.append(packed)
+                continue
+            retire_at = self._retire_time.get(index)
+            if retire_at is None or retire_at > now:
+                break
+            pending.popleft()
+            out.append(packed)
+        return out
+
+    def has_retirable_f(self, core, now: int) -> bool:
+        pending = self._pending
+        if not pending:
+            return False
+        packed, index, offered = pending[0]
+        if core.f_seq[packed & core._f_smask] != packed >> core._f_sbits:
+            return True  # squashed head: pop discards it
+        if index is None:
+            return (
+                not core.f_flags[packed & core._f_smask] & F_SER
+                or now >= offered + self._cmp_latency
+            )
+        retire_at = self._retire_time.get(index)
+        return retire_at is not None and retire_at <= now
+
+    def next_release_f(self, core, now: int) -> int:
+        wake = NEVER
+        pending = self._pending
+        if pending:
+            packed, index, offered = pending[0]
+            if core.f_seq[packed & core._f_smask] != packed >> core._f_sbits:
+                return now
+            if index is None:
+                if core.f_flags[packed & core._f_smask] & F_SER:
+                    release = offered + self._cmp_latency
+                    return release if release > now else now
+                return now
+            retire_at = self._retire_time.get(index)
+            if retire_at is not None:
+                return retire_at if retire_at > now else now
+        if self._count and self.paired:
+            timeout = self._last_offer + self._timeout_limit + 1
+            if timeout <= now:
+                return now
+            if timeout < wake:
+                wake = timeout
+        return wake
 
     def next_release(self, now: int) -> int:
         """Conservative horizon: when could this gate next release work?

@@ -34,8 +34,13 @@ replay being disabled (decoupling).
 Materialization is a deep, memo-ed copy of every mutable private field
 of the vocal core and its check gate onto the mute, cloning live
 :class:`DynInstr` objects so the two pipelines share no mutable state
-afterwards.  The differential tests in ``tests/sim/test_replay_exec.py``
-diff every observable between replay and dual mode to keep this honest.
+afterwards.  Under the flat hot loop (``REPRO_HOTLOOP=soa``) there are
+no entry objects to clone: in-flight state is plain column lists indexed
+by slot/packed ints, so materialization degenerates to copying the
+columns and containers verbatim — the copied refs resolve identically
+against the mute's copied columns.  The differential tests in
+``tests/sim/test_replay_exec.py`` diff every observable between replay
+and dual mode to keep this honest.
 """
 
 from __future__ import annotations
@@ -110,7 +115,33 @@ def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> No
             user_retired=vocal.user_retired,
         )
 
-    # -- clone the live dynamic-instruction graph -----------------------
+    if vocal._soa:
+        _materialize_flat(vocal, mute)
+    else:
+        _materialize_object(vocal, mute)
+
+    # -- frontend -------------------------------------------------------
+    # Fetch-queue entries are immutable tuples: a shallow copy suffices.
+    mute.fetch_queue = type(vocal.fetch_queue)(vocal.fetch_queue)
+    mute.injection = type(vocal.injection)(vocal.injection)
+    mute._injection_resume = vocal._injection_resume
+    mute.fetch_stalled = vocal.fetch_stalled
+    mute.stall_fetch_until = vocal.stall_fetch_until
+    mute.predictor._table = list(vocal.predictor._table)
+    mute.predictor._history = vocal.predictor._history
+
+    # -- backend scalars ------------------------------------------------
+    mute._next_seq = vocal._next_seq
+    mute._check_pending = vocal._check_pending
+    mute.single_step = vocal.single_step
+    mute.drain = type(vocal.drain)(vocal.drain)
+    mute.sb_count = vocal.sb_count
+    mute._drain_inflight = vocal._drain_inflight
+    mute._interrupts = type(vocal._interrupts)(vocal._interrupts)
+
+
+def _materialize_object(vocal: OoOCore, mute: OoOCore) -> None:
+    """Object-loop materialization: deep-clone the DynInstr graph."""
     clones: dict[int, DynInstr] = {}
     worklist: list[DynInstr] = []
 
@@ -139,6 +170,9 @@ def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> No
     mute.rename = {reg: clone(e) for reg, e in vocal.rename.items()}
     mute.sync_request = clone(vocal.sync_request)
     mute.resume_normal_after = clone(vocal.resume_normal_after)
+    mute._unchecked = type(vocal._unchecked)(
+        clone(e) for e in vocal._unchecked
+    )
 
     # Wake-up lists may reference entries reachable nowhere else (e.g.
     # squashed consumers): the worklist grows while we fix them up.
@@ -153,37 +187,84 @@ def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> No
         copied.prev_producer = clone(original.prev_producer)
         index += 1
 
-    # -- frontend -------------------------------------------------------
-    # Fetch-queue entries are immutable tuples: a shallow copy suffices.
-    mute.fetch_queue = type(vocal.fetch_queue)(vocal.fetch_queue)
-    mute.injection = type(vocal.injection)(vocal.injection)
-    mute._injection_resume = vocal._injection_resume
-    mute.fetch_stalled = vocal.fetch_stalled
-    mute.stall_fetch_until = vocal.stall_fetch_until
-    mute.predictor._table = list(vocal.predictor._table)
-    mute.predictor._history = vocal.predictor._history
-
-    # -- backend scalars ------------------------------------------------
-    mute._next_seq = vocal._next_seq
-    mute._check_pending = vocal._check_pending
-    mute._unchecked = type(vocal._unchecked)(
-        clone(e) for e in vocal._unchecked
-    )
-    mute.single_step = vocal.single_step
-    mute.drain = type(vocal.drain)(vocal.drain)
-    mute.sb_count = vocal.sb_count
-    mute._drain_inflight = vocal._drain_inflight
-    mute._interrupts = type(vocal._interrupts)(vocal._interrupts)
-
     # -- check stage ----------------------------------------------------
     _materialize_gate(vocal.gate, mute.gate, clone)
 
 
-def _materialize_gate(vocal_gate: CheckGate, mute_gate: CheckGate, clone) -> None:
-    mute_gate._pending = type(vocal_gate._pending)(
-        (clone(entry), index, offered)
-        for entry, index, offered in vocal_gate._pending
-    )
+#: Flat-ROB columns copied verbatim on materialization (``f_deps`` needs
+#: a per-slot list copy and is handled separately).
+_FLAT_COLUMNS = (
+    "f_seq",
+    "f_pc",
+    "f_inst",
+    "f_state",
+    "f_pend",
+    "f_v1",
+    "f_v2",
+    "f_res",
+    "f_addr",
+    "f_sval",
+    "f_pred",
+    "f_anext",
+    "f_ccyc",
+    "f_fill",
+    "f_flags",
+    "f_mask",
+    "f_ridx",
+    "f_wo",
+    "f_pp",
+    "f_row",
+)
+
+
+def _materialize_flat(vocal: OoOCore, mute: OoOCore) -> None:
+    """Flat-loop materialization: copy columns and int-ref containers.
+
+    Slot / packed refs carry no object identity — the verbatim-copied
+    containers resolve against the mute's copied columns exactly as the
+    originals do against the vocal's, so no clone pass is needed.  The
+    ring geometry (capacity, shift, mask) is identical by construction:
+    both cores share one config and ``use_soa_hotloop`` call site.
+    Columns are copied *in place* — the hot loop's ``_f_cols`` bundle
+    and the FlatView singletons alias the list objects by identity.
+    """
+    for name in _FLAT_COLUMNS:
+        getattr(mute, name)[:] = getattr(vocal, name)
+    for mute_edges, vocal_edges in zip(mute.f_deps, vocal.f_deps):
+        mute_edges[:] = vocal_edges
+    mute._f_tail = vocal._f_tail
+    mute.rob = type(vocal.rob)(vocal.rob)
+    mute.ready = list(vocal.ready)
+    mute.completions = list(vocal.completions)
+    mute._store_entries = type(vocal._store_entries)(vocal._store_entries)
+    mute._ser_heap = list(vocal._ser_heap)
+    mute.rename = dict(vocal.rename)
+    mute._unchecked = type(vocal._unchecked)(vocal._unchecked)
+    sync_request = vocal.sync_request
+    if sync_request is None:
+        mute.sync_request = None
+    else:
+        view = mute._f_views[sync_request._s]
+        view._q = sync_request._q
+        mute.sync_request = view
+    # In-window the vocal provably never entered re-execution, so this
+    # is always None; copied for symmetry with the object path.
+    mute.resume_normal_after = vocal.resume_normal_after
+    _materialize_gate(vocal.gate, mute.gate)
+
+
+def _materialize_gate(
+    vocal_gate: CheckGate, mute_gate: CheckGate, clone=None
+) -> None:
+    if clone is None:
+        # Flat mode: _pending holds immutable (packed, index, offered)
+        # tuples over the columns copied above.
+        mute_gate._pending = type(vocal_gate._pending)(vocal_gate._pending)
+    else:
+        mute_gate._pending = type(vocal_gate._pending)(
+            (clone(entry), index, offered)
+            for entry, index, offered in vocal_gate._pending
+        )
     mute_gate._closed = type(vocal_gate._closed)(
         IntervalRecord(
             index=r.index,

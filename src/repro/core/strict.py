@@ -41,6 +41,10 @@ class StrictCheckGate(CheckGate):
         super().offer(entry, now)
         self._self_compare()
 
+    def offer_f(self, core, slot: int, now: int) -> None:
+        super().offer_f(core, slot, now)
+        self._self_compare()
+
     def close_open(self, now: int) -> None:
         super().close_open(now)
         self._self_compare()

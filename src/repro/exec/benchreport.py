@@ -136,6 +136,25 @@ class DirectoryScenario:
 
 
 @dataclass
+class RetireGateMicro:
+    """Throughput of the retire-gate offer/pop path, gate machinery only.
+
+    ``pop_retirable`` sits on the per-cycle retire path and hands back a
+    reused per-gate scratch buffer instead of allocating a fresh list.
+    ``scratch_reused`` pins that contract (the pop must return the *same*
+    list object every call); ``ops_per_s`` is the instruction throughput
+    of a bare offer→pop loop, floored against the baseline in
+    :func:`check_regression` exactly like the phase sweeps.
+    """
+
+    name: str
+    ops: int  # instructions pushed through offer -> pop
+    wall_s: float
+    ops_per_s: float
+    scratch_reused: bool
+
+
+@dataclass
 class BenchReport:
     """One `repro bench` run, serializable to ``BENCH_<date>.json``."""
 
@@ -147,6 +166,7 @@ class BenchReport:
     exec_comparison: list[ExecComparison] = field(default_factory=list)
     telemetry_comparison: list[TelemetryComparison] = field(default_factory=list)
     directory_scenario: list[DirectoryScenario] = field(default_factory=list)
+    micro: list[RetireGateMicro] = field(default_factory=list)
     #: Wall seconds by bench component (see repro.obs.profile.Profiler).
     profile: dict[str, float] = field(default_factory=dict)
     schema: int = BENCH_SCHEMA
@@ -175,6 +195,7 @@ class BenchReport:
                 DirectoryScenario(**s)
                 for s in payload.get("directory_scenario", [])
             ],
+            micro=[RetireGateMicro(**m) for m in payload.get("micro", [])],
             profile=payload.get("profile", {}),
             schema=payload.get("schema", BENCH_SCHEMA),
         )
@@ -255,6 +276,19 @@ class BenchReport:
                     f"{sc.cycles_per_s:>12,.0f}{sc.recoveries:>7}"
                     f"{sc.sync_requests:>7}{sc.phantom_reads:>9,}"
                     f"{sc.mirror_cycles:>8,}"
+                )
+        if self.micro:
+            lines += [
+                "",
+                "retire-gate micro (bare offer/pop loop, gate machinery only):",
+                f"{'gate':<28}{'ops':>10}{'wall s':>10}{'ops/s':>14}{'scratch':>9}",
+                "-" * 71,
+            ]
+            for micro in self.micro:
+                lines.append(
+                    f"{micro.name:<28}{micro.ops:>10,}{micro.wall_s:>10.3f}"
+                    f"{micro.ops_per_s:>14,.0f}"
+                    f"{'reused' if micro.scratch_reused else 'ALLOC':>9}"
                 )
         if self.profile:
             lines += ["", "profile (wall seconds by bench component):"]
@@ -501,6 +535,82 @@ def run_directory_scenario(
     return scenarios
 
 
+def run_retire_gate_micro(
+    cycles: int = 30_000, width: int = 4
+) -> list[RetireGateMicro]:
+    """Time the retire-gate offer/pop path in isolation.
+
+    The retire loop pops the gate every cycle it has work, so
+    ``pop_retirable`` overhead is pure per-retired-instruction tax.  This
+    micro drives the immediate gate (non-redundant retirement) and the
+    strict check gate (fingerprint close + self-compare + latency queue —
+    the full check-stage data path without needing a partner core) with a
+    recycled pool of completed entries, and pins the scratch-buffer
+    contract: the pop must hand back the *same* list object every call,
+    never a fresh allocation.
+    """
+    from collections import deque
+
+    from repro.core.strict import StrictCheckGate
+    from repro.pipeline.gates import ImmediateGate
+    from repro.pipeline.rob import DynInstr, DynState
+    from repro.sim.config import RedundancyConfig
+    from repro.workloads.micro import ComputeKernel
+
+    program = ComputeKernel().programs(1, seed=0)[0]
+    # Steady-state ALU writers only: serializing/HALT entries would close
+    # intervals early and measure interval churn instead of the pop path.
+    insts = [inst for inst in program.instructions if inst.is_alu]
+    pool: list[DynInstr] = []
+    for seq in range(256):
+        inst = insts[seq % len(insts)]
+        entry = DynInstr(seq, seq % len(insts), inst)
+        entry.state = DynState.COMPLETED
+        if inst.writes_reg:
+            entry.result = (seq * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+        pool.append(entry)
+
+    gates = [
+        ("immediate", ImmediateGate()),
+        (
+            "strict-check",
+            StrictCheckGate(
+                RedundancyConfig(mode=Mode.STRICT, comparison_latency=10)
+            ),
+        ),
+    ]
+    results: list[RetireGateMicro] = []
+    for name, gate in gates:
+        free = deque(pool)
+        popped = 0
+        scratch_reused = True
+        first: list | None = None
+        start = time.perf_counter()
+        for now in range(cycles):
+            for _ in range(width):
+                if not free:
+                    break
+                gate.offer(free.popleft(), now)
+            out = gate.pop_retirable(now, width)
+            if first is None:
+                first = out
+            elif out is not first:
+                scratch_reused = False
+            popped += len(out)
+            free.extend(out)
+        wall = time.perf_counter() - start
+        results.append(
+            RetireGateMicro(
+                name=name,
+                ops=popped,
+                wall_s=wall,
+                ops_per_s=popped / wall if wall else 0.0,
+                scratch_reused=scratch_reused,
+            )
+        )
+    return results
+
+
 def run_bench(
     scale_name: str = "quick",
     jobs: int = 1,
@@ -608,6 +718,10 @@ def run_bench(
                 pairs_list=(4,) if quick else (4, 8),
                 cycles=6_000 if quick else 20_000,
             )
+    with profiler.section("micro.retire_gate"):
+        report.micro = run_retire_gate_micro(
+            cycles=6_000 if quick else 30_000
+        )
     report.profile = profiler.snapshot()
     return report
 
@@ -661,4 +775,115 @@ def check_regression(
                 f"{cmp_.name}: armed telemetry costs {cmp_.overhead:.2f}x "
                 f"(budget {TELEMETRY_OVERHEAD_FACTOR:g}x)"
             )
+    baseline_micro = {micro.name: micro for micro in baseline.micro}
+    for micro in current.micro:
+        if not micro.scratch_reused:
+            problems.append(
+                f"{micro.name}: pop_retirable allocated a fresh list "
+                "(scratch-buffer contract broken)"
+            )
+        base = baseline_micro.get(micro.name)
+        if base is None or base.ops_per_s <= 0:
+            continue
+        if micro.ops_per_s < base.ops_per_s / factor:
+            problems.append(
+                f"{micro.name}: retire-gate micro at {micro.ops_per_s:,.0f}"
+                f" ops/s is >{factor:g}x below baseline "
+                f"{base.ops_per_s:,.0f}"
+            )
     return problems
+
+
+def compare_reports(old: BenchReport, new: BenchReport) -> str:
+    """Render a trajectory table diffing two bench reports phase by phase.
+
+    ``repro bench --compare OLD.json NEW.json`` — the bench history lives
+    in committed ``BENCH_<date>.json`` files, and this turns two of them
+    into an explicit delta instead of an eyeball diff: per-phase cycles/s
+    ratio, kernel/exec speedup drift, telemetry-overhead drift, and the
+    retire-gate micro.  Ratios are ``new / old`` — above 1.0 is faster.
+    Sections or rows present in only one report are skipped.
+    """
+    lines = [
+        f"bench trajectory: {old.date} (scale={old.scale}, jobs={old.jobs})"
+        f" -> {new.date} (scale={new.scale}, jobs={new.jobs})",
+    ]
+    if old.scale != new.scale or old.jobs != new.jobs:
+        lines.append(
+            "WARNING: reports were taken at different scale/jobs settings;"
+            " ratios are not apples to apples"
+        )
+    old_phases = {phase.name: phase for phase in old.phases}
+    rows = [
+        (phase, old_phases[phase.name])
+        for phase in new.phases
+        if phase.name in old_phases
+    ]
+    if rows:
+        lines += [
+            "",
+            f"{'phase':<12}{'old c/s':>12}{'new c/s':>12}{'ratio':>9}"
+            f"{'old wall':>10}{'new wall':>10}",
+            "-" * 65,
+        ]
+        for phase, base in rows:
+            ratio = (
+                phase.cycles_per_s / base.cycles_per_s
+                if base.cycles_per_s
+                else 0.0
+            )
+            lines.append(
+                f"{phase.name:<12}{base.cycles_per_s:>12,.0f}"
+                f"{phase.cycles_per_s:>12,.0f}{ratio:>8.2f}x"
+                f"{base.wall_s:>10.2f}{phase.wall_s:>10.2f}"
+            )
+    for title, old_rows, new_rows, field_name in (
+        ("kernel speedup drift (event vs. naive)",
+         old.kernel_comparison, new.kernel_comparison, "speedup"),
+        ("execution speedup drift (replay vs. dual)",
+         old.exec_comparison, new.exec_comparison, "speedup"),
+        ("telemetry overhead drift (armed vs. off)",
+         old.telemetry_comparison, new.telemetry_comparison, "overhead"),
+    ):
+        old_by_name = {c.name: c for c in old_rows}
+        matched = [
+            (c, old_by_name[c.name]) for c in new_rows if c.name in old_by_name
+        ]
+        if not matched:
+            continue
+        lines += [
+            "",
+            f"{title}:",
+            f"{'artifact':<28}{'old':>9}{'new':>9}{'drift':>9}",
+            "-" * 55,
+        ]
+        for current_cmp, old_cmp in matched:
+            old_value = getattr(old_cmp, field_name)
+            new_value = getattr(current_cmp, field_name)
+            drift = new_value / old_value if old_value else 0.0
+            lines.append(
+                f"{current_cmp.name:<28}{old_value:>8.2f}x{new_value:>8.2f}x"
+                f"{drift:>8.2f}x"
+            )
+    old_micro = {m.name: m for m in old.micro}
+    matched_micro = [
+        (m, old_micro[m.name]) for m in new.micro if m.name in old_micro
+    ]
+    if matched_micro:
+        lines += [
+            "",
+            "retire-gate micro drift:",
+            f"{'gate':<28}{'old ops/s':>13}{'new ops/s':>13}{'ratio':>9}",
+            "-" * 63,
+        ]
+        for current_micro, base_micro in matched_micro:
+            ratio = (
+                current_micro.ops_per_s / base_micro.ops_per_s
+                if base_micro.ops_per_s
+                else 0.0
+            )
+            lines.append(
+                f"{current_micro.name:<28}{base_micro.ops_per_s:>13,.0f}"
+                f"{current_micro.ops_per_s:>13,.0f}{ratio:>8.2f}x"
+            )
+    return "\n".join(lines)

@@ -121,9 +121,14 @@ class DecodedProgram:
     row at a time.
     """
 
-    __slots__ = ("n", "flags", "rs1", "rs2", "rd", "imm", "target", "inst")
+    __slots__ = (
+        "n", "flags", "rs1", "rs2", "rd", "imm", "target", "inst",
+        "kern", "btake",
+    )
 
     def __init__(self, program: Program, sc_mode: bool) -> None:
+        from repro.isa.semantics import ALU_KERNELS, BRANCH_KERNELS
+
         rows = list(program.instructions)
         rows.append(program.fetch(len(rows)))  # the out-of-range HALT
         self.n = len(rows) - 1
@@ -134,6 +139,14 @@ class DecodedProgram:
         self.imm = [inst.imm for inst in rows]
         self.target = [inst.target for inst in rows]
         self.inst = rows
+        # Pre-bound execute kernels (see repro.isa.semantics): one
+        # ``kernel(a, b)`` closure per ALU row with the immediate baked
+        # in, one shared resolver per branch row; None elsewhere.
+        self.kern = [
+            ALU_KERNELS[inst.op](inst.imm) if inst.is_alu else None
+            for inst in rows
+        ]
+        self.btake = [BRANCH_KERNELS.get(inst.op) for inst in rows]
 
 
 def decode_program(program: Program, sc_mode: bool) -> DecodedProgram:

@@ -62,6 +62,41 @@ def alu_result(op: Op, a: int, b: int, imm: int) -> int:
     raise ValueError(f"{op} is not an ALU operation")
 
 
+def _slt(a: int, b: int) -> int:
+    return 1 if to_signed(a) < to_signed(b) else 0
+
+
+#: Per-op ALU kernel factories: ``factory(imm) -> kernel(a, b)``.  Each
+#: kernel is bit-identical to :func:`alu_result` for its op (pinned by
+#: tests/isa/test_decode.py) but skips the op-dispatch chain and the
+#: ``Instruction`` attribute loads — the decode tables bind one closure
+#: per static instruction so execute is a single indirect call.
+ALU_KERNELS = {
+    Op.ADD: lambda imm: lambda a, b: (a + b) & WORD_MASK,
+    Op.SUB: lambda imm: lambda a, b: (a - b) & WORD_MASK,
+    Op.AND: lambda imm: lambda a, b: a & b,
+    Op.OR: lambda imm: lambda a, b: a | b,
+    Op.XOR: lambda imm: lambda a, b: a ^ b,
+    Op.SLL: lambda imm: lambda a, b: (a << (b & 63)) & WORD_MASK,
+    Op.SRL: lambda imm: lambda a, b: (a >> (b & 63)) & WORD_MASK,
+    Op.MUL: lambda imm: lambda a, b: (a * b) & WORD_MASK,
+    Op.SLT: lambda imm: _slt,
+    Op.ADDI: lambda imm: lambda a, b, _i=imm: (a + _i) & WORD_MASK,
+    Op.ANDI: lambda imm: lambda a, b, _i=imm & WORD_MASK: a & _i,
+    Op.ORI: lambda imm: lambda a, b, _i=imm & WORD_MASK: a | _i,
+    Op.XORI: lambda imm: lambda a, b, _i=imm & WORD_MASK: a ^ _i,
+    Op.MOVI: lambda imm: lambda a, b, _v=imm & WORD_MASK: _v,
+}
+
+#: Per-op branch-resolution kernels, bit-identical to :func:`branch_taken`.
+BRANCH_KERNELS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: to_signed(a) < to_signed(b),
+    Op.BGE: lambda a, b: to_signed(a) >= to_signed(b),
+}
+
+
 def branch_taken(op: Op, a: int, b: int) -> bool:
     """Resolve a conditional branch on real operand values."""
     if op is Op.BEQ:

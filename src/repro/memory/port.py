@@ -64,6 +64,14 @@ class CoreMemPort:
         self._word_mask = l1_config.line_bytes // 8 - 1
         controller.register_l1(core_id, self.l1, is_mute)
         self._prefix = f"core{core_id}."
+        # Stat keys interned once: load/store are hot enough that the
+        # per-access string concat shows up in profiles.
+        self._k_load_hits = self._prefix + "l1_load_hits"
+        self._k_load_misses = self._prefix + "l1_load_misses"
+        self._k_store_hits = self._prefix + "l1_store_hits"
+        self._k_store_misses = self._prefix + "l1_store_misses"
+        self._k_store_upgrades = self._prefix + "l1_store_upgrades"
+        self._k_mshr_stalls = self._prefix + "mshr_stalls"
 
     # -- TLB ----------------------------------------------------------------
     def dtlb_hit(self, addr: int) -> bool:
@@ -79,14 +87,14 @@ class CoreMemPort:
         offset = (addr >> 3) & self._word_mask
         line = self.l1.access(line_addr)
         if line is not None:
-            self.stats.inc(self._prefix + "l1_load_hits")
+            self.stats.inc(self._k_load_hits)
             return Access(value=line.data[offset], done=now + self.config.load_to_use)
 
         if not self.mshrs.available(now):
-            self.stats.inc(self._prefix + "mshr_stalls")
+            self.stats.inc(self._k_mshr_stalls)
             return Access(retry=True)
 
-        self.stats.inc(self._prefix + "l1_load_misses")
+        self.stats.inc(self._k_load_misses)
         if self.is_mute:
             reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)
             self._install_mute(line_addr, reply.data)
@@ -94,6 +102,28 @@ class CoreMemPort:
             reply = self.controller.vocal_read(self.core_id, line_addr, now)
         self.mshrs.allocate(now, reply.done)
         return Access(value=reply.data[offset], done=reply.done, miss=True)
+
+    def load_f(self, addr: int, now: int) -> tuple[int, int] | None:
+        """Hot-loop twin of :meth:`load`: ``(value, done)``, or ``None``
+        when no MSHR is free (the caller retries).  Identical stats and
+        timing; skips the :class:`Access` allocation the flat pipeline
+        would immediately tear apart."""
+        line_addr = addr >> self._line_shift
+        line = self.l1.access(line_addr)
+        if line is not None:
+            self.stats.inc(self._k_load_hits)
+            return line.data[(addr >> 3) & self._word_mask], now + self.config.load_to_use
+        if not self.mshrs.available(now):
+            self.stats.inc(self._k_mshr_stalls)
+            return None
+        self.stats.inc(self._k_load_misses)
+        if self.is_mute:
+            reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)
+            self._install_mute(line_addr, reply.data)
+        else:
+            reply = self.controller.vocal_read(self.core_id, line_addr, now)
+        self.mshrs.allocate(now, reply.done)
+        return reply.data[(addr >> 3) & self._word_mask], reply.done
 
     # -- stores (non-speculative drain) -----------------------------------------
     def store(self, addr: int, value: int, now: int) -> Access:
@@ -107,26 +137,54 @@ class CoreMemPort:
             # Mute hierarchies have blanket write permission (phantom
             # replies grant it); vocal needs E/M for a silent write.
             self.l1.write_word(addr, value)
-            self.stats.inc(self._prefix + "l1_store_hits")
+            self.stats.inc(self._k_store_hits)
             return Access(done=now + 1)
 
         if not self.mshrs.available(now):
-            self.stats.inc(self._prefix + "mshr_stalls")
+            self.stats.inc(self._k_mshr_stalls)
             return Access(retry=True)
 
         if self.is_mute:
-            self.stats.inc(self._prefix + "l1_store_misses")
+            self.stats.inc(self._k_store_misses)
             reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)
             self._install_mute(line_addr, reply.data)
         else:
             if line is not None:
-                self.stats.inc(self._prefix + "l1_store_upgrades")
+                self.stats.inc(self._k_store_upgrades)
             else:
-                self.stats.inc(self._prefix + "l1_store_misses")
+                self.stats.inc(self._k_store_misses)
             reply = self.controller.vocal_write(self.core_id, line_addr, now)
         self.mshrs.allocate(now, reply.done)
         self.l1.write_word(addr, value)
         return Access(done=reply.done, miss=True)
+
+    def store_f(self, addr: int, value: int, now: int) -> int | None:
+        """Hot-loop twin of :meth:`store`: the drain's done cycle, or
+        ``None`` when no MSHR is free.  Same stats and timing."""
+        line_addr = addr >> self._line_shift
+        line = self.l1.access(line_addr)
+        if line is not None and (
+            line.state in (LineState.MODIFIED, LineState.EXCLUSIVE) or self.is_mute
+        ):
+            self.l1.write_word(addr, value)
+            self.stats.inc(self._k_store_hits)
+            return now + 1
+        if not self.mshrs.available(now):
+            self.stats.inc(self._k_mshr_stalls)
+            return None
+        if self.is_mute:
+            self.stats.inc(self._k_store_misses)
+            reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)
+            self._install_mute(line_addr, reply.data)
+        else:
+            if line is not None:
+                self.stats.inc(self._k_store_upgrades)
+            else:
+                self.stats.inc(self._k_store_misses)
+            reply = self.controller.vocal_write(self.core_id, line_addr, now)
+        self.mshrs.allocate(now, reply.done)
+        self.l1.write_word(addr, value)
+        return reply.done
 
     # -- atomics (coherent read-modify-write, non-Reunion path) --------------------
     def rmw_read(self, addr: int, now: int) -> Access:
@@ -143,7 +201,7 @@ class CoreMemPort:
         ):
             return Access(value=line.data[offset], done=now + self.config.load_to_use)
         if not self.mshrs.available(now):
-            self.stats.inc(self._prefix + "mshr_stalls")
+            self.stats.inc(self._k_mshr_stalls)
             return Access(retry=True)
         if self.is_mute:
             reply = self.controller.phantom_read(self.core_id, line_addr, now, self.phantom)

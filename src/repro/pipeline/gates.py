@@ -36,7 +36,12 @@ class RetireGate(Protocol):
         """An instruction (oldest, completed) enters the check stage."""
 
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
-        """Entries cleared for architectural retirement, oldest first."""
+        """Entries cleared for architectural retirement, oldest first.
+
+        The returned list is a per-gate scratch buffer, valid only until
+        the next ``pop_retirable``/``pop_retirable_f`` call on this gate
+        — callers consume it immediately and never retain it.
+        """
 
     def has_retirable(self, now: int) -> bool:
         """Cheap allocation-free precheck: would ``pop_retirable`` act?
@@ -45,6 +50,32 @@ class RetireGate(Protocol):
         *or* discard squashed ones — the hot loop calls this every cycle
         and only pays for the real pop when something can happen.
         """
+
+    # -- flat-ROB protocol (REPRO_HOTLOOP=soa) ---------------------------
+    # The flat hot loop identifies in-flight instructions by packed int
+    # references ``(seq << core._f_sbits) | slot`` into the core's column
+    # arrays instead of DynInstr objects (see repro.pipeline.flat).  The
+    # ``*_f`` methods mirror their object twins over those columns; a ref
+    # whose slot seq no longer matches is squashed-or-freed and treated
+    # exactly as ``entry.squashed``.
+
+    def offer_f(self, core, slot: int, now: int) -> None:
+        """Flat twin of :meth:`offer` for the live ring slot ``slot``."""
+
+    def pop_retirable_f(self, core, now: int, limit: int) -> list[int]:
+        """Packed refs cleared for retirement, oldest first.
+
+        Same scratch-buffer lifetime as :meth:`pop_retirable`.  Callers
+        must re-validate each ref's seq before acting on it: a TRAP or
+        interrupt retired mid-batch squashes younger refs still in the
+        returned batch.
+        """
+
+    def has_retirable_f(self, core, now: int) -> bool:
+        """Flat twin of :meth:`has_retirable`."""
+
+    def next_release_f(self, core, now: int) -> int:
+        """Flat twin of :meth:`next_release`."""
 
     def close_open(self, now: int) -> None:
         """A serializing instruction is waiting: end the open interval now.
@@ -74,21 +105,39 @@ class RetireGate(Protocol):
 class ImmediateGate:
     """Non-redundant retirement: no checking, no added latency."""
 
-    __slots__ = ("_queue",)
+    __slots__ = ("_queue", "_scratch")
 
     def __init__(self) -> None:
-        self._queue: deque[DynInstr] = deque()
+        # Object mode queues DynInstr entries; flat mode queues packed
+        # int refs.  A gate only ever serves one loop flavour.
+        self._queue: deque = deque()
+        #: Reused pop_retirable output buffer (valid until the next pop).
+        self._scratch: list = []
 
     def offer(self, entry: DynInstr, now: int) -> None:
         self._queue.append(entry)
 
+    def offer_f(self, core, slot: int, now: int) -> None:
+        self._queue.append((core.f_seq[slot] << core._f_sbits) | slot)
+
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
-        out: list[DynInstr] = []
-        while self._queue and len(out) < limit:
-            out.append(self._queue.popleft())
+        out = self._scratch
+        out.clear()
+        queue = self._queue
+        while queue and len(out) < limit:
+            out.append(queue.popleft())
         return out
 
+    def pop_retirable_f(self, core, now: int, limit: int) -> list[int]:
+        # Queued refs may have gone stale (squashed after offer); the
+        # caller re-validates seqs, exactly as the object loop re-tests
+        # entry.squashed on popped entries.
+        return self.pop_retirable(now, limit)
+
     def has_retirable(self, now: int) -> bool:
+        return bool(self._queue)
+
+    def has_retirable_f(self, core, now: int) -> bool:
         return bool(self._queue)
 
     def close_open(self, now: int) -> None:
@@ -99,6 +148,9 @@ class ImmediateGate:
 
     def next_release(self, now: int) -> int:
         # Queued entries retire on the very next step; otherwise nothing.
+        return now if self._queue else NEVER
+
+    def next_release_f(self, core, now: int) -> int:
         return now if self._queue else NEVER
 
     open_count = 0  # no fingerprint intervals without checking

@@ -40,6 +40,7 @@ from repro.isa.decode import (
     F_HALT,
     F_JUMP,
     F_LOAD,
+    F_MEM,
     F_MUL,
     F_NEEDS1,
     F_NEEDS2,
@@ -53,7 +54,7 @@ from repro.isa.decode import (
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.program import Program
-from repro.isa.registers import RegisterFile
+from repro.isa.registers import WORD_MASK, RegisterFile
 from repro.isa.semantics import (
     alu_result,
     atomic_result,
@@ -62,6 +63,7 @@ from repro.isa.semantics import (
 )
 from repro.memory.port import CoreMemPort
 from repro.pipeline.branch_predictor import BranchPredictor
+from repro.pipeline.flat import M_CONSUMED, M_INJECTED, FlatView
 from repro.pipeline.gates import NEVER, ImmediateGate, RetireGate
 from repro.pipeline.rob import DynInstr, DynState
 from repro.pipeline.tlb_handler import handler_sequence
@@ -225,70 +227,189 @@ class OoOCore:
         self._do_fetch(now)
 
     # ------------------------------------------------------------------
-    # Structure-of-arrays hot loop (REPRO_HOTLOOP=soa, the default).
+    # Flat-array hot loop (REPRO_HOTLOOP=soa, the default).
     #
     # Same pipeline, same cycle-by-cycle decisions, different data
-    # layout: the program is pre-decoded once into flat parallel tables
-    # (repro.isa.decode), fetch/dispatch/issue classify dynamic
-    # instructions by indexing those tables and testing one int bitmask
-    # (`entry.flags`) instead of chasing `Instruction` attributes, and
-    # the per-cycle phase methods are fused into one function with the
-    # no-op guards hoisted.  `DynInstr` objects still materialize at
-    # dispatch — they are the view every cold path (squash, recovery,
-    # interrupts, fault injection, mirror materialization) operates on —
-    # but the hot stages never touch `entry.inst` for classification.
+    # layout.  The program is pre-decoded once into flat parallel tables
+    # (repro.isa.decode), and ALL in-flight instruction state lives in
+    # preallocated per-core column lists over a power-of-two ring of
+    # ``rob_size``-bounded slots: the steady-state dispatch → issue →
+    # complete → retire loop never constructs a Python object per
+    # instruction.  In-flight references are packed ints
+    # ``(seq << _f_sbits) | slot``; a reference is live iff
+    # ``f_seq[slot] == packed >> _f_sbits`` (seqs are globally unique and
+    # monotone, so a freed-and-reused slot can never false-match), and
+    # packed order equals program (seq) order, so sorts and heap
+    # tie-breaks are bit-identical to the object loop's.
+    #
+    # DynInstr-shaped views (repro.pipeline.flat.FlatView, per-slot
+    # singletons) materialize lazily only on cold paths: fault-injection
+    # / retire / tracer hooks, sync-request servicing, squash logging,
+    # and mirror materialization.  gates.py / check_stage.py keep their
+    # interfaces via the ``*_f`` flat protocol.
     #
     # The object loop above stays selectable (REPRO_HOTLOOP=object) as
     # the bit-identical reference; tests/sim/test_hotloop.py fuzzes the
-    # two against each other.
+    # two against each other, including the cold paths.
     # ------------------------------------------------------------------
     def use_soa_hotloop(self) -> None:
-        """Bind the pre-decoded tables and switch ``step`` to the SoA path."""
+        """Switch to the flat-array loop (call before the first step).
+
+        Binds the pre-decoded tables, allocates the flat ring, and
+        rebinds ``step`` / ``next_event`` as instance attributes so
+        selection costs nothing per cycle.  The ring starts empty, so
+        this must run before any instruction is in flight (CMPSystem
+        calls it at construction).
+        """
         self._soa = True
         self._bind_decode()
-        # Instance-attribute rebind: selection costs nothing per cycle.
+        cc = self.core_cfg
+        self._c_width = cc.width
+        self._c_rob_size = cc.rob_size
+        self._c_sb_size = cc.store_buffer_size
+        self._c_load_ports = cc.load_ports
+        self._c_alu_lat = cc.alu_latency
+        self._c_mul_lat = cc.mul_latency
+        # Bound-method hoist: the DTLB object lives for the port's (and
+        # core's) lifetime — TLB flushes clear in place, never reassign.
+        self._dtlb_lookup = self.port.tlbs.dtlb.lookup
+        self._init_flat()
         self.step = self._step_soa  # type: ignore[method-assign]
+        self.next_event = self._next_event_flat  # type: ignore[method-assign]
+
+    def _init_flat(self) -> None:
+        """Allocate the ring columns (plain lists, not int arrays).
+
+        The columns deliberately stay plain Python lists rather than the
+        ``array('q')``/numpy columns one might expect: ``None`` is a
+        load-bearing value in the reference semantics (an unresolved
+        store address means "conservatively block younger loads", an
+        absent result means "do not write the ARF / fingerprint"), and
+        the object loop's values are arbitrary-precision ints.  The win
+        here is removing the per-instruction allocation and 28 slot
+        writes, not narrowing storage.
+        """
+        size = self.core_cfg.rob_size
+        cap = 1 << max(1, (size - 1).bit_length())  # power of two >= size
+        self._f_cap = cap
+        self._f_sbits = cap.bit_length() - 1
+        self._f_smask = cap - 1
+        #: Slot of the youngest live entry; first alloc lands on slot 0.
+        #: Dispatch allocates ``(tail + 1) & mask``; squash rewinds it.
+        #: Liveness is bounded by the ROB-size dispatch guard, so an
+        #: allocation can never collide with a live slot.
+        self._f_tail = cap - 1
+        self.f_seq = [-1] * cap  # -1 = free slot
+        self.f_pc = [0] * cap
+        self.f_inst = [None] * cap
+        self.f_state = [0] * cap  # DynState ints
+        self.f_pend = [0] * cap
+        self.f_v1 = [None] * cap
+        self.f_v2 = [None] * cap
+        self.f_res = [None] * cap
+        self.f_addr = [None] * cap
+        self.f_sval = [None] * cap
+        self.f_pred = [None] * cap
+        self.f_anext = [None] * cap
+        self.f_ccyc = [-1] * cap
+        self.f_fill = [None] * cap
+        self.f_flags = [0] * cap  # decode F_* masks
+        self.f_mask = [0] * cap  # packed booleans (repro.pipeline.flat M_*)
+        self.f_ridx = [None] * cap  # replay-log index
+        self.f_wo = [-1] * cap  # wait_on: packed ref of the blocking store
+        self.f_pp = [-1] * cap  # prev_producer: displaced rename packed ref
+        self.f_row = [-1] * cap  # decode row (-1 for injected/cold fetches)
+        #: Dependents edge lists, reused across slot generations: each
+        #: edge is ``(consumer_packed << 1) | (operand - 1)``.
+        self.f_deps = [[] for _ in range(cap)]
+        self._f_views = [FlatView(self, s) for s in range(cap)]
+        # One-shot hoist bundle: the hot methods unpack this tuple into
+        # locals (a single LOAD_ATTR + UNPACK_SEQUENCE) instead of ~20
+        # separate attribute loads per call — the per-call fixed cost
+        # matters because a typical call touches only 1-2 instructions.
+        # The column list objects are never reassigned (mirror
+        # materialization copies contents in place), so the bundle stays
+        # valid for the core's lifetime.
+        self._f_cols = (
+            self.f_seq,
+            self.f_pc,
+            self.f_inst,
+            self.f_state,
+            self.f_pend,
+            self.f_v1,
+            self.f_v2,
+            self.f_res,
+            self.f_addr,
+            self.f_sval,
+            self.f_pred,
+            self.f_anext,
+            self.f_ccyc,
+            self.f_fill,
+            self.f_flags,
+            self.f_mask,
+            self.f_ridx,
+            self.f_wo,
+            self.f_pp,
+            self.f_deps,
+        )
+        # Flat-path containers hold slot indices (rob / _unchecked — the
+        # deques only ever contain live slots) or packed refs (everything
+        # else, validated lazily), not DynInstr objects.
+        self.rob = deque()
+        self.rename = {}
+        self.ready = []
+        self.completions = []
+        self._store_entries = deque()
+        self._ser_heap = []
+        self._unchecked = deque()
+        self.sync_request = None
+
+    def _view(self, slot: int) -> FlatView:
+        """The slot's singleton view, stamped with its current seq."""
+        view = self._f_views[slot]
+        view._q = self.f_seq[slot]
+        return view
 
     def _bind_decode(self) -> None:
         d = decode_program(self.program, self.sc_mode)
         self._decoded = d
-        self._d_flags = d.flags
-        self._d_rs1 = d.rs1
-        self._d_rs2 = d.rs2
-        self._d_rd = d.rd
-        self._d_target = d.target
-        self._d_inst = d.inst
-        self._d_n = d.n
+        # Hoist bundle for fetch/dispatch/issue (see _f_cols): rebuilt
+        # whenever the program is rebound (hard_reset), so it is always
+        # current.
+        self._d_cols = (
+            d.flags, d.rs1, d.rs2, d.rd, d.target, d.inst, d.n,
+            d.kern, d.btake,
+        )
 
     def _step_soa(self, now: int) -> None:
         self.cycles += 1
         heap = self.completions
         if heap and heap[0][0] <= now:
-            self._do_completions(now)
+            self._flat_completions(now)
         if self._drain_inflight is not None or self.drain:
             self._do_drain(now)
         rob = self.rob
         if rob or self.gate.open_count:
-            self._do_retire(now)
-            # _do_issue_soa is _issue_serializing plus the ready scan;
+            self._flat_retire(now)
+            # _flat_issue is _flat_issue_serializing plus the ready scan;
             # skip its call (and local setup) on ready-less stall cycles.
             if self.ready:
-                self._do_issue_soa(now)
+                self._flat_issue(now)
             elif rob and self._ser_heap:
                 # An empty ser-heap proves no serializing/HALT entry is
                 # in flight (they are pushed at dispatch), so the head-of
                 # -ROB serializing scan would be a guaranteed no-op.
-                self._issue_serializing(now)
+                self._flat_issue_serializing(now)
         fq = self.fetch_queue
         if fq and fq[0][0] <= now:
-            self._do_dispatch_soa(now)
+            self._flat_dispatch(now)
         self._do_fetch_soa(now)
 
-    def _do_issue_soa(self, now: int) -> None:
-        """`_do_issue` + `_issue_simple` over decode masks, fused."""
+    def _flat_issue(self, now: int) -> None:
+        """`_do_issue` + `_issue_simple` over the ring columns, fused."""
         if self._ser_heap:
-            self._issue_serializing(now)
-            ser_limit = self._oldest_active_serializing()
+            self._flat_issue_serializing(now)
+            ser_limit = self._flat_oldest_ser()
         else:
             # No serializing/HALT entry in flight: skip the head-of-ROB
             # scan and the heap peek entirely.
@@ -296,210 +417,1004 @@ class OoOCore:
         ready = self.ready
         if not ready:
             return
-        ready.sort(key=_BY_SEQ)
-        cc = self.core_cfg
-        issue_budget = cc.width
-        load_ports = cc.load_ports
-        alu_latency = cc.alu_latency
-        mul_latency = cc.mul_latency
+        ready.sort()  # packed order == program (seq) order
+        (
+            f_seq,
+            f_pc,
+            f_inst,
+            f_state,
+            _,
+            f_v1,
+            f_v2,
+            f_res,
+            f_addr,
+            _,
+            _,
+            f_anext,
+            _,
+            _,
+            f_flags,
+            _,
+            _,
+            f_wo,
+            _,
+            _,
+        ) = self._f_cols
+        smask = self._f_smask
+        sbits = self._f_sbits
+        issue_budget = self._c_width
+        load_ports = self._c_load_ports
+        alu_latency = self._c_alu_lat
+        mul_latency = self._c_mul_lat
         completions = self.completions
         heappush = heapq.heappush
         fault_hook = self.fault_hook
         tracer = self.tracer
-        dispatched = DynState.DISPATCHED
-        issued = DynState.ISSUED
-        remaining: list[DynInstr] = []
+        f_row = self.f_row
+        _, _, _, _, d_target, _, _, d_kern, d_btake = self._d_cols
+        remaining: list[int] = []
         defer = remaining.append
-        for entry in ready:
-            if entry.squashed or entry.state != dispatched:
-                continue
-            f = entry.flags
+        for packed in ready:
+            slot = packed & smask
+            if f_seq[slot] != packed >> sbits or f_state[slot] != 0:
+                continue  # squashed, or already issued on an earlier scan
+            f = f_flags[slot]
             if (
                 issue_budget == 0
                 or f & _F_SER_HALT
-                or (ser_limit is not None and entry.seq > ser_limit)
+                or (ser_limit is not None and packed >> sbits > ser_limit)
             ):
-                defer(entry)
+                defer(packed)
                 continue
             if f & F_LOAD:
                 if load_ports == 0:
-                    defer(entry)
+                    defer(packed)
                     continue
-                blocker = entry.wait_on
-                if blocker is not None and blocker.addr is None and not blocker.squashed:
+                blocker = f_wo[slot]
+                if (
+                    blocker >= 0
+                    and f_seq[blocker & smask] == blocker >> sbits
+                    and f_addr[blocker & smask] is None
+                ):
                     # Memoized disambiguation block: don't burn a load port
-                    # (or the _issue_load call) on a known "wait".
-                    defer(entry)
+                    # (or the _flat_issue_load call) on a known "wait".
+                    defer(packed)
                     continue
-                outcome = self._issue_load(entry, now)
-                if outcome == "trap":
-                    return  # pipeline flushed; ready list rebuilt
-                if outcome == "wait":
-                    defer(entry)
+                outcome = self._flat_issue_load(slot, packed, now)
+                if outcome == 2:
+                    return  # TLB trap: pipeline flushed, ready list rebuilt
+                if outcome == 1:
+                    defer(packed)
                     continue
                 load_ports -= 1
             elif f & F_STORE:
-                if not self._issue_store(entry, now):
+                if not self._flat_issue_store(slot, packed, now):
                     return  # TLB trap flush
             else:
-                # ALU / branch / jump / nop: _issue_simple, inlined.
+                # ALU / branch / jump / nop: _issue_simple over columns.
                 latency = alu_latency
                 if f & F_ALU:
-                    inst = entry.inst
-                    entry.result = alu_result(
-                        inst.op, entry.val1 or 0, entry.val2 or 0, inst.imm
-                    )
+                    row = f_row[slot]
+                    if row >= 0:
+                        # Pre-bound kernel: no op dispatch, imm baked in.
+                        f_res[slot] = d_kern[row](
+                            f_v1[slot] or 0, f_v2[slot] or 0
+                        )
+                    else:  # injected/cold fetch: no decode row
+                        inst = f_inst[slot]
+                        f_res[slot] = alu_result(
+                            inst.op, f_v1[slot] or 0, f_v2[slot] or 0, inst.imm
+                        )
                     if f & F_MUL:
                         latency = mul_latency
                 elif f & F_BRANCH:
-                    inst = entry.inst
-                    entry.actual_next = (
-                        inst.target
-                        if branch_taken(inst.op, entry.val1 or 0, entry.val2 or 0)
-                        else entry.pc + 1
-                    )
+                    row = f_row[slot]
+                    if row >= 0:
+                        f_anext[slot] = (
+                            d_target[row]
+                            if d_btake[row](f_v1[slot] or 0, f_v2[slot] or 0)
+                            else f_pc[slot] + 1
+                        )
+                    else:
+                        inst = f_inst[slot]
+                        f_anext[slot] = (
+                            inst.target
+                            if branch_taken(inst.op, f_v1[slot] or 0, f_v2[slot] or 0)
+                            else f_pc[slot] + 1
+                        )
                 elif f & F_JUMP:
-                    entry.actual_next = entry.inst.target
+                    f_anext[slot] = f_inst[slot].target
                 if fault_hook is not None:
-                    fault_hook(entry)
-                entry.state = issued
+                    fault_hook(self._view(slot))
+                f_state[slot] = 1  # DynState.ISSUED
                 if tracer is not None:
-                    tracer.issue(entry, now)
-                heappush(completions, (now + latency, entry.seq, entry))
+                    tracer.issue(self._view(slot), now)
+                heappush(completions, (now + latency, packed))
             issue_budget -= 1
         self.ready = remaining
 
-    def _do_dispatch_soa(self, now: int) -> None:
-        fq = self.fetch_queue
-        cc = self.core_cfg
-        width = cc.width
-        rob_size = cc.rob_size
-        sb_size = cc.store_buffer_size
+    def _flat_issue_load(self, slot: int, packed: int, now: int) -> int:
+        """Flat `_issue_load`: 0 = done, 1 = wait, 2 = trap."""
+        f_addr = self.f_addr
+        addr = f_addr[slot]
+        if addr is None:
+            # Operands are immutable once captured, so compute the
+            # effective address once across issue retries.
+            addr = effective_address(self.f_v1[slot] or 0, self.f_inst[slot].imm)
+            f_addr[slot] = addr
+
+        if self.single_step and self.pair_sync_atomics and not self.f_mask[slot] & M_INJECTED:
+            # Re-execution protocol: the first load is issued by both
+            # cores as a synchronizing request (Definition 11).
+            if not self.drain_empty:
+                return 1
+            self.port.dtlb_fill(addr)
+            self.f_state[slot] = 1
+            self.sync_request = self._view(slot)
+            return 0
+
+        blocker = self.f_wo[slot]
+        if blocker >= 0:
+            smask = self._f_smask
+            if (
+                self.f_seq[blocker & smask] == blocker >> self._f_sbits
+                and f_addr[blocker & smask] is None
+            ):
+                return 1  # memoized "blocked" (see f_wo)
+            self.f_wo[slot] = -1
+
+        if self._store_entries or self.drain or self._drain_inflight is not None:
+            forwarded = self._flat_forward(slot, packed, addr)
+        else:
+            forwarded = None
+        if forwarded == "blocked":
+            return 1
+        if isinstance(forwarded, int):
+            self.f_res[slot] = forwarded
+            if self.fault_hook is not None:
+                # Store-to-load forwarding is unprotected datapath — one of
+                # the coverage gaps of a strict LVQ that relaxed input
+                # replication closes (Section 2.3).
+                self.fault_hook(self._view(slot))
+            self.f_state[slot] = 1
+            self._flat_sched(packed, now + 1, now)
+            return 0
+
+        extra = 0
+        if not self.f_mask[slot] & M_INJECTED and not self._dtlb_lookup(addr):
+            self.dtlb_misses += 1
+            if self.sw_tlb:
+                self._flat_take_dtlb_trap(slot, now)
+                return 2
+            extra = self.config.tlb.hw_fill_latency
+            self.port.dtlb_fill(addr)
+
+        access = self.port.load_f(addr, now)
+        if access is None:
+            return 1  # no MSHR free: retry
+        value, done = access
+        self.f_res[slot] = value
+        if self.fault_hook is not None:
+            self.fault_hook(self._view(slot))
+        self.f_state[slot] = 1
+        self._flat_sched(packed, done + extra, now)
+        return 0
+
+    def _flat_issue_store(self, slot: int, packed: int, now: int) -> bool:
+        """Flat `_issue_store` (no memory access yet)."""
+        addr = effective_address(self.f_v1[slot] or 0, self.f_inst[slot].imm)
+        self.f_addr[slot] = addr
+        self.f_sval[slot] = self.f_v2[slot] or 0
+        if not self.f_mask[slot] & M_INJECTED and not self._dtlb_lookup(addr):
+            self.dtlb_misses += 1
+            if self.sw_tlb:
+                self._flat_take_dtlb_trap(slot, now)
+                return False
+            self.port.dtlb_fill(addr)
+            # Hardware fill overlaps with the store's time in the buffer.
+        if self.fault_hook is not None:
+            # Store address/value generation is unprotected datapath too.
+            self.fault_hook(self._view(slot))
+        self.f_state[slot] = 1
+        self._flat_sched(packed, now + 1, now)
+        return True
+
+    def _flat_forward(self, slot: int, packed: int, addr):
+        """Flat `_forward_from_stores`: value, "blocked", or None."""
+        f_seq = self.f_seq
+        smask = self._f_smask
+        sbits = self._f_sbits
+        f_addr = self.f_addr
+        f_sval = self.f_sval
+        for sp in reversed(self._store_entries):
+            ss = sp & smask
+            if f_seq[ss] != sp >> sbits:
+                continue  # squashed/retired (filtered at squash; defensive)
+            if sp >= packed:
+                continue  # younger than the load
+            store_addr = f_addr[ss]
+            if store_addr is None:
+                self.f_wo[slot] = sp  # memoize: skip rescans until resolved
+                return "blocked"
+            if store_addr == addr:
+                value = f_sval[ss]
+                if value is None:
+                    return "blocked"
+                return value
+        for drain_addr, drain_value in reversed(self.drain):
+            if drain_addr == addr:
+                return drain_value
+        inflight = self._drain_inflight
+        if inflight is not None and inflight[0] == addr:
+            return inflight[1]
+        return None
+
+    def _flat_issue_serializing(self, now: int) -> None:
+        """Flat `_issue_serializing`: head-of-ROB only (Section 4.4)."""
         rob = self.rob
-        d_flags = self._d_flags
+        if not rob:
+            return
+        f_state = self.f_state
+        f_pend = self.f_pend
+        f_flags = self.f_flags
+        unchecked = self._unchecked
+        if unchecked:
+            waiting = unchecked[0]
+            if (
+                f_flags[waiting] & _F_SER_HALT
+                and f_pend[waiting] == 0
+                and f_state[waiting] == 0
+            ):
+                self.gate.close_open(now)
+        slot = rob[0]
+        if f_state[slot] != 0 or f_pend[slot] != 0:
+            return
+        if not f_flags[slot] & _F_SER_HALT:
+            return
+        op = self.f_inst[slot].op
+        if op in (Op.MEMBAR, Op.ATOMIC, Op.CAS) and not self.drain_empty:
+            return
+        if self.sc_mode and op is Op.STORE and not self.drain_empty:
+            return
+        packed = (self.f_seq[slot] << self._f_sbits) | slot
+        if op is Op.HALT or op is Op.MEMBAR or op is Op.TRAP:
+            f_state[slot] = 1
+            self._flat_sched(packed, now + 1, now)
+        elif op is Op.MMUOP:
+            f_state[slot] = 1
+            self._flat_sched(packed, now + self.core_cfg.mmuop_latency, now)
+        elif op is Op.STORE:  # SC-mode serializing store
+            self._flat_issue_store(slot, packed, now)
+        elif op in (Op.ATOMIC, Op.CAS):
+            self._flat_issue_atomic(slot, packed, now)
+
+    def _flat_issue_atomic(self, slot: int, packed: int, now: int) -> None:
+        inst = self.f_inst[slot]
+        addr = effective_address(self.f_v1[slot] or 0, inst.imm)
+        self.f_addr[slot] = addr
+        if not self.f_mask[slot] & M_INJECTED and not self._dtlb_lookup(addr):
+            self.dtlb_misses += 1
+            if self.sw_tlb:
+                self._flat_take_dtlb_trap(slot, now)
+                return
+            self.port.dtlb_fill(addr)
+        if self.pair_sync_atomics:
+            # Reunion: atomics are synchronizing requests, performed once
+            # by the shared cache controller when both cores arrive.
+            self.f_state[slot] = 1
+            self.sync_request = self._view(slot)
+            return
+        access = self.port.rmw_read(addr, now)
+        if access.retry:
+            return
+        rd_value, new_value = atomic_result(
+            inst.op, access.value, self.f_v2[slot] or 0, inst.imm
+        )
+        self.f_res[slot] = rd_value
+        if new_value is not None:
+            self.port.rmw_write(addr, new_value)
+        self.f_state[slot] = 1
+        self._flat_sched(packed, access.done, now)
+
+    def _flat_oldest_ser(self):
+        """Flat `_oldest_active_serializing` over the packed-ref heap."""
+        heap = self._ser_heap
+        f_seq = self.f_seq
+        smask = self._f_smask
+        sbits = self._f_sbits
+        while heap:
+            packed = heap[0]
+            if f_seq[packed & smask] != packed >> sbits:
+                heapq.heappop(heap)  # squashed or retired: slot freed
+                continue
+            return packed >> sbits
+        return None
+
+    def _flat_sched(self, packed: int, cycle: int, now: int | None = None) -> None:
+        if self.tracer is not None:
+            self.tracer.issue(
+                self._view(packed & self._f_smask), cycle if now is None else now
+            )
+        heapq.heappush(self.completions, (cycle, packed))
+
+    def _flat_dispatch(self, now: int) -> None:
+        """`_do_dispatch` + `_dispatch_one` + `_capture`, fused over columns.
+
+        Allocates the next ring slot and writes the columns directly —
+        the steady state constructs no per-instruction object at all.
+        """
+        fq = self.fetch_queue
+        rob = self.rob
+        width = self._c_width
+        rob_size = self._c_rob_size
+        sb_size = self._c_sb_size
+        d_flags, d_rs1, d_rs2, d_rd, d_target, d_inst, _, _, _ = self._d_cols
+        (
+            f_seq,
+            f_pc,
+            f_inst,
+            f_state,
+            f_pend,
+            f_v1,
+            f_v2,
+            f_res,
+            f_addr,
+            f_sval,
+            f_pred,
+            f_anext,
+            f_ccyc,
+            f_fill,
+            f_flags,
+            f_mask,
+            f_ridx,
+            f_wo,
+            f_pp,
+            f_deps,
+        ) = self._f_cols
+        smask = self._f_smask
+        sbits = self._f_sbits
+        rename = self.rename
+        rename_get = rename.get
+        arf_regs = self.arf._regs  # RegisterFile.read, inlined
+        f_row = self.f_row
+        ready_append = self.ready.append
+        rob_append = rob.append
+        unchecked_append = self._unchecked.append
+        tracer = self.tracer
         single_step = self.single_step
+        fq_popleft = fq.popleft
+        seq = self._next_seq
+        tail = self._f_tail
         dispatched = 0
         while dispatched < width and fq:
             fetched = fq[0]
             if fetched[0] > now or len(rob) >= rob_size:
                 break
             row = fetched[6]
-            if row >= 0:
-                f = d_flags[row]
-                if f & F_STORE and self.sb_count >= sb_size:
-                    break
-                if single_step and rob:
-                    break  # one instruction at a time during re-execution
-                fq.popleft()
-                self._dispatch_row(fetched, row, f, now)
-            else:
+            if row < 0:
                 # Injected handler instruction (or a post-injection user
-                # fetch from the shared path): no decode row.
+                # fetch from the shared path): no decode row.  The cold
+                # helper reads/writes the seq and tail attributes, so
+                # sync the locals around the call.
                 if fetched[2].op is Op.STORE and self.sb_count >= sb_size:
                     break
                 if single_step and rob:
                     break
-                fq.popleft()
-                self._dispatch_one(fetched, now)
-            dispatched += 1
+                fq_popleft()
+                self._next_seq = seq
+                self._f_tail = tail
+                self._flat_dispatch_cold(fetched, now)
+                seq = self._next_seq
+                tail = self._f_tail
+                dispatched += 1
+                continue
+            f = d_flags[row]
+            if f & F_STORE and self.sb_count >= sb_size:
+                break
+            if single_step and rob:
+                break  # one instruction at a time during re-execution
+            fq_popleft()
+            slot = tail = (tail + 1) & smask
+            packed = (seq << sbits) | slot
+            pc = fetched[1]
+            # Slots are recycled: every column a later stage may read
+            # before writing must be reset here.  Columns proven
+            # write-before-read for this instruction class are skipped —
+            # f_addr/f_sval are only read for memory ops (forwarding,
+            # fingerprint words, fault targeting), f_wo only for loads,
+            # f_fill only when M_INJECTED is set (never on this path),
+            # and f_deps is cleared at completion/squash, not here.
+            f_seq[slot] = seq
+            f_pc[slot] = pc
+            f_inst[slot] = d_inst[row]
+            f_state[slot] = 0  # DynState.DISPATCHED
+            f_mask[slot] = 0
+            f_res[slot] = None
+            f_pred[slot] = fetched[4]
+            f_ccyc[slot] = -1
+            f_flags[slot] = f
+            f_ridx[slot] = None
+            f_row[slot] = row
+            if f & F_MEM:
+                f_addr[slot] = None
+                f_sval[slot] = None
+                if f & F_LOAD:
+                    f_wo[slot] = -1
 
-    def _dispatch_row(self, fetched: tuple, row: int, f: int, now: int) -> None:
-        """`_dispatch_one` + `_capture` over decode-table rows, fused."""
+            # Operand capture.  (Decoded MOVI rows take the register-0
+            # path — val1/val2 become 0 instead of the object loop's
+            # untouched None; both are unread for MOVI, so this is
+            # value-identical.)
+            pending = 0
+            if f & F_NEEDS1:
+                reg = d_rs1[row]
+                producer = rename_get(reg)
+                if producer is None or f_seq[producer & smask] != producer >> sbits:
+                    f_v1[slot] = arf_regs[reg]
+                else:
+                    ps = producer & smask
+                    f_mask[ps] |= M_CONSUMED
+                    result = f_res[ps]
+                    if result is not None:
+                        f_v1[slot] = result
+                    else:
+                        f_v1[slot] = None
+                        pending = 1
+                        f_deps[ps].append(packed << 1)
+            else:
+                reg = d_rs1[row]
+                f_v1[slot] = arf_regs[reg]  # _regs[0] is pinned to 0
+            if f & F_NEEDS2:
+                reg = d_rs2[row]
+                producer = rename_get(reg)
+                if producer is None or f_seq[producer & smask] != producer >> sbits:
+                    f_v2[slot] = arf_regs[reg]
+                else:
+                    ps = producer & smask
+                    f_mask[ps] |= M_CONSUMED
+                    result = f_res[ps]
+                    if result is not None:
+                        f_v2[slot] = result
+                    else:
+                        f_v2[slot] = None
+                        pending += 1
+                        f_deps[ps].append((packed << 1) | 1)
+            else:
+                f_v2[slot] = 0
+            f_pend[slot] = pending
+
+            if f & F_WRITES:
+                rd = d_rd[row]
+                prev = rename_get(rd)
+                f_pp[slot] = -1 if prev is None else prev
+                rename[rd] = packed
+            else:
+                f_pp[slot] = -1
+            if f & F_STORE:
+                self.sb_count += 1
+                self._store_entries.append(packed)
+            if f & _F_SER_HALT:
+                heapq.heappush(self._ser_heap, packed)
+
+            # Non-branch control flow resolves immediately; branches
+            # carry the prediction and verify at completion.
+            if not f & F_CONTROL or f & F_HALT:
+                f_anext[slot] = pc + 1
+            elif f & F_JUMP:
+                f_anext[slot] = d_target[row]
+            else:
+                f_anext[slot] = None
+
+            rob_append(slot)
+            unchecked_append(slot)
+            if tracer is not None:
+                tracer.dispatch(self._view(slot), now)
+            if pending == 0:
+                ready_append(packed)
+            seq += 1
+            dispatched += 1
+        self._next_seq = seq
+        self._f_tail = tail
+
+    def _flat_dispatch_cold(self, fetched: tuple, now: int) -> None:
+        """Flat `_dispatch_one`: row-less fetches (injected handlers and
+        post-injection user fetches from the shared fetch path)."""
+        inst = fetched[2]
         seq = self._next_seq
         self._next_seq = seq + 1
-        # DynInstr.__init__, inlined: one dispatch per simulated
-        # instruction makes the constructor call (and its double-written
-        # defaults for flags / predicted_next / serializing) measurable.
-        # Keep the slot list in sync with rob.DynInstr.__slots__.
-        entry = DynInstr.__new__(DynInstr)
-        entry.seq = seq
-        entry.pc = fetched[1]
-        entry.inst = self._d_inst[row]
-        entry.injected = False
-        entry.state = 0  # DynState.DISPATCHED
-        entry.squashed = False
-        entry.pending = 0
-        entry.val1 = None
-        entry.val2 = None
-        entry.dependents = []
-        entry.result = None
-        entry.addr = None
-        entry.store_value = None
-        entry.predicted_next = fetched[4]
-        entry.actual_next = None
-        entry.complete_cycle = -1
-        entry.fill_addr = None
-        entry.handler_resume = None
-        entry.serializing = bool(f & F_SER)
-        entry.tlb_missed = False
-        entry.was_sync = False
-        entry.consumed = False
-        entry.faulted = False
-        entry.flags = f
-        entry.replay_index = None
-        entry.wait_on = None
-        entry.prev_producer = None
+        smask = self._f_smask
+        slot = (self._f_tail + 1) & smask
+        self._f_tail = slot
+        packed = (seq << self._f_sbits) | slot
+        self.f_seq[slot] = seq
+        self.f_pc[slot] = fetched[1]
+        self.f_inst[slot] = inst
+        self.f_state[slot] = 0
+        self.f_pend[slot] = 0
+        self.f_mask[slot] = M_INJECTED if fetched[3] else 0
+        self.f_v1[slot] = None
+        self.f_v2[slot] = None
+        self.f_res[slot] = None
+        self.f_addr[slot] = None
+        self.f_sval[slot] = None
+        self.f_pred[slot] = fetched[4]
+        self.f_anext[slot] = None
+        self.f_ccyc[slot] = -1
+        self.f_fill[slot] = fetched[5]
+        flags = flags_of(inst, self.sc_mode)
+        self.f_flags[slot] = flags
+        self.f_ridx[slot] = None
+        self.f_wo[slot] = -1
+        self.f_pp[slot] = -1
+        self.f_row[slot] = -1
+        self.f_deps[slot].clear()
 
-        # Operand capture.  (Decoded MOVI rows take the register-0 path
-        # — val1/val2 become 0 instead of the object loop's untouched
-        # None; both are unread for MOVI, so this is value-identical.)
-        rename = self.rename
-        arf = self.arf
-        if f & F_NEEDS1:
-            reg = self._d_rs1[row]
-            producer = rename.get(reg)
-            if producer is None or producer.squashed:
-                entry.val1 = arf.read(reg)
+        # Capture operands / subscribe to producers (object-loop
+        # predicates verbatim; MOVI leaves val1/val2 None, matching it).
+        op = inst.op
+        pending = 0
+        if op is not Op.MOVI:
+            needs1 = inst.rs1 != 0 and (
+                inst.is_alu or inst.is_mem or inst.is_branch
+            )
+            needs2 = inst.rs2 != 0 and (
+                (inst.is_alu and not inst.imm_form)
+                or inst.is_branch
+                or op is Op.STORE
+                or op is Op.ATOMIC
+                or op is Op.CAS
+            )
+            if needs1:
+                pending += self._flat_capture(slot, packed, 1, inst.rs1)
             else:
-                producer.consumed = True
-                result = producer.result
-                if result is not None:
-                    entry.val1 = result
-                else:
-                    entry.pending += 1
-                    producer.dependents.append((entry, 1))
-        else:
-            reg = self._d_rs1[row]
-            entry.val1 = 0 if reg == 0 else arf.read(reg)
-        if f & F_NEEDS2:
-            reg = self._d_rs2[row]
-            producer = rename.get(reg)
-            if producer is None or producer.squashed:
-                entry.val2 = arf.read(reg)
+                self.f_v1[slot] = 0 if inst.rs1 == 0 else self.arf.read(inst.rs1)
+            if needs2:
+                pending += self._flat_capture(slot, packed, 2, inst.rs2)
             else:
-                producer.consumed = True
-                result = producer.result
-                if result is not None:
-                    entry.val2 = result
-                else:
-                    entry.pending += 1
-                    producer.dependents.append((entry, 2))
-        else:
-            entry.val2 = 0
+                self.f_v2[slot] = 0
+            self.f_pend[slot] = pending
 
-        if f & F_WRITES:
-            rd = self._d_rd[row]
-            entry.prev_producer = rename.get(rd)
-            rename[rd] = entry
-        if f & F_STORE:
+        if inst.writes_reg:
+            prev = self.rename.get(inst.rd)
+            self.f_pp[slot] = -1 if prev is None else prev
+            self.rename[inst.rd] = packed
+
+        if op is Op.STORE:
             self.sb_count += 1
-            self._store_entries.append(entry)
-        if f & _F_SER_HALT:
-            heapq.heappush(self._ser_heap, (seq, entry))
+            self._store_entries.append(packed)
+        if flags & _F_SER_HALT:
+            heapq.heappush(self._ser_heap, packed)
 
-        # Non-branch control flow resolves immediately; branches carry
-        # the prediction and verify at completion.
-        if not f & F_CONTROL or f & F_HALT:
-            entry.actual_next = fetched[1] + 1
-        elif f & F_JUMP:
-            entry.actual_next = self._d_target[row]
+        if not inst.is_control or op is Op.HALT:
+            self.f_anext[slot] = fetched[1] + 1
+        elif op is Op.JUMP:
+            self.f_anext[slot] = inst.target
 
-        self.rob.append(entry)
-        self._unchecked.append(entry)
+        self.rob.append(slot)
+        self._unchecked.append(slot)
         if self.tracer is not None:
-            self.tracer.dispatch(entry, now)
-        if entry.pending == 0:
-            self.ready.append(entry)
+            self.tracer.dispatch(self._view(slot), now)
+        if pending == 0:
+            self.ready.append(packed)
+
+    def _flat_capture(self, slot: int, packed: int, which: int, reg: int) -> int:
+        """Flat `_capture`; returns the operand's pending contribution."""
+        producer = self.rename.get(reg)
+        smask = self._f_smask
+        live = (
+            producer is not None
+            and self.f_seq[producer & smask] == producer >> self._f_sbits
+        )
+        if not live:
+            value = self.arf.read(reg)
+            if which == 1:
+                self.f_v1[slot] = value
+            else:
+                self.f_v2[slot] = value
+            return 0
+        ps = producer & smask
+        self.f_mask[ps] |= M_CONSUMED
+        result = self.f_res[ps]
+        if result is not None:
+            if which == 1:
+                self.f_v1[slot] = result
+            else:
+                self.f_v2[slot] = result
+            return 0
+        self.f_deps[ps].append((packed << 1) | (which - 1))
+        return 1
+
+    # -- flat completions / retire / squash ----------------------------
+    def _flat_completions(self, now: int) -> None:
+        """Flat `_do_completions` over the (cycle, packed) heap."""
+        heap = self.completions
+        heappop = heapq.heappop
+        (
+            f_seq,
+            _,
+            _,
+            f_state,
+            f_pend,
+            f_v1,
+            f_v2,
+            f_res,
+            _,
+            _,
+            _,
+            _,
+            f_ccyc,
+            _,
+            f_flags,
+            _,
+            _,
+            _,
+            _,
+            f_deps,
+        ) = self._f_cols
+        smask = self._f_smask
+        sbits = self._f_sbits
+        ready_append = self.ready.append
+        tracer = self.tracer
+        while heap and heap[0][0] <= now:
+            packed = heappop(heap)[1]
+            slot = packed & smask
+            if f_seq[slot] != packed >> sbits:
+                continue  # squashed
+            f_state[slot] = 2  # DynState.COMPLETED
+            f_ccyc[slot] = now
+            if tracer is not None:
+                tracer.complete(self._view(slot), now)
+            # Edges are cleared here (or at squash) rather than on slot
+            # recycle in dispatch — completion is the last reader.
+            edges = f_deps[slot]
+            if edges:
+                result = f_res[slot]
+                if result is not None:
+                    for edge in edges:
+                        dep = edge >> 1
+                        ds = dep & smask
+                        if f_seq[ds] != dep >> sbits:
+                            continue  # consumer squashed
+                        if edge & 1:
+                            f_v2[ds] = result
+                        else:
+                            f_v1[ds] = result
+                        pending = f_pend[ds] - 1
+                        f_pend[ds] = pending
+                        if pending == 0 and f_state[ds] == 0:
+                            ready_append(dep)
+                edges.clear()
+            if f_flags[slot] & F_BRANCH:
+                actual_next = self.f_anext[slot]
+                pc = self.f_pc[slot]
+                self.predictor.update(pc, actual_next != pc + 1)
+                if actual_next != self.f_pred[slot]:
+                    self.mispredicts += 1
+                    self._flat_squash_to((packed >> sbits) + 1)
+                    self._redirect_fetch(actual_next)
+
+    def _flat_retire(self, now: int) -> None:
+        """Flat `_do_retire`: release cleared refs, offer completed ones."""
+        width = self._c_width
+        gate = self.gate
+        released = gate.pop_retirable_f(self, now, width)
+        if released:
+            f_seq = self.f_seq
+            smask = self._f_smask
+            sbits = self._f_sbits
+            for packed in released:
+                if f_seq[packed & smask] != packed >> sbits:
+                    continue  # squashed mid-batch (TRAP/interrupt retire)
+                self._flat_retire_one(packed & smask, now)
+        unchecked = self._unchecked
+        if not unchecked:
+            return
+        f_state = self.f_state
+        if f_state[unchecked[0]] != 2:
+            return  # head of the unchecked region not done: nothing to offer
+        offered = 0
+        log = self.replay_log
+        f_mask = self.f_mask
+        gate_offer = gate.offer_f
+        while unchecked and offered < width:
+            slot = unchecked[0]
+            if f_state[slot] != 2:
+                break
+            unchecked.popleft()
+            f_state[slot] = 3  # DynState.IN_CHECK
+            if log is not None and not f_mask[slot] & M_INJECTED:
+                # Vocal: log the in-order value stream for the pair's
+                # window-exit interval reconstruction.  Offered entries
+                # can still be squashed (trap, interrupt, recovery);
+                # _flat_squash_to truncates the log.
+                self.f_ridx[slot] = len(log)
+                log.append(
+                    (
+                        self.f_pc[slot],
+                        self.f_res[slot],
+                        self.f_addr[slot],
+                        self.f_sval[slot],
+                        self.f_anext[slot],
+                        self.f_inst[slot],
+                    )
+                )
+            gate_offer(self, slot, now)
+            offered += 1
+        self._check_pending += offered
+
+    def _flat_retire_one(self, slot: int, now: int) -> None:
+        """Flat `_retire`: architectural update for one checked slot.
+
+        The gate releases strictly in offer order, so ``slot`` is always
+        the ROB head here.  Frees the ring slot; the TRAP / interrupt /
+        TLB flush paths run after the free so the ring never holds a
+        retired-but-live slot.
+        """
+        self.rob.popleft()
+        self._check_pending -= 1
+        f_seq = self.f_seq
+        seq = f_seq[slot]
+        flags = self.f_flags[slot]
+        mask = self.f_mask[slot]
+        self.f_state[slot] = 4  # DynState.RETIRED
+        if self.tracer is not None:
+            self.tracer.retire(self._view(slot), now)
+        self.total_retired += 1
+        if flags & F_STORE:
+            store_entries = self._store_entries
+            if store_entries and store_entries[0] == (seq << self._f_sbits) | slot:
+                store_entries.popleft()
+            self.drain.append((self.f_addr[slot], self.f_sval[slot]))
+            # sb_count is released when the drain completes.
+        elif flags & F_HALT:
+            self.halted = True
+
+        if flags & F_WRITES:
+            # Clear the displaced-producer link so retired slots never
+            # chain-retain their predecessors.
+            self.f_pp[slot] = -1
+            rd = self.f_inst[slot].rd
+            result = self.f_res[slot]
+            if result is not None and rd != 0:
+                # RegisterFile.write, inlined.
+                self.arf._regs[rd] = result & WORD_MASK
+            rename = self.rename
+            if rename.get(rd) == (seq << self._f_sbits) | slot:
+                del rename[rd]
+
+        if mask & M_INJECTED:
+            self.injected_retired += 1
+            fill_addr = self.f_fill[slot]
+            f_seq[slot] = -1  # free the ring slot
+            if fill_addr is not None:
+                self.port.dtlb_fill(fill_addr)
+            return
+
+        self.user_retired += 1
+        if self.retire_hook is not None:
+            self.retire_hook(self._view(slot))
+        if flags & F_MEM:
+            self.user_mem_retired += 1
+        if flags & F_SER:
+            self.serializing_retired += 1
+
+        pc = self.f_pc[slot]
+        actual_next = self.f_anext[slot]
+        op = self.f_inst[slot].op
+        f_seq[slot] = -1  # free the ring slot before any flush below
+        if op is Op.TRAP:
+            # User-level traps redirect fetch through the trap vector:
+            # model as a full pipeline flush and refetch.
+            self._flat_squash_to(seq + 1)
+            self._redirect_fetch(pc + 1)
+        elif not self.single_step:
+            if (
+                self._interrupts
+                and self.user_retired >= self._interrupts[0][0]
+            ):
+                resume = actual_next if actual_next is not None else pc + 1
+                self._flat_service_interrupt(seq, resume)
+            else:
+                sched = self.synthetic_itlb
+                if sched is not None:
+                    # hashed_schedule exposes its memoized decision table;
+                    # index it directly and call in only to extend it (or
+                    # for table-less custom schedules).
+                    idx = self.user_retired
+                    table = getattr(sched, "table", None)
+                    if table is not None and idx < len(table):
+                        miss = table[idx]
+                    else:
+                        miss = sched(idx)
+                    if miss:
+                        self.itlb_misses += 1
+                        resume = actual_next if actual_next is not None else pc + 1
+                        self._flat_take_synthetic_tlb_miss(seq, resume, now)
+
+    def _flat_service_interrupt(self, seq: int, resume: int) -> None:
+        """Flat `_service_interrupt` (the triggering slot is already free)."""
+        _, handler = self._interrupts.popleft()
+        self.interrupts_serviced += 1
+        self._flat_squash_to(seq + 1)
+        self.fetch_queue.clear()
+        self.injection.clear()
+        for inst in handler:
+            self.injection.append((inst, None))
+        self._injection_resume = resume
+        self.fetch_stalled = False
+
+    def _flat_take_synthetic_tlb_miss(self, seq: int, resume: int, now: int) -> None:
+        """Flat `_take_synthetic_tlb_miss`."""
+        if self.sw_tlb:
+            self._flat_squash_to(seq + 1)
+            self._inject_handler(
+                page=self.user_retired, fill_addr=None, resume_pc=resume
+            )
+        else:
+            self.stall_fetch_until = max(
+                self.stall_fetch_until, now + self.config.tlb.hw_fill_latency
+            )
+
+    def _flat_take_dtlb_trap(self, slot: int, now: int) -> None:
+        """Flat `_take_dtlb_trap`: flush (inclusive) and run the handler."""
+        addr = self.f_addr[slot]
+        page = addr >> self.config.tlb.page_bits
+        pc = self.f_pc[slot]
+        self._flat_squash_to(self.f_seq[slot])
+        self._inject_handler(page=page, fill_addr=addr, resume_pc=pc)
+
+    def _flat_squash_to(self, first_bad_seq: int) -> None:
+        """Flat `_squash_to`: pop ROB-tail victims youngest-first.
+
+        Freeing a victim's slot (seq -1) *is* the squash mark — every
+        packed ref to it everywhere (ready list, heaps, rename, gate
+        pending, deps edges) goes stale at once, and the ring tail
+        rewinds so the slots are immediately reusable.
+        """
+        rob = self.rob
+        f_seq = self.f_seq
+        smask = self._f_smask
+        sbits = self._f_sbits
+        f_state = self.f_state
+        f_flags = self.f_flags
+        f_ridx = self.f_ridx
+        f_pp = self.f_pp
+        unchecked = self._unchecked
+        rename = self.rename
+        log = self.replay_log
+        tracer = self.tracer
+        truncate = -1
+        while rob and f_seq[rob[-1]] >= first_bad_seq:
+            slot = rob.pop()
+            self._f_tail = (slot - 1) & smask
+            seq = f_seq[slot]
+            if log is not None:
+                ridx = f_ridx[slot]
+                if ridx is not None:
+                    # Vocal: un-log squashed speculative records; they are
+                    # re-logged (with identical content) after re-execution.
+                    truncate = ridx  # popped youngest-first
+            if tracer is not None:
+                # Stamp the view by hand: the slot is about to be freed
+                # but the tracer keys its record by the victim's seq.
+                view = self._f_views[slot]
+                view._q = seq
+                tracer.squash(view)
+            if f_state[slot] == 3:  # DynState.IN_CHECK
+                self._check_pending -= 1
+            elif unchecked and unchecked[-1] == slot:
+                unchecked.pop()
+            flags = f_flags[slot]
+            if flags & F_STORE and f_state[slot] != 4:
+                self.sb_count -= 1
+            if flags & F_WRITES:
+                rd = self.f_inst[slot].rd
+                if rename.get(rd) == (seq << sbits) | slot:
+                    previous = f_pp[slot]
+                    # A live prev ref == "not squashed and not retired".
+                    if previous >= 0 and f_seq[previous & smask] == previous >> sbits:
+                        rename[rd] = previous
+                    else:
+                        del rename[rd]
+            # Hot dispatch no longer clears deps on recycle: a victim
+            # that never completed must drop its subscriber edges here.
+            self.f_deps[slot].clear()
+            f_seq[slot] = -1  # free
+        if truncate >= 0:
+            log.truncate_to(truncate)
+        self._store_entries = deque(
+            p for p in self._store_entries if f_seq[p & smask] == p >> sbits
+        )
+        sync_request = self.sync_request
+        if sync_request is not None and f_seq[sync_request._s] != sync_request._q:
+            self.sync_request = None
+        self.ready = [p for p in self.ready if f_seq[p & smask] == p >> sbits]
+        self.fetch_queue.clear()
+        self.injection.clear()
+        self._injection_resume = None
+        self.fetch_stalled = False
+
+    def _next_event_flat(self, now: int) -> int:
+        """Flat `next_event`: identical horizon logic over the columns."""
+        if self.ready:
+            return now
+        wake = NEVER
+        heap = self.completions
+        if heap:
+            t = heap[0][0]
+            if t <= now:
+                return now
+            wake = t
+        inflight = self._drain_inflight
+        if inflight is not None:
+            t = inflight[2]
+            if t <= now:
+                return now
+            if t < wake:
+                wake = t
+        elif self.drain:
+            return now
+        f_state = self.f_state
+        f_pend = self.f_pend
+        f_flags = self.f_flags
+        unchecked = self._unchecked
+        if unchecked:
+            waiting = unchecked[0]
+            if f_state[waiting] == 2:
+                return now
+            if (
+                self.gate.open_count
+                and f_pend[waiting] == 0
+                and f_state[waiting] == 0
+                and f_flags[waiting] & _F_SER_HALT
+            ):
+                return now
+        t = self.gate.next_release_f(self, now)
+        if t <= now:
+            return now
+        if t < wake:
+            wake = t
+        rob = self.rob
+        if rob:
+            head = rob[0]
+            if (
+                f_state[head] == 0
+                and f_pend[head] == 0
+                and f_flags[head] & _F_SER_HALT
+            ):
+                op = self.f_inst[head].op
+                needs_drain = (
+                    op is Op.MEMBAR
+                    or op is Op.ATOMIC
+                    or op is Op.CAS
+                    or (self.sc_mode and op is Op.STORE)
+                )
+                if not needs_drain or self.drain_empty:
+                    return now
+        fetch_queue = self.fetch_queue
+        if fetch_queue:
+            head = fetch_queue[0]
+            t = head[0]  # ready_cycle
+            if t > now:
+                if t < wake:
+                    wake = t
+            elif len(rob) < self._c_rob_size and not (self.single_step and rob):
+                if not (
+                    head[2].op is Op.STORE
+                    and self.sb_count >= self._c_sb_size
+                ):
+                    return now
+        if (
+            not self.halted
+            and not self.fetch_stalled
+            and len(fetch_queue) < self.core_cfg.fetch_queue_size
+        ):
+            t = self.stall_fetch_until
+            if t <= now:
+                return now
+            if t < wake:
+                wake = t
+        return wake
 
     def _do_fetch_soa(self, now: int) -> None:
         if self.halted or self.fetch_stalled or now < self.stall_fetch_until:
@@ -517,10 +1432,7 @@ class OoOCore:
         width = cc.width
         if room > width:
             room = width
-        d_flags = self._d_flags
-        d_inst = self._d_inst
-        d_target = self._d_target
-        d_n = self._d_n
+        d_flags, _, _, _, d_target, d_inst, d_n, _, _ = self._d_cols
         predictor = self.predictor
         p_table = predictor._table
         p_key = predictor._history & predictor._mask  # XOR pc per row below
@@ -742,11 +1654,11 @@ class OoOCore:
             self.sb_count -= 1
         if self.drain:
             addr, value = self.drain[0]
-            access = self.port.store(addr, value, now)
-            if access.retry:
+            done = self.port.store_f(addr, value, now)
+            if done is None:
                 return
             self.drain.popleft()
-            self._drain_inflight = (addr, value, access.done)
+            self._drain_inflight = (addr, value, done)
 
     @property
     def drain_empty(self) -> bool:
@@ -1158,7 +2070,12 @@ class OoOCore:
             return
         entry.result = value
         self.sync_request = None
-        self._schedule(entry, done)
+        if self._soa:
+            # `entry` is a FlatView: re-pack its ref and use the flat
+            # scheduler so the completion heap stays homogeneous.
+            self._flat_sched((entry._q << self._f_sbits) | entry._s, done)
+        else:
+            self._schedule(entry, done)
 
     def _oldest_active_serializing(self) -> int | None:
         """Smallest seq of an unretired serializing instruction, if any."""
@@ -1220,10 +2137,6 @@ class OoOCore:
         entry.predicted_next = fetched[4]
         entry.fill_addr = fetched[5]
         entry.serializing = inst.is_serializing or (self.sc_mode and inst.op is Op.STORE)
-        if self._soa:
-            # Cold dispatches (injected handlers, post-injection fetches)
-            # still need the decode mask the SoA issue stage tests.
-            entry.flags = flags_of(inst, self.sc_mode)
 
         # Capture operands / subscribe to producers.
         op = inst.op
@@ -1398,7 +2311,10 @@ class OoOCore:
         """Reset all architectural and microarchitectural state for a new
         program — used when a core is repurposed (dual-use switching)."""
         if self.rob:
-            self._squash_to(self.rob[0].seq)
+            if self._soa:
+                self._flat_squash_to(self.f_seq[self.rob[0]])
+            else:
+                self._squash_to(self.rob[0].seq)
         self.gate.flush()
         self.completions.clear()
         self.rename.clear()
@@ -1433,6 +2349,18 @@ class OoOCore:
         reflects the full compared prefix before rollback.
         """
         self._skip_until = 0
+        if self._soa:
+            f_seq = self.f_seq
+            smask = self._f_smask
+            sbits = self._f_sbits
+            while True:
+                cleared = self.gate.pop_retirable_f(self, now, 1 << 30)
+                if not cleared:
+                    return
+                for packed in cleared:
+                    if f_seq[packed & smask] == packed >> sbits:
+                        self._flat_retire_one(packed & smask, now)
+            return
         while True:
             cleared = self.gate.pop_retirable(now, 1 << 30)
             if not cleared:
@@ -1444,7 +2372,8 @@ class OoOCore:
     def next_retire_pc(self) -> int:
         """PC of the oldest unretired instruction (rollback target)."""
         if self.rob:
-            return self.rob[0].pc
+            head = self.rob[0]
+            return self.f_pc[head] if self._soa else head.pc
         if self.fetch_queue:
             return self.fetch_queue[0][1]  # pc
         return self.pc
@@ -1456,7 +2385,9 @@ class OoOCore:
         and non-speculative store buffer (drain queue) are untouched —
         they *are* the safe state.
         """
-        if self.rob:
+        if self._soa:
+            self._flat_squash_to(self.f_seq[self.rob[0]] if self.rob else 0)
+        elif self.rob:
             self._squash_to(self.rob[0].seq)
         else:
             self._squash_to(0)

@@ -39,6 +39,15 @@ class Workload(abc.ABC):
         return f"<{type(self).__name__} {self.name}>"
 
 
+#: Memoized decision tables keyed by (threshold, mix).  The schedule is a
+#: pure function of its parameters, and every core of every run in a
+#: campaign with the same (rate, seed) shares one table — the vocal and
+#: mute of a pair, and repeated warmup/measure phases, hit the same
+#: indices, so the 64-bit mix hash runs once per index process-wide.
+_SCHED_TABLES: dict[tuple[int, int], bytearray] = {}
+_SCHED_BLOCK = 4096
+
+
 def hashed_schedule(rate_per_kinstr: float, seed: int) -> ITLBSchedule | None:
     """A deterministic pseudo-random schedule firing at a given rate.
 
@@ -50,11 +59,20 @@ def hashed_schedule(rate_per_kinstr: float, seed: int) -> ITLBSchedule | None:
         return None
     threshold = int(rate_per_kinstr / 1000.0 * (1 << 32))
     mix = 0x9E3779B97F4A7C15 ^ (seed * 0xBF58476D1CE4E5B9)
+    table = _SCHED_TABLES.setdefault((threshold, mix), bytearray())
 
     def schedule(index: int) -> bool:
-        h = (index * 0x94D049BB133111EB) ^ mix
-        h ^= h >> 31
-        h = (h * 0xD6E8FEB86659FD93) & ((1 << 64) - 1)
-        return (h >> 32) < threshold
+        if index >= len(table):
+            # Fill forward in blocks: one bigint hash per index, ever.
+            start = len(table)
+            for i in range(start, index + _SCHED_BLOCK):
+                h = (i * 0x94D049BB133111EB) ^ mix
+                h ^= h >> 31
+                h = (h * 0xD6E8FEB86659FD93) & ((1 << 64) - 1)
+                table.append((h >> 32) < threshold)
+        return table[index]
 
+    # The retire stage indexes the table directly when it can (calling
+    # back in only to extend it) — see OoOCore._flat_retire_one.
+    schedule.table = table
     return schedule

@@ -13,16 +13,21 @@ fault injection.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.faults import FaultInjector
 from repro.isa import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.opcodes import Op
 from repro.sim.cmp import CMPSystem
 from repro.sim.config import Mode, PhantomStrength
 from repro.sim.options import SimOptions
-from repro.workloads.micro import PointerChase
+from repro.workloads.base import hashed_schedule
+from repro.workloads.micro import MICRO_BASE, PointerChase
 from tests.core.helpers import SMALL
 from tests.pipeline.test_differential_random import random_program
 from tests.sim.test_replay_exec import MIXED, _observe
@@ -110,6 +115,97 @@ def test_random_programs_bit_identical(program, fault):
     soa = _run(program, "soa", injector=fault)
     obj = _run(program, "object", injector=fault)
     assert _observe(soa) == _observe(obj)
+
+
+def _fuzz_program(seed: int):
+    """A branchy, store-heavy, TLB-hostile loop for the cold-path fuzz.
+
+    Loads pseudo-random memory words and branches on their low bit, so
+    roughly half the conditional branches mispredict (squash path); the
+    roving offset strides across a 32 KB footprint — double the SMALL
+    config's 16-entry x 1 KB DTLB reach — so loads keep taking software
+    TLB walks (injected-handler path); the not-taken arms store, feeding
+    the fingerprint store words and the ``store_addr`` fault target.
+    """
+    rng = random.Random(0xF022 ^ seed)
+    words = 4096
+    mask = (words * 8 - 1) & ~0x7
+    builder = ProgramBuilder(name=f"coldpath-fuzz/{seed}")
+    builder.reg(1, MICRO_BASE)  # footprint base
+    builder.reg(2, 0)  # roving offset
+    builder.reg(3, rng.randrange(1, 1 << 16) | 1)  # odd scramble constant
+    builder.label("loop")
+    for i in range(rng.randrange(6, 12)):
+        builder.add(4, 1, 2)
+        builder.load(5, 4)
+        builder.alu(Op.XOR, 6, 6, 5)
+        builder.alu(Op.MUL, 6, 6, 3)
+        builder.alu(Op.ANDI, 7, 6, imm=1)
+        skip = f"skip{i}"
+        builder.bne(7, 0, skip)
+        builder.store(6, 4)
+        builder.label(skip)
+        builder.addi(2, 2, rng.choice([8, 24, 1032, 2056]))
+        builder.alu(Op.ANDI, 2, 2, imm=mask)
+    builder.jump("loop")
+    program = builder.build()
+    program.memory_image.update(
+        {MICRO_BASE + i * 8: rng.getrandbits(64) for i in range(words)}
+    )
+    return program
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_cold_path_fuzz_bit_identical(seed):
+    """Seeded fuzz forcing every view-materializing cold path in one run.
+
+    One scenario exercises, simultaneously and on both loops: branch
+    mispredicts (squash rollback), synthetic ITLB misses (trap squash +
+    injected handler), DTLB misses (software-walk injection), an external
+    interrupt replicated mid-run, and mid-interval fault injection on the
+    mute with the resulting detections and recoveries.  The sanity
+    asserts at the bottom prove each path actually fired — a fuzz that
+    silently stopped reaching a cold path would otherwise keep passing on
+    vacuous equality.
+    """
+    rng = random.Random(0x5EED ^ seed)
+    program = _fuzz_program(seed)
+    itlb = hashed_schedule(rate_per_kinstr=rng.choice([10.0, 25.0]), seed=seed)
+    interval = rng.choice([1, 4, 8])
+    kernel = rng.choice(["naive", "event"])
+    execution = rng.choice(["dual", "replay"])
+    interrupt_at = rng.randrange(2_000, 8_000)
+    fault = (
+        rng.randrange(25, 60),
+        rng.randrange(2**16),
+        rng.choice(["result", "store_addr", "branch_target"]),
+    )
+    horizon = 20_000
+
+    def run(hotloop):
+        options = SimOptions(hotloop=hotloop, kernel=kernel, execution=execution)
+        system = CMPSystem(
+            _config(fingerprint_interval=interval), [program], [itlb],
+            options=options,
+        )
+        fault_interval, fault_seed, fault_target = fault
+        FaultInjector(
+            interval=fault_interval, seed=fault_seed, target=fault_target
+        ).attach(system.cores[1])
+        system.run(interrupt_at)
+        system.post_interrupt(0)
+        system.run(horizon - interrupt_at)
+        return system
+
+    soa = run("soa")
+    obj = run("object")
+    assert _observe(soa) == _observe(obj)
+    vocal = soa.cores[0]
+    assert vocal.mispredicts > 0
+    assert vocal.dtlb_misses > 0
+    assert vocal.itlb_misses > 0
+    assert vocal.interrupts_serviced == 1
+    assert soa.pairs[0].recoveries > 0
 
 
 class TestHotLoopSelection:
