@@ -82,6 +82,10 @@ class Outcome:
     aliased: bool
     #: An unrelated recovery flushed the faulted interval uncompared.
     flushed: bool
+    #: The faulted interval closed unchecked under a partial protection
+    #: policy — an SDC with this set escaped through the policy's
+    #: coverage gap, not through CRC aliasing.
+    unchecked: bool
     #: Run diagnostics.
     commits: int
     cycles: int
@@ -224,6 +228,7 @@ def run_injection(
     aliased = False
     flushed = False
     absorbed = False
+    unchecked = False
     if fired:
         outcome = attribute_detections(
             injector.records, system.obs.log.snapshot(), pair_source="pair0"
@@ -234,6 +239,7 @@ def run_injection(
         latency = outcome.latency
         aliased = outcome.aliased
         flushed = outcome.flushed
+        unchecked = outcome.unchecked
 
     signature_matched = (
         probe.count >= spec.commit_target and probe.signature() == golden.signature
@@ -259,6 +265,7 @@ def run_injection(
         latency=latency,
         aliased=aliased,
         flushed=flushed,
+        unchecked=unchecked,
         commits=probe.count,
         cycles=system.now,
         recoveries=system.recoveries(),

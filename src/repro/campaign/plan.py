@@ -35,6 +35,7 @@ from repro.sim.config import (
     L2Config,
     MemoryConfig,
     Mode,
+    ProtectionPolicy,
     RedundancyConfig,
     SystemConfig,
     TLBConfig,
@@ -48,7 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: invalidates previously cached outcomes.
 #: v2: BusConfig grew the CoherenceStyle/directory-interconnect fields,
 #: changing every config payload.
-CAMPAIGN_SCHEMA_VERSION = 2
+#: v3: SystemConfig grew pair_policies (per-pair protection) and the
+#: classifier grew unchecked-interval attribution, changing every
+#: config payload and outcome record.
+CAMPAIGN_SCHEMA_VERSION = 3
 
 #: Default architectural window: the golden signature and every
 #: classification cover the first this-many user commits.
@@ -118,6 +122,7 @@ def campaign_config(
     comparison_latency: int = 10,
     coherence: str = "shared",
     n_logical: int = 1,
+    policy: ProtectionPolicy | None = None,
 ) -> SystemConfig:
     """A Reunion system sized for thousands of short injected runs.
 
@@ -130,7 +135,9 @@ def campaign_config(
     ``coherence`` picks the memory backend (``shared`` / ``snoopy`` /
     ``directory``) and ``n_logical`` the pair count, so campaigns can
     probe fault behavior on the directory backend's many-pair systems
-    (injection and classification always target pair 0).
+    (injection and classification always target pair 0).  ``policy``
+    applies one :class:`~repro.sim.config.ProtectionPolicy` uniformly
+    across the pairs (the frontier sweep measures coverage per policy).
     """
     if coherence not in ("shared", "snoopy", "directory"):
         raise ValueError(
@@ -143,6 +150,7 @@ def campaign_config(
         bus = BusConfig(coherence=CoherenceStyle(coherence))
     return SystemConfig(
         n_logical=n_logical,
+        pair_policies=(policy,) * n_logical if policy is not None else None,
         core=CoreConfig(width=4, rob_size=32, store_buffer_size=8, frontend_latency=3),
         l1=L1Config(size_bytes=1024, assoc=2, load_to_use=2, mshrs=4),
         l2=L2Config(size_bytes=16 * 1024, assoc=8, banks=2, hit_latency=8, mshrs=8),

@@ -62,6 +62,12 @@ def render_report(
             f"{_fmt_interval(stats.sdc_interval)} (over fired)"
         ),
     ]
+    if stats.sdc_unchecked:
+        lines.append(
+            f"sdc split  : {stats.sdc_unchecked} escaped through unchecked "
+            f"intervals (policy gap), "
+            f"{stats.buckets['sdc'] - stats.sdc_unchecked} aliased through the CRC"
+        )
     if stats.latency_mean is not None:
         lines.append(
             f"latency    : mean {stats.latency_mean:.1f} cy, "
@@ -89,7 +95,7 @@ def report_payload(
 ) -> dict:
     """The JSON report (deterministic; see module docstring)."""
     return {
-        "schema": 1,
+        "schema": 2,
         "workload": workload_name,
         "fingerprint_bits": bits,
         "seed": seed,
@@ -104,6 +110,7 @@ def report_payload(
         "sdc": {
             "rate": stats.sdc_rate,
             "interval": list(stats.sdc_interval),
+            "unchecked": stats.sdc_unchecked,
         },
         "latency": {
             "mean": stats.latency_mean,
@@ -132,6 +139,7 @@ def report_payload(
                 "cause": outcome.cause,
                 "latency": outcome.latency,
                 "aliased": outcome.aliased,
+                "unchecked": outcome.unchecked,
                 "commits": outcome.commits,
                 "recoveries": outcome.recoveries,
             }

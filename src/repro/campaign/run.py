@@ -18,7 +18,7 @@ from repro.campaign.resume import campaign_cache
 from repro.campaign.stats import AliasingCrossCheck, CampaignStats, crosscheck_aliasing, summarize
 from repro.exec.pool import ExecutionPool
 from repro.exec.progress import Progress, RunManifest
-from repro.sim.config import SystemConfig
+from repro.sim.config import SystemConfig, partial_protection_modes
 
 
 @dataclass
@@ -55,8 +55,21 @@ def run_campaign(
     cache_root: str | None = None,
     timeout: float | None = None,
     progress: Progress | None = None,
+    allow_partial: bool = False,
 ) -> CampaignResult:
-    """Plan, execute (or resume), and summarize one campaign."""
+    """Plan, execute (or resume), and summarize one campaign.
+
+    ``allow_partial`` gates configs whose pairs run a *partial*
+    protection policy (interval-sampled / unprotected / dynamic).  The
+    golden signature spans every commit in the window, including commits
+    from intervals such a policy never checks, so the headline coverage
+    number measures the policy's coverage gap as much as the
+    fingerprint's strength.  That is exactly what the frontier sweep
+    wants (it passes ``allow_partial=True`` and reports the unchecked
+    escapes separately) and exactly what a plain ``repro campaign``
+    report would misstate — so the default refuses loudly instead of
+    printing a silently wrong report.
+    """
     plan_kwargs = {}
     if commit_target is not None:
         plan_kwargs["commit_target"] = commit_target
@@ -66,6 +79,17 @@ def run_campaign(
         workload_name, injections, seed=seed, config=config, **plan_kwargs
     )
     config = jobs[0].config
+    partial_modes = partial_protection_modes(config)
+    if partial_modes and not allow_partial:
+        raise ValueError(
+            "campaign config has partial protection policies "
+            f"({', '.join(partial_modes)}): the golden signature covers "
+            "intervals these policies never check, so the plain campaign "
+            "report would blame the fingerprint for policy coverage gaps. "
+            "Use `repro frontier` to measure partial-policy coverage, or "
+            "pass allow_partial=True if the unchecked-escape accounting "
+            "is what you want."
+        )
 
     golden = golden_reference(config, jobs[0].spec)
     cache = campaign_cache(resume, cache_root)

@@ -70,6 +70,10 @@ class CampaignStats:
     #: SDC rate over all fired faults.
     sdc_rate: float
     sdc_interval: tuple[float, float]
+    #: Of the SDCs, how many escaped through an interval a partial
+    #: protection policy left unchecked (vs. aliasing through the CRC).
+    #: Always 0 under full protection.
+    sdc_unchecked: int
     #: Detection-latency distribution (cycles), detected faults only.
     latency_mean: float | None
     latency_max: int | None
@@ -105,6 +109,11 @@ def summarize(outcomes: Sequence[Outcome]) -> CampaignStats:
     coverage_trials = detected + buckets[SDC] + buckets[TIMEOUT]
     coverage = detected / coverage_trials if coverage_trials else 0.0
     sdc_rate = buckets[SDC] / fired if fired else 0.0
+    sdc_unchecked = sum(
+        1
+        for outcome in outcomes
+        if outcome.classification == SDC and outcome.unchecked
+    )
 
     latencies = [
         outcome.latency
@@ -123,6 +132,7 @@ def summarize(outcomes: Sequence[Outcome]) -> CampaignStats:
         coverage_trials=coverage_trials,
         sdc_rate=sdc_rate,
         sdc_interval=wilson_interval(buckets[SDC], fired),
+        sdc_unchecked=sdc_unchecked,
         latency_mean=(sum(latencies) / len(latencies)) if latencies else None,
         latency_max=max(latencies) if latencies else None,
         causes=dict(sorted(causes.items())),

@@ -23,6 +23,7 @@ from repro.sim.config import (
     PhantomStrength,
     TLBMode,
     apply_env_coherence,
+    apply_env_protection,
 )
 from repro.sim.options import TRACE_LEVELS, SimOptions
 from repro.sim.sampling import run_sample
@@ -30,9 +31,9 @@ from repro.workloads import by_name, suite
 from repro.workloads.micro import micro_suite
 
 
-def _config_from_args(args) -> "SystemConfig":
+def _config_from_args(args, n_logical: int | None = None) -> "SystemConfig":
     config = DEFAULT_CONFIG.replace(
-        n_logical=args.cpus,
+        n_logical=n_logical if n_logical is not None else args.cpus,
         consistency=Consistency(args.consistency),
     ).with_redundancy(
         mode=Mode(args.mode),
@@ -45,6 +46,13 @@ def _config_from_args(args) -> "SystemConfig":
     if getattr(args, "coherence", None):
         # Same transform the REPRO_COHERENCE env var applies at import.
         config = apply_env_coherence(config, {"REPRO_COHERENCE": args.coherence})
+    if getattr(args, "protection", None):
+        config = apply_env_protection(config, {"REPRO_PROTECTION": args.protection})
+    else:
+        # REPRO_PROTECTION cannot act at import the way REPRO_COHERENCE
+        # does (DEFAULT_CONFIG is not yet REUNION there), so the CLI
+        # applies it after with_redundancy; no-op when unset.
+        config = apply_env_protection(config)
     return config
 
 
@@ -65,6 +73,14 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
         choices=["shared", "snoopy", "directory"],
         default=None,
         help="memory backend (default: REPRO_COHERENCE or the config's own)",
+    )
+    parser.add_argument(
+        "--protection",
+        default=None,
+        metavar="POLICY",
+        help="uniform per-pair protection policy, e.g. full, little-mute:2, "
+        "interval-sampled:0.5, dynamic:8,2,16, unprotected "
+        "(default: REPRO_PROTECTION or full; reunion mode only)",
     )
 
 
@@ -133,7 +149,9 @@ def cmd_asm(args) -> int:
     with open(args.file) as handle:
         source = handle.read()
     program = assemble(source, name=args.file)
-    config = _config_from_args(args).replace(n_logical=1)
+    # Pin the pair count before env protection applies, so a uniform
+    # REPRO_PROTECTION policy tuple is sized for one pair, not --cpus.
+    config = _config_from_args(args, n_logical=1)
     options = _options_from_args(args, max_cycles=args.max_cycles)
     system = CMPSystem(config, [program], options=options)
     tracer = None
@@ -314,11 +332,17 @@ def cmd_campaign(args) -> int:
     from repro.exec.jobs import resolve_workload
     from repro.exec.pool import ExecutionError
     from repro.exec.progress import Progress
+    from repro.sim.config import parse_policy
 
     try:
         workload = resolve_workload(args.workload)
     except KeyError:
         print(f"unknown workload {args.workload!r}; try `repro list`", file=sys.stderr)
+        return 2
+    try:
+        policy = parse_policy(args.policy) if args.policy else None
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
         return 2
     config = campaign_config(
         fingerprint_bits=args.bits,
@@ -326,6 +350,7 @@ def cmd_campaign(args) -> int:
         comparison_latency=args.latency,
         coherence=args.coherence,
         n_logical=args.pairs,
+        policy=policy,
     )
     progress = None
     if sys.stderr.isatty():  # pragma: no cover - interactive nicety
@@ -342,7 +367,14 @@ def cmd_campaign(args) -> int:
             workers=args.jobs,
             resume=args.resume,
             progress=progress,
+            allow_partial=args.allow_partial,
         )
+    except ValueError as exc:
+        # Partial-policy configs are refused with directions (the plain
+        # campaign report would misstate their coverage); surface the
+        # message instead of a traceback.
+        print(exc, file=sys.stderr)
+        return 2
     except ExecutionError as exc:
         print(exc, file=sys.stderr)
         print(exc.manifest.render(), file=sys.stderr)
@@ -361,6 +393,60 @@ def cmd_campaign(args) -> int:
         print(f"wrote {args.report}", file=sys.stderr)
     print(result.manifest.render(), file=sys.stderr)
     return 0
+
+
+def cmd_frontier(args) -> int:
+    """Sweep protection policies for the coverage-vs-throughput frontier.
+
+    Each (policy, workload) point pairs an IPC sample at the chosen
+    scale with a fault-injection campaign under the same policy (see
+    :mod:`repro.harness.frontier`).  Both sides ride their persistent
+    caches, so re-runs and ``--resume`` sweeps are cheap.
+    """
+    from repro.exec.cache import default_cache
+    from repro.exec.pool import ExecutionError
+    from repro.harness import Runner, current_scale, scale_by_name
+    from repro.harness.frontier import (
+        DEFAULT_POLICIES,
+        DEFAULT_WORKLOADS,
+        run_frontier,
+    )
+    from repro.sim.config import parse_policy
+
+    policies = args.policies or list(DEFAULT_POLICIES)
+    try:
+        for spec in policies:
+            parse_policy(spec)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    scale = scale_by_name(args.scale) if args.scale else current_scale()
+    cache = None if args.no_cache else default_cache()
+    runner = Runner(scale, cache=cache, options=_options_from_args(args))
+    try:
+        result = run_frontier(
+            scale=scale,
+            policies=policies,
+            workload_names=args.workloads or list(DEFAULT_WORKLOADS),
+            injections=args.injections,
+            seed=args.seed,
+            jobs=args.jobs,
+            runner=runner,
+            resume=args.resume,
+            progress_stream=sys.stderr if sys.stderr.isatty() else None,
+        )
+    except ExecutionError as exc:
+        print(exc, file=sys.stderr)
+        print(exc.manifest.render(), file=sys.stderr)
+        return 1
+    print(result.render())
+    problems = result.check_ordering()
+    for problem in problems:
+        print(f"ORDERING VIOLATION: {problem}", file=sys.stderr)
+    if args.report:
+        result.write(args.report)
+        print(f"wrote {args.report}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def cmd_bench(args) -> int:
@@ -385,6 +471,7 @@ def cmd_bench(args) -> int:
             compare_exec=not args.no_exec_comparison,
             compare_telemetry=not args.no_telemetry_comparison,
             directory_scenario=not args.no_directory_scenario,
+            protection_scenario=not args.no_protection_scenario,
             quick=args.quick,
         )
     except ValueError as exc:
@@ -544,7 +631,70 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument(
         "--report", default=None, help="also write the JSON report to this path"
     )
+    campaign_parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="POLICY",
+        help="uniform per-pair protection policy (e.g. little-mute:2); "
+        "partial policies are refused unless --allow-partial is given",
+    )
+    campaign_parser.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="permit partial protection policies (interval-sampled / "
+        "unprotected / dynamic) whose coverage gaps the plain report "
+        "would misattribute; prefer `repro frontier`",
+    )
     campaign_parser.set_defaults(func=cmd_campaign)
+
+    frontier_parser = subparsers.add_parser(
+        "frontier",
+        help="sweep protection policies: IPC vs detection coverage frontier",
+    )
+    frontier_parser.add_argument(
+        "--scale",
+        choices=["quick", "standard", "paper"],
+        help="IPC sample scale (overrides REPRO_SCALE; default quick)",
+    )
+    frontier_parser.add_argument(
+        "--policies",
+        nargs="*",
+        metavar="POLICY",
+        help="policy specs to sweep (default: full little-mute:2 "
+        "interval-sampled:0.5 dynamic:8,2,16 unprotected)",
+    )
+    frontier_parser.add_argument(
+        "--workloads",
+        nargs="*",
+        help="workload names (default: compute-kernel pointer-chase)",
+    )
+    frontier_parser.add_argument(
+        "--injections",
+        type=int,
+        default=48,
+        help="injections per coverage point (default 48)",
+    )
+    frontier_parser.add_argument(
+        "--seed", type=int, default=0, help="campaign sampling seed"
+    )
+    frontier_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes"
+    )
+    frontier_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve completed injections from the campaign checkpoint",
+    )
+    frontier_parser.add_argument(
+        "--report", default=None, help="also write the frontier JSON to this path"
+    )
+    frontier_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent sample cache (.repro-cache/)",
+    )
+    _add_options_args(frontier_parser)
+    frontier_parser.set_defaults(func=cmd_frontier)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -596,6 +746,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-directory-scenario",
         action="store_true",
         help="skip the many-pair directory-backend scenario",
+    )
+    bench_parser.add_argument(
+        "--no-protection-scenario",
+        action="store_true",
+        help="skip the per-policy protection throughput scenario",
     )
     bench_parser.add_argument(
         "--quick",

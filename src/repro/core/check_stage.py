@@ -63,6 +63,51 @@ class IntervalRecord(NamedTuple):
     has_halt: bool
 
 
+class ProtectionState:
+    """Shared per-pair schedule of checked fingerprint intervals.
+
+    One instance is shared by *both* gates of a partially protected pair
+    (see :class:`~repro.sim.config.ProtectionPolicy`), so the vocal and
+    the mute — which close interval ``k`` at different cycles — make
+    identical checked/unchecked decisions from the interval index alone.
+
+    Two mechanisms compose:
+
+    * ``fraction`` — a static checked fraction (``interval-sampled``;
+      ``0.0`` models ``unprotected``, ``None`` means "all checked" and
+      is the ``dynamic`` baseline).  The decision is Bresenham-style —
+      interval ``k`` is checked iff ``floor((k+1)*f) > floor(k*f)`` —
+      spreading checked intervals evenly as a pure function of ``k``.
+    * a skip window ``[skip_from, skip_until)`` — ``dynamic`` off
+      periods scheduled by the pair controller at comparison points.
+
+    Recovery flushes reset both gates' interval numbering to 0, so the
+    pair controller clears the window then (:meth:`clear_window`) to
+    keep decisions aligned with the restarted numbering.
+    """
+
+    __slots__ = ("fraction", "skip_from", "skip_until")
+
+    def __init__(self, fraction: float | None = None) -> None:
+        self.fraction = fraction
+        self.skip_from = 0
+        self.skip_until = 0
+
+    def checked(self, index: int) -> bool:
+        if self.skip_from <= index < self.skip_until:
+            return False
+        fraction = self.fraction
+        if fraction is None:
+            return True
+        if fraction <= 0.0:
+            return False
+        return int((index + 1) * fraction) > int(index * fraction)
+
+    def clear_window(self) -> None:
+        self.skip_from = 0
+        self.skip_until = 0
+
+
 class CheckGate:
     """One core's side of the output-comparison machinery."""
 
@@ -119,6 +164,22 @@ class CheckGate:
         #: Monotone counters for statistics.
         self.intervals_closed = 0
         self.fingerprints_compared = 0
+        self.intervals_unchecked = 0
+        #: Cumulative user instructions offered, NOT reset by flush()
+        #: (recovery re-offers count again, identically on both cores).
+        #: The cores' offer loops consult it to service external
+        #: interrupts at the in-order offer boundary — a pure function
+        #: of the correct-path stream, so heterogeneous pairs (e.g. a
+        #: narrow little-mute) pick the same service point even though
+        #: their in-flight depths differ.
+        self.users_offered = 0
+        #: Partial-protection hooks (set by LogicalPair for
+        #: interval-sampled / unprotected / dynamic policies).
+        #: ``_check_all`` is the hot-path fast flag: full and little-mute
+        #: gates — and every non-paired gate — pay exactly one attribute
+        #: test per interval close and never consult the policy state.
+        self._check_all = True
+        self._policy_state: ProtectionState | None = None
         #: Armed telemetry (see repro.obs), or None.  Set by CMPSystem;
         #: interval closes are emitted only at the ``full`` level.
         self.obs = None
@@ -166,6 +227,7 @@ class CheckGate:
                     interval=self._index,
                 )
         self._count += 1
+        self.users_offered += 1
         self._has_sync = self._has_sync or entry.was_sync
         is_halt = entry.inst.op is Op.HALT
         self._has_halt = self._has_halt or is_halt
@@ -221,6 +283,7 @@ class CheckGate:
                     interval=self._index,
                 )
         self._count += 1
+        self.users_offered += 1
         self._has_sync = self._has_sync or bool(mask & M_SYNC)
         is_halt = flags & F_HALT
         if is_halt:
@@ -255,6 +318,19 @@ class CheckGate:
             self._close(now)
 
     def _close(self, now: int) -> None:
+        if (
+            not self._check_all
+            and not self.single_step
+            and not self._policy_state.checked(self._index)
+        ):
+            # Unchecked interval under a partial protection policy: no
+            # hash, no exchange, no comparison latency — the batch
+            # retires immediately, and a fault absorbed here escapes by
+            # construction.  Single-step recovery overrides the policy:
+            # the re-execution protocol needs every interval compared
+            # (matched has_sync/has_halt decisions on both sides).
+            self._skip_close(now)
+            return
         accum = self._accum
         words = self._words
         if words:
@@ -306,6 +382,35 @@ class CheckGate:
         self._has_halt = False
         self._index += 1
         self.intervals_closed += 1
+
+    def _skip_close(self, now: int) -> None:
+        """Close an *unchecked* interval: retire immediately, hash nothing.
+
+        The captured update words are discarded unhashed (the
+        accumulator CRC is untouched — it is always 0 between closes),
+        the interval never enters ``_closed``, and its instructions get
+        ``now`` as their retire time, modeling fingerprint exchange
+        switched off for this interval.  ``fingerprint.skip`` is the
+        attribution anchor letting the campaign classifier mark SDCs
+        that escaped through a coverage gap (rather than CRC aliasing).
+        """
+        self._words.clear()
+        self._retire_time[self._index] = now
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "fingerprint.skip",
+                now,
+                self.obs_source,
+                index=self._index,
+                count=self._count,
+            )
+        self._count = 0
+        self._has_sync = False
+        self._has_halt = False
+        self._index += 1
+        self.intervals_closed += 1
+        self.intervals_unchecked += 1
 
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:
         # ``out`` is the reused scratch buffer: valid until the next pop,

@@ -189,6 +189,12 @@ class DetectionOutcome:
     #: An unrelated recovery flushed the faulted interval before its
     #: comparison; re-execution wiped the corruption (masked by flush).
     flushed: bool
+    #: The faulted interval closed *unchecked* under a partial
+    #: protection policy (``fingerprint.skip``): the corruption escaped
+    #: through a coverage gap, not through CRC aliasing.  Campaigns
+    #: report these separately — an unchecked escape indicts the
+    #: policy's coverage, not the fingerprint's strength.
+    unchecked: bool = False
 
 
 def attribute_detections(
@@ -212,7 +218,10 @@ def attribute_detections(
       faulted interval before it could compare (not attributed);
     * a ``recovery.start`` with cause ``timeout`` or ``sync_divergence``
       arrived while the fault was pending → attributed as a detection by
-      that mechanism (a live single fault explains the divergence).
+      that mechanism (a live single fault explains the divergence);
+    * the interval closed with ``fingerprint.skip`` (partial protection
+      policy) → ``unchecked``: the escape is a policy coverage gap, not
+      CRC aliasing.
 
     ``pair_source`` restricts pair-event matching to one pair's records
     (``"pair0"``); None accepts any pair — correct for single-pair runs.
@@ -245,7 +254,19 @@ def attribute_detections(
         latency: int | None = None
         aliased = False
         flushed = False
+        unchecked = False
         for event in stream[absorb_pos + 1 :]:
+            if (
+                event.kind == "fingerprint.skip"
+                and event.source == gate_source
+                and event.args.get("index") == interval
+            ):
+                # The faulted interval closed unchecked (partial
+                # protection policy): no comparison will ever arrive
+                # for it.  Gate-sourced, so checked before the
+                # pair-source filter below.
+                unchecked = True
+                break
             if pair_source is not None:
                 if event.source != pair_source:
                     continue
@@ -289,7 +310,9 @@ def attribute_detections(
                     cause = event.args.get("cause", "fingerprint")
                     break
         outcomes.append(
-            DetectionOutcome(record, True, detected, cause, latency, aliased, flushed)
+            DetectionOutcome(
+                record, True, detected, cause, latency, aliased, flushed, unchecked
+            )
         )
     return outcomes
 

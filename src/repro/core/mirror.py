@@ -93,6 +93,12 @@ def sync_counters(vocal: OoOCore, mute: OoOCore) -> None:
     vocal_gate = vocal.gate
     mute_gate.intervals_closed = vocal_gate.intervals_closed
     mute_gate.fingerprints_compared = vocal_gate.fingerprints_compared
+    # Always 0 in-window (only full-policy pairs mirror, and full gates
+    # never skip), copied for completeness.
+    mute_gate.intervals_unchecked = vocal_gate.intervals_unchecked
+    # The interrupt offer-boundary counter: a mirrored mute advanced in
+    # lockstep with the vocal, so the cumulative offer count matches.
+    mute_gate.users_offered = vocal_gate.users_offered
 
 
 def materialize(vocal: OoOCore, mute: OoOCore, obs=None, source: str = "") -> None:
@@ -279,6 +285,7 @@ def _materialize_gate(
     )
     mute_gate._retire_time = dict(vocal_gate._retire_time)
     mute_gate._count = vocal_gate._count
+    mute_gate.users_offered = vocal_gate.users_offered
     mute_gate._has_sync = vocal_gate._has_sync
     mute_gate._has_halt = vocal_gate._has_halt
     mute_gate._index = vocal_gate._index

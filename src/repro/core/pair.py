@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 
-from repro.core.check_stage import CheckGate
+from repro.core.check_stage import CheckGate, ProtectionState
 from repro.core.mirror import materialize, sync_counters
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Op
@@ -35,7 +35,7 @@ from repro.isa.semantics import atomic_result
 from repro.memory.l2_controller import SharedL2Controller
 from repro.pipeline.gates import NEVER
 from repro.pipeline.ooo_core import OoOCore
-from repro.sim.config import SystemConfig
+from repro.sim.config import ProtectionPolicy, SystemConfig
 
 #: Base address of the (per-core, uncontended) interrupt vector data.
 INTERRUPT_VECTOR_BASE = 0x4800_0000
@@ -73,6 +73,7 @@ class LogicalPair:
         mute: OoOCore,
         controller: SharedL2Controller,
         config: SystemConfig,
+        policy: ProtectionPolicy | None = None,
     ) -> None:
         self.pair_id = pair_id
         self.vocal = vocal
@@ -80,6 +81,10 @@ class LogicalPair:
         self.controller = controller
         self.config = config
         self.redundancy = config.redundancy
+        #: This pair's protection policy (default: the paper's ``full``).
+        #: Result-affecting modes arrive via SystemConfig.pair_policies,
+        #: resolved and threaded by CMPSystem.
+        self.policy = policy if policy is not None else ProtectionPolicy()
 
         vocal.gate = CheckGate(config.redundancy)
         mute.gate = CheckGate(config.redundancy)
@@ -89,6 +94,36 @@ class LogicalPair:
         mute.pair_sync_atomics = True
         vocal.pair = self
         mute.pair = self
+
+        #: Shared checked-interval schedule for the partial modes
+        #: (interval-sampled / unprotected / dynamic); None for the
+        #: always-checked modes (full, little-mute).
+        self.protection_state: ProtectionState | None = None
+        self._dynamic = self.policy.mode == "dynamic"
+        self._dyn_paused = False
+        self.protection_toggles = 0
+        mode_name = self.policy.mode
+        if mode_name == "interval-sampled":
+            self.protection_state = ProtectionState(self.policy.checked_fraction)
+        elif mode_name == "unprotected":
+            self.protection_state = ProtectionState(0.0)
+        elif mode_name == "dynamic":
+            self.protection_state = ProtectionState(None)
+        if self.protection_state is not None:
+            for gate in (vocal.gate, mute.gate):
+                gate._policy_state = self.protection_state
+                gate._check_all = False
+        if mode_name == "unprotected":
+            # Redundancy off: no fingerprint exchange (every interval is
+            # unchecked via the 0.0 fraction above), no sync coupling —
+            # atomics perform locally, as on a non-redundant core — and
+            # the mute core is parked (never stepped; its counters stay
+            # deterministically zero).  The vocal keeps its CheckGate so
+            # retirement still batches by interval, modeling the
+            # dual-use hardware with the exchange disabled.
+            vocal.pair_sync_atomics = False
+            mute.pair_sync_atomics = False
+            mute.mirror_passive = True
 
         #: Replay fast path == mirror window (see repro.core.mirror): the
         #: mute core is not stepped at all while the pair is provably
@@ -147,8 +182,11 @@ class LogicalPair:
 
         Only armed from pristine state (the symmetry induction base)
         with no observers attached; otherwise the pair simply runs dual.
+        Only ``full`` pairs ever mirror: a little mute is a *different*
+        automaton from the vocal (narrower issue), and partial modes
+        keep the dual path so their skip schedules drive real gates.
         """
-        if self.replay_enabled:
+        if self.replay_enabled or self.policy.mode != "full":
             return
         vocal, mute = self.vocal, self.mute
         if not (
@@ -316,6 +354,8 @@ class LogicalPair:
                 if now >= self._recovery_at:
                     self._begin_recovery(now)
                 return
+            if self._dynamic:
+                self._evaluate_dynamic(now)
 
         if self.vocal.sync_request is not None and self.mute.sync_request is not None:
             self._service_sync_requests(now)
@@ -447,6 +487,67 @@ class LogicalPair:
             self.mismatch_recoveries += 1
             return
 
+    def _evaluate_dynamic(self, now: int) -> None:
+        """Döbel-style load-adaptive protection, decided at comparison points.
+
+        Runs right after a mismatch-free comparison batch, NORMAL state
+        only.  Load is the vocal's check-stage backlog (instructions
+        buffered behind fingerprint exchange).  When it reaches
+        ``off_threshold``, the next ``off_intervals`` fingerprint
+        intervals — numbered from the *larger* of the two gates' next
+        interval index, so neither side has closed any of them yet and
+        both gates make the identical skip decision — go unchecked.
+        After a window expires, the first comparison either extends the
+        pause (backlog still above ``on_threshold``) or resumes checking.
+        Deterministic: comparisons fire at identical cycles under both
+        kernels and both hot loops, so the backlog snapshot is too.
+        """
+        state = self.protection_state
+        vocal_gate: CheckGate = self.vocal.gate  # type: ignore[assignment]
+        mute_gate: CheckGate = self.mute.gate  # type: ignore[assignment]
+        index = vocal_gate._index
+        if mute_gate._index > index:
+            index = mute_gate._index
+        if index < state.skip_until:
+            return  # an off-window is still scheduled or active
+        policy = self.policy
+        backlog = len(vocal_gate._pending)
+        if self._dyn_paused:
+            if backlog > policy.on_threshold:
+                # Still loaded: extend the pause with a fresh window.
+                state.skip_from = index
+                state.skip_until = index + policy.off_intervals
+                if self.obs is not None:
+                    self.obs.emit(
+                        "protection.off",
+                        now,
+                        self._obs_source,
+                        from_index=index,
+                        until_index=state.skip_until,
+                        backlog=backlog,
+                    )
+            else:
+                self._dyn_paused = False
+                self.protection_toggles += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "protection.on", now, self._obs_source, backlog=backlog
+                    )
+        elif backlog >= policy.off_threshold:
+            self._dyn_paused = True
+            self.protection_toggles += 1
+            state.skip_from = index
+            state.skip_until = index + policy.off_intervals
+            if self.obs is not None:
+                self.obs.emit(
+                    "protection.off",
+                    now,
+                    self._obs_source,
+                    from_index=index,
+                    until_index=state.skip_until,
+                    backlog=backlog,
+                )
+
     def _schedule_recovery(self, at: int, escalate: bool, cause: str = "") -> None:
         self.state = PairState.WAIT_RECOVERY
         self._recovery_at = at
@@ -508,6 +609,11 @@ class LogicalPair:
             core.flush_for_recovery(resume, now, penalty)
             core.single_step = True
             core.gate.single_step = True  # type: ignore[attr-defined]
+        if self.protection_state is not None:
+            # The flushes restarted both gates' interval numbering at 0;
+            # a stale dynamic off-window would alias the new numbering.
+            self.protection_state.clear_window()
+            self._dyn_paused = False
         if self.obs is not None:
             self.obs.emit(
                 "recovery.rollback",
@@ -661,3 +767,12 @@ class LogicalPair:
         stats.set(base + "phase2_recoveries", self.phase2_recoveries)
         stats.set(base + "sync_requests", self.sync_requests)
         stats.set(base + "failures", self.failures)
+        if self.protection_state is not None:
+            # Partial policies only: full/little-mute pairs report
+            # nothing here, keeping their snapshots byte-identical to
+            # the pre-policy ones.
+            stats.set(
+                base + "unchecked_intervals",
+                self.vocal.gate.intervals_unchecked,
+            )
+            stats.set(base + "protection_toggles", self.protection_toggles)

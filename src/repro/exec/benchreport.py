@@ -136,6 +136,29 @@ class DirectoryScenario:
 
 
 @dataclass
+class ProtectionScenario:
+    """One Reunion pair under one protection policy, fixed cycle window.
+
+    The per-pair policy API trades coverage for throughput; this
+    scenario pins the throughput half of that trade on the compute-bound
+    kernel, where the check stage is the bottleneck and the policies
+    separate most.  ``sim_ipc`` (vocal user instructions retired per
+    simulated cycle) is deterministic, so :func:`check_regression`
+    asserts the structural ordering — ``unprotected`` >=
+    ``interval-sampled`` >= ``full`` >= ``little-mute`` — exactly, and
+    floors ``cycles_per_s`` against the baseline like any phase.
+    """
+
+    name: str  # the policy spec (ProtectionPolicy.describe())
+    wall_s: float
+    cycles: int  # simulated cycles in the timed window
+    cycles_per_s: float
+    retired: int  # vocal user instructions retired
+    sim_ipc: float
+    unchecked_intervals: int
+
+
+@dataclass
 class RetireGateMicro:
     """Throughput of the retire-gate offer/pop path, gate machinery only.
 
@@ -166,6 +189,7 @@ class BenchReport:
     exec_comparison: list[ExecComparison] = field(default_factory=list)
     telemetry_comparison: list[TelemetryComparison] = field(default_factory=list)
     directory_scenario: list[DirectoryScenario] = field(default_factory=list)
+    protection_scenario: list[ProtectionScenario] = field(default_factory=list)
     micro: list[RetireGateMicro] = field(default_factory=list)
     #: Wall seconds by bench component (see repro.obs.profile.Profiler).
     profile: dict[str, float] = field(default_factory=dict)
@@ -194,6 +218,10 @@ class BenchReport:
             directory_scenario=[
                 DirectoryScenario(**s)
                 for s in payload.get("directory_scenario", [])
+            ],
+            protection_scenario=[
+                ProtectionScenario(**s)
+                for s in payload.get("protection_scenario", [])
             ],
             micro=[RetireGateMicro(**m) for m in payload.get("micro", [])],
             profile=payload.get("profile", {}),
@@ -276,6 +304,20 @@ class BenchReport:
                     f"{sc.cycles_per_s:>12,.0f}{sc.recoveries:>7}"
                     f"{sc.sync_requests:>7}{sc.phantom_reads:>9,}"
                     f"{sc.mirror_cycles:>8,}"
+                )
+        if self.protection_scenario:
+            lines += [
+                "",
+                "protection scenario (policy throughput, compute-bound pair):",
+                f"{'policy':<28}{'wall s':>10}{'cycles/s':>12}{'retired':>10}"
+                f"{'sim IPC':>9}{'uncheck':>9}",
+                "-" * 78,
+            ]
+            for sc in self.protection_scenario:
+                lines.append(
+                    f"{sc.name:<28}{sc.wall_s:>10.3f}{sc.cycles_per_s:>12,.0f}"
+                    f"{sc.retired:>10,}{sc.sim_ipc:>9.3f}"
+                    f"{sc.unchecked_intervals:>9,}"
                 )
         if self.micro:
             lines += [
@@ -535,6 +577,62 @@ def run_directory_scenario(
     return scenarios
 
 
+#: Policies the bench scenario sweeps, fastest expected first.  The
+#: structural sim-IPC ordering check_regression enforces follows from
+#: what each mode pays per interval: nothing (unprotected), half the
+#: exchanges (sampled), every exchange (full), every exchange plus a
+#: narrowed checker (little-mute).
+PROTECTION_BENCH_POLICIES = (
+    "unprotected",
+    "interval-sampled:0.5",
+    "full",
+    "little-mute:2",
+)
+
+
+def run_protection_scenario(
+    scale, cycles: int = 12_000
+) -> list[ProtectionScenario]:
+    """Run one compute-bound Reunion pair per protection policy.
+
+    Fixed simulated-cycle windows, so ``retired`` (and ``sim_ipc``) is
+    a deterministic measure of each policy's throughput give-back;
+    ``cycles_per_s`` times the host, floored against the baseline.
+    """
+    from repro.sim.cmp import CMPSystem
+    from repro.sim.config import parse_policy
+    from repro.sim.options import SimOptions
+    from repro.workloads.micro import ComputeKernel
+
+    workload = ComputeKernel()
+    seed = scale.seeds[0]
+    base = scale.config.replace(n_logical=1).with_redundancy(mode=Mode.REUNION)
+    programs = workload.programs(base.n_logical, seed)
+    schedules = workload.itlb_schedules(base.n_logical, seed)
+    scenarios: list[ProtectionScenario] = []
+    for spec in PROTECTION_BENCH_POLICIES:
+        config = base.with_protection(parse_policy(spec))
+        system = CMPSystem(
+            config, programs, schedules, options=SimOptions(kernel="event")
+        )
+        start = time.perf_counter()
+        system.run(cycles)
+        wall = time.perf_counter() - start
+        vocal = system.vocal_cores[0]
+        scenarios.append(
+            ProtectionScenario(
+                name=spec,
+                wall_s=wall,
+                cycles=cycles,
+                cycles_per_s=cycles / wall if wall else 0.0,
+                retired=vocal.user_retired,
+                sim_ipc=vocal.user_retired / cycles if cycles else 0.0,
+                unchecked_intervals=vocal.gate.intervals_unchecked,
+            )
+        )
+    return scenarios
+
+
 def run_retire_gate_micro(
     cycles: int = 30_000, width: int = 4
 ) -> list[RetireGateMicro]:
@@ -619,6 +717,7 @@ def run_bench(
     compare_exec: bool = True,
     compare_telemetry: bool = True,
     directory_scenario: bool = True,
+    protection_scenario: bool = True,
     quick: bool = False,
 ) -> BenchReport:
     """Time every artifact's sample sweep; return the filled report.
@@ -718,6 +817,11 @@ def run_bench(
                 pairs_list=(4,) if quick else (4, 8),
                 cycles=6_000 if quick else 20_000,
             )
+    if protection_scenario:
+        with profiler.section("protection.scenario"):
+            report.protection_scenario = run_protection_scenario(
+                scale, cycles=4_000 if quick else 12_000
+            )
     with profiler.section("micro.retire_gate"):
         report.micro = run_retire_gate_micro(
             cycles=6_000 if quick else 30_000
@@ -774,6 +878,32 @@ def check_regression(
             problems.append(
                 f"{cmp_.name}: armed telemetry costs {cmp_.overhead:.2f}x "
                 f"(budget {TELEMETRY_OVERHEAD_FACTOR:g}x)"
+            )
+    protection = {sc.name: sc for sc in current.protection_scenario}
+    for weaker, stronger in (
+        ("unprotected", "interval-sampled:0.5"),
+        ("interval-sampled:0.5", "full"),
+        ("full", "little-mute:2"),
+    ):
+        weak, strong = protection.get(weaker), protection.get(stronger)
+        if weak is None or strong is None:
+            continue
+        # Deterministic simulated IPC: each strengthening of the policy
+        # may only cost throughput, never gain it.
+        if weak.sim_ipc < strong.sim_ipc:
+            problems.append(
+                f"protection: {weaker} sim IPC {weak.sim_ipc:.3f} fell below "
+                f"{stronger} {strong.sim_ipc:.3f} (ordering inverted)"
+            )
+    baseline_protection = {sc.name: sc for sc in baseline.protection_scenario}
+    for sc in current.protection_scenario:
+        base = baseline_protection.get(sc.name)
+        if base is None or base.cycles_per_s <= 0:
+            continue
+        if sc.cycles_per_s < base.cycles_per_s / factor:
+            problems.append(
+                f"protection/{sc.name}: {sc.cycles_per_s:,.0f} cycles/s is >"
+                f"{factor:g}x below baseline {base.cycles_per_s:,.0f}"
             )
     baseline_micro = {micro.name: micro for micro in baseline.micro}
     for micro in current.micro:

@@ -13,6 +13,11 @@
 
 from repro.harness.fig5 import Fig5Result, plan_fig5, run_fig5
 from repro.harness.fig6 import Fig6Result, plan_fig6, run_fig6
+from repro.harness.frontier import (
+    FrontierPoint,
+    FrontierResult,
+    run_frontier,
+)
 from repro.harness.fig7 import (
     Fig7aResult,
     Fig7bResult,
@@ -41,6 +46,8 @@ __all__ = [
     "Fig6Result",
     "Fig7aResult",
     "Fig7bResult",
+    "FrontierPoint",
+    "FrontierResult",
     "PAPER",
     "QUICK",
     "Runner",
@@ -61,6 +68,7 @@ __all__ = [
     "run_fig6",
     "run_fig7a",
     "run_fig7b",
+    "run_frontier",
     "run_sc_comparison",
     "run_table3",
     "scale_by_name",

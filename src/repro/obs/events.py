@@ -35,6 +35,11 @@ from repro.obs.metrics import MetricsSampler
 K_FP_COMPARE = "fingerprint.compare"  # events
 K_FP_MISMATCH = "fingerprint.mismatch"  # events
 K_FP_CLOSE = "fingerprint.close"  # full
+# Partial protection policies (interval-sampled / unprotected / dynamic
+# pairs only; full and little-mute gates never emit these).
+K_FP_SKIP = "fingerprint.skip"  # events: interval closed unchecked
+K_PROTECTION_OFF = "protection.off"  # events: dynamic policy paused checking
+K_PROTECTION_ON = "protection.on"  # events: dynamic policy resumed checking
 # The re-execution protocol.
 K_RECOVERY_START = "recovery.start"  # events
 K_RECOVERY_ROLLBACK = "recovery.rollback"  # events

@@ -22,6 +22,14 @@ squashed-or-freed condition the object loop expresses via
 Write-through setters cover the fields cold paths mutate (fault
 corruption of results/addresses/branch targets, sync-request value
 delivery, the pair controller's ``was_sync`` stamp).
+
+Alongside the columns, the flat loop hoists per-core config scalars
+into ``_c_*`` attributes at ``use_soa_hotloop`` time.  Anything that
+mutates one of those after construction must refresh the hoisted copy —
+``OoOCore.set_issue_width`` (the little-mute protection policy's
+narrowed issue stage, ``_c_issue_width``) is the one mutable example,
+and it re-stamps the hoist itself so both hot loops read the same
+width whichever order the policy and the loop selection are applied in.
 """
 
 from __future__ import annotations

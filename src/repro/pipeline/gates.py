@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Protocol
 
+from repro.pipeline.flat import M_INJECTED
 from repro.pipeline.rob import DynInstr
 
 #: Horizon sentinel for the cycle-skipping kernel: "no pending event".
@@ -101,11 +102,16 @@ class RetireGate(Protocol):
     def open_count(self) -> int:
         """User instructions in the currently-open fingerprint interval."""
 
+    # Implementations also carry a ``users_offered`` attribute: the
+    # cumulative count of *user* (non-injected) instructions offered,
+    # never reset by :meth:`flush`.  The core's offer loops consult it
+    # to service external interrupts at the in-order offer boundary.
+
 
 class ImmediateGate:
     """Non-redundant retirement: no checking, no added latency."""
 
-    __slots__ = ("_queue", "_scratch")
+    __slots__ = ("_queue", "_scratch", "users_offered")
 
     def __init__(self) -> None:
         # Object mode queues DynInstr entries; flat mode queues packed
@@ -113,11 +119,17 @@ class ImmediateGate:
         self._queue: deque = deque()
         #: Reused pop_retirable output buffer (valid until the next pop).
         self._scratch: list = []
+        #: Cumulative user instructions offered (interrupt offer boundary).
+        self.users_offered = 0
 
     def offer(self, entry: DynInstr, now: int) -> None:
+        if not entry.injected:
+            self.users_offered += 1
         self._queue.append(entry)
 
     def offer_f(self, core, slot: int, now: int) -> None:
+        if not core.f_mask[slot] & M_INJECTED:
+            self.users_offered += 1
         self._queue.append((core.f_seq[slot] << core._f_sbits) | slot)
 
     def pop_retirable(self, now: int, limit: int) -> list[DynInstr]:

@@ -98,6 +98,15 @@ class OoOCore:
         self.core_id = core_id
         self.config = config
         self.core_cfg = config.core
+        #: Issue-stage width.  Equals ``core_cfg.width`` except on a
+        #: "little" mute checking a full vocal (a MEEK-style reduced
+        #: checker; see repro.sim.config.ProtectionPolicy): per-pair
+        #: protection policies narrow *issue* only, while fetch/dispatch/
+        #: retire keep the configured width so fingerprints still cover
+        #: every instruction.  Result-affecting — always derived from the
+        #: hashed config, never from SimOptions.  Set via
+        #: :meth:`set_issue_width` so the SoA hoist stays coherent.
+        self.issue_width = config.core.width
         self.program = program
         self.port = port
         self.gate: RetireGate = gate if gate is not None else ImmediateGate()
@@ -265,6 +274,7 @@ class OoOCore:
         self._bind_decode()
         cc = self.core_cfg
         self._c_width = cc.width
+        self._c_issue_width = self.issue_width
         self._c_rob_size = cc.rob_size
         self._c_sb_size = cc.store_buffer_size
         self._c_load_ports = cc.load_ports
@@ -276,6 +286,20 @@ class OoOCore:
         self._init_flat()
         self.step = self._step_soa  # type: ignore[method-assign]
         self.next_event = self._next_event_flat  # type: ignore[method-assign]
+
+    def set_issue_width(self, width: int) -> None:
+        """Narrow (or restore) the issue stage — little-mute policies.
+
+        Keeps the SoA loop's hoisted copy coherent whichever order the
+        policy and :meth:`use_soa_hotloop` are applied in.
+        """
+        if width < 1 or width > self.core_cfg.width:
+            raise ValueError(
+                f"issue width must be in [1, {self.core_cfg.width}], got {width}"
+            )
+        self.issue_width = width
+        if self._soa:
+            self._c_issue_width = width
 
     def _init_flat(self) -> None:
         """Allocate the ring columns (plain lists, not int arrays).
@@ -442,7 +466,7 @@ class OoOCore:
         ) = self._f_cols
         smask = self._f_smask
         sbits = self._f_sbits
-        issue_budget = self._c_width
+        issue_budget = self._c_issue_width
         load_ports = self._c_load_ports
         alu_latency = self._c_alu_lat
         mul_latency = self._c_mul_lat
@@ -1140,6 +1164,23 @@ class OoOCore:
                 )
             gate_offer(self, slot, now)
             offered += 1
+            if (
+                self._interrupts
+                and not self.single_step
+                and not f_mask[slot] & M_INJECTED
+                and gate.users_offered >= self._interrupts[0][0]
+            ):
+                # Service at the in-order offer boundary: no younger
+                # entry has reached the gate yet, so the squash below
+                # touches only unoffered in-flight state and both cores
+                # of a pair — even a heterogeneous little-mute pair with
+                # a different pipeline depth — pick the identical stream
+                # point (gate.users_offered is a pure function of the
+                # correct-path instruction stream).
+                actual_next = self.f_anext[slot]
+                resume = actual_next if actual_next is not None else self.f_pc[slot] + 1
+                self._flat_service_interrupt(self.f_seq[slot], resume)
+                break
         self._check_pending += offered
 
     def _flat_retire_one(self, slot: int, now: int) -> None:
@@ -1208,31 +1249,30 @@ class OoOCore:
             self._flat_squash_to(seq + 1)
             self._redirect_fetch(pc + 1)
         elif not self.single_step:
-            if (
-                self._interrupts
-                and self.user_retired >= self._interrupts[0][0]
-            ):
-                resume = actual_next if actual_next is not None else pc + 1
-                self._flat_service_interrupt(seq, resume)
-            else:
-                sched = self.synthetic_itlb
-                if sched is not None:
-                    # hashed_schedule exposes its memoized decision table;
-                    # index it directly and call in only to extend it (or
-                    # for table-less custom schedules).
-                    idx = self.user_retired
-                    table = getattr(sched, "table", None)
-                    if table is not None and idx < len(table):
-                        miss = table[idx]
-                    else:
-                        miss = sched(idx)
-                    if miss:
-                        self.itlb_misses += 1
-                        resume = actual_next if actual_next is not None else pc + 1
-                        self._flat_take_synthetic_tlb_miss(seq, resume, now)
+            # External interrupts are serviced at the in-order *offer*
+            # boundary (see _flat_retire's offer loop), not here: at
+            # retire time younger entries have already entered the check
+            # gate, and squashing them would desynchronize interval
+            # contents across a heterogeneous pair.
+            sched = self.synthetic_itlb
+            if sched is not None:
+                # hashed_schedule exposes its memoized decision table;
+                # index it directly and call in only to extend it (or
+                # for table-less custom schedules).
+                idx = self.user_retired
+                table = getattr(sched, "table", None)
+                if table is not None and idx < len(table):
+                    miss = table[idx]
+                else:
+                    miss = sched(idx)
+                if miss:
+                    self.itlb_misses += 1
+                    resume = actual_next if actual_next is not None else pc + 1
+                    self._flat_take_synthetic_tlb_miss(seq, resume, now)
 
     def _flat_service_interrupt(self, seq: int, resume: int) -> None:
-        """Flat `_service_interrupt` (the triggering slot is already free)."""
+        """Flat `_service_interrupt` (the triggering slot stays live:
+        it was just offered and retires through the gate normally)."""
         _, handler = self._interrupts.popleft()
         self.interrupts_serviced += 1
         self._flat_squash_to(seq + 1)
@@ -1710,6 +1750,21 @@ class OoOCore:
                 )
             gate.offer(entry, now)
             offered += 1
+            if (
+                self._interrupts
+                and not self.single_step
+                and not entry.injected
+                and gate.users_offered >= self._interrupts[0][0]
+            ):
+                # Service at the in-order offer boundary: no younger
+                # entry has reached the gate yet, so the squash below
+                # touches only unoffered in-flight state and both cores
+                # of a pair — even a heterogeneous little-mute pair with
+                # a different pipeline depth — pick the identical stream
+                # point (gate.users_offered is a pure function of the
+                # correct-path instruction stream).
+                self._service_interrupt(entry)
+                break
         self._check_pending += offered
 
     def _retire(self, entry: DynInstr, now: int) -> None:
@@ -1765,12 +1820,12 @@ class OoOCore:
             self._squash_after(entry)
             self._redirect_fetch(entry.pc + 1)
         elif not self.single_step:
-            if (
-                self._interrupts
-                and self.user_retired >= self._interrupts[0][0]
-            ):
-                self._service_interrupt(entry)
-            elif self.synthetic_itlb is not None and self.synthetic_itlb(
+            # External interrupts are serviced at the in-order *offer*
+            # boundary (see _do_retire's offer loop), not here: at retire
+            # time younger entries have already entered the check gate,
+            # and squashing them would desynchronize interval contents
+            # across a heterogeneous pair.
+            if self.synthetic_itlb is not None and self.synthetic_itlb(
                 self.user_retired
             ):
                 self.itlb_misses += 1
@@ -1788,6 +1843,11 @@ class OoOCore:
         self._skip_until = 0
 
     def _service_interrupt(self, entry: DynInstr) -> None:
+        """Squash past ``entry`` and inject the handler.
+
+        ``entry`` itself stays live: it was just offered to the gate and
+        retires through it normally (``_squash_after`` spares it).
+        """
         _, handler = self._interrupts.popleft()
         self.interrupts_serviced += 1
         resume = entry.actual_next if entry.actual_next is not None else entry.pc + 1
@@ -1817,7 +1877,7 @@ class OoOCore:
         if not self.ready:
             return
         self.ready.sort(key=_BY_SEQ)
-        issue_budget = self.core_cfg.width
+        issue_budget = self.issue_width
         load_ports = self.core_cfg.load_ports
         ser_limit = self._oldest_active_serializing()
         remaining: list[DynInstr] = []
@@ -2316,6 +2376,10 @@ class OoOCore:
             else:
                 self._squash_to(self.rob[0].seq)
         self.gate.flush()
+        # flush() deliberately preserves the cumulative offer count
+        # (recovery re-offers must keep counting); a repurposed core
+        # starts a fresh stream, so zero it here.
+        self.gate.users_offered = 0
         self.completions.clear()
         self.rename.clear()
         self.ready.clear()

@@ -31,7 +31,13 @@ from repro.memory.port import CoreMemPort
 from repro.memory.snoopy import SnoopyBus
 from repro.pipeline.gates import NEVER, ImmediateGate
 from repro.pipeline.ooo_core import OoOCore
-from repro.sim.config import CacheStyle, CoherenceStyle, Mode, SystemConfig
+from repro.sim.config import (
+    CacheStyle,
+    CoherenceStyle,
+    Mode,
+    SystemConfig,
+    resolve_pair_policies,
+)
 from repro.sim.options import SimOptions
 from repro.sim.stats import Stats
 
@@ -144,6 +150,17 @@ class CMPSystem:
         self.pairs: list[LogicalPair] = []
         self.vocal_cores: list[OoOCore] = []
 
+        #: Effective per-pair protection policies (REUNION only; empty
+        #: otherwise).  One resolution point: explicit
+        #: ``config.pair_policies`` win, else every pair is ``full`` with
+        #: the replay bit taken from ``options.execution`` — the unified
+        #: API behind the legacy ``execution=``/``REPRO_EXEC`` knobs.
+        self.pair_policies = (
+            resolve_pair_policies(config, execution)
+            if mode is Mode.REUNION
+            else ()
+        )
+
         n = config.n_logical
         for logical in range(n):
             port = CoreMemPort(
@@ -190,8 +207,16 @@ class CMPSystem:
                     synthetic_itlb=itlb_schedules[logical],
                 )
                 self.cores.append(mute)
+                policy = self.pair_policies[logical]
+                if policy.mode == "little-mute":
+                    mute.set_issue_width(policy.mute_width)
                 pair = LogicalPair(
-                    logical, self.vocal_cores[logical], mute, self.controller, config
+                    logical,
+                    self.vocal_cores[logical],
+                    mute,
+                    self.controller,
+                    config,
+                    policy=policy,
                 )
                 self.pairs.append(pair)
 
@@ -226,15 +251,19 @@ class CMPSystem:
                     paired_core.gate.obs = self.obs
                     paired_core.gate.obs_source = f"core{paired_core.core_id}"
 
-        if execution == "replay" and mode is Mode.REUNION:
+        if mode is Mode.REUNION:
             # A mirror window covers only the symmetric prefix before the
             # pair's first memory access: in-window the pair touches no
             # shared structure at all, so skipping the mute is invisible
             # to every other pair under any coherence backend.  Arming is
             # therefore safe per-pair even on MANYCORE systems; each pair
             # falls back to dual execution at its own first trigger.
+            # Only full-policy pairs with the replay bit set ever mirror
+            # (a heterogeneous pair is not a symmetric automaton pair;
+            # partial pairs keep real gates driving the skip schedule).
             for pair in self.pairs:
-                pair.enable_replay()
+                if pair.policy.mode == "full" and pair.policy.replay:
+                    pair.enable_replay()
 
     # -- simulation loop ----------------------------------------------------
     def step(self) -> None:
@@ -455,7 +484,11 @@ class CMPSystem:
         vocal.pair_sync_atomics = False
 
         # The mute is promoted: wipe incoherent cache state, rejoin the
-        # coherence protocol, and start the new program.
+        # coherence protocol, and start the new program.  Undo any
+        # policy shaping: a parked (unprotected) mute re-enters the step
+        # loop, a little mute gets its full issue width back.
+        mute.mirror_passive = False
+        mute.set_issue_width(self.config.core.width)
         mute.port.l1.clear()
         mute.port.mshrs.clear()
         mute.port.is_mute = False
@@ -511,8 +544,19 @@ class CMPSystem:
 
         # A re-formed pair stays in dual execution: mirror windows only
         # arm from pristine reset state (see LogicalPair.enable_replay),
-        # and this pair resumes mid-program.
-        pair = LogicalPair(logical_id, vocal, partner, self.controller, self.config)
+        # and this pair resumes mid-program.  It re-adopts the logical
+        # slot's resolved protection policy (little-mute narrowing
+        # included).
+        policy = (
+            self.pair_policies[logical_id]
+            if logical_id < len(self.pair_policies)
+            else None
+        )
+        if policy is not None and policy.mode == "little-mute":
+            partner.set_issue_width(policy.mute_width)
+        pair = LogicalPair(
+            logical_id, vocal, partner, self.controller, self.config, policy=policy
+        )
         if partner in self.vocal_cores:
             self.vocal_cores.remove(partner)
         self.pairs.append(pair)

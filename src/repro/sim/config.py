@@ -17,6 +17,7 @@ import dataclasses
 import enum
 import os
 from dataclasses import dataclass
+from typing import ClassVar
 
 
 def _require_power_of_two(value: int, what: str) -> None:
@@ -243,6 +244,199 @@ class RedundancyConfig:
             raise ValueError("fingerprint width must be in [4, 64] bits")
 
 
+#: Protection modes a pair can run under (see :class:`ProtectionPolicy`).
+PROTECTION_MODES = (
+    "full",  # the paper's symmetric vocal/mute pair, every interval checked
+    "little-mute",  # reduced-issue mute checks a full vocal (MEEK-style)
+    "interval-sampled",  # only a fraction of fingerprint intervals compared
+    "unprotected",  # redundancy off: the mute core is parked
+    "dynamic",  # redundancy toggled per pair under load (Döbel-style)
+)
+
+#: Modes that leave some intervals unchecked — a fault absorbed into one
+#: of those intervals escapes detection by construction.
+PARTIAL_PROTECTION_MODES = ("interval-sampled", "unprotected", "dynamic")
+
+
+@dataclass(frozen=True)
+class ProtectionPolicy:
+    """How (and how much) one logical pair is protected.
+
+    The paper's Reunion pairs are all-or-nothing: every retired
+    instruction lands in a fingerprint interval and every interval is
+    compared.  A policy generalizes that along the coverage-vs-throughput
+    axis ROADMAP item 2 names:
+
+    * ``full`` — the paper's design.  The only mode eligible for the
+      replay/mirror fast path (``replay=True``, the default).
+    * ``little-mute`` — a reduced checker core validates a full vocal
+      (MEEK-style heterogeneous detection): the mute's *issue* stage is
+      narrowed to ``mute_width`` while fetch/dispatch/retire keep the
+      configured width, so fingerprints still cover every instruction.
+      Full coverage, slower mute, vocal throttled by the check gate.
+    * ``interval-sampled`` — only a ``checked_fraction`` of fingerprint
+      intervals are hashed and exchanged; unchecked intervals retire
+      without comparison latency.  Faults absorbed into unchecked
+      intervals escape detection by construction.
+    * ``unprotected`` — redundancy off: the mute core is parked
+      (never stepped), no intervals are compared, no sync coupling.
+    * ``dynamic`` — protection toggled per pair under load (Döbel-style
+      resource-aware replication): when the vocal's open-interval
+      backlog reaches ``off_threshold`` at a comparison point, the next
+      ``off_intervals`` intervals go unchecked; checking resumes once
+      the backlog drains to ``on_threshold``.
+
+    Every field except ``replay`` is *result-affecting* and lives in the
+    hashed config (:func:`repro.exec.jobs.config_payload`).  ``replay``
+    only selects the execution strategy for ``full`` pairs — replay is
+    bit-identical to dual by contract — so it is excluded from cache
+    keys via ``_KEY_EXCLUDE``.
+    """
+
+    mode: str = "full"
+    mute_width: int | None = None  # little-mute: mute issue width
+    checked_fraction: float | None = None  # interval-sampled: in (0, 1)
+    off_threshold: int | None = None  # dynamic: backlog that disables checking
+    on_threshold: int | None = None  # dynamic: backlog that re-enables it
+    off_intervals: int | None = None  # dynamic: intervals per off-window
+    replay: bool = True  # full only: mirror fast path (result-neutral)
+
+    #: Result-neutral fields, excluded from content-hash cache keys.
+    _KEY_EXCLUDE: ClassVar[tuple[str, ...]] = ("replay",)
+
+    def __post_init__(self) -> None:
+        if self.mode not in PROTECTION_MODES:
+            raise ValueError(
+                f"protection mode must be one of {PROTECTION_MODES}, "
+                f"got {self.mode!r}"
+            )
+        owners = {
+            "mute_width": "little-mute",
+            "checked_fraction": "interval-sampled",
+            "off_threshold": "dynamic",
+            "on_threshold": "dynamic",
+            "off_intervals": "dynamic",
+        }
+        for name, owner in owners.items():
+            if getattr(self, name) is not None and self.mode != owner:
+                raise ValueError(
+                    f"{name} only applies to mode {owner!r}, not {self.mode!r}"
+                )
+        if self.mode == "little-mute":
+            if self.mute_width is None or self.mute_width < 1:
+                raise ValueError(
+                    f"little-mute needs mute_width >= 1, got {self.mute_width}"
+                )
+        elif self.mode == "interval-sampled":
+            fraction = self.checked_fraction
+            if fraction is None or not 0.0 < fraction < 1.0:
+                raise ValueError(
+                    "interval-sampled needs 0 < checked_fraction < 1 "
+                    f"(use mode 'full' or 'unprotected' for the endpoints), "
+                    f"got {fraction}"
+                )
+        elif self.mode == "dynamic":
+            if self.off_threshold is None or self.off_threshold < 1:
+                raise ValueError(
+                    f"dynamic needs off_threshold >= 1, got {self.off_threshold}"
+                )
+            if self.on_threshold is None or self.on_threshold < 0:
+                raise ValueError(
+                    f"dynamic needs on_threshold >= 0, got {self.on_threshold}"
+                )
+            if self.on_threshold > self.off_threshold:
+                raise ValueError(
+                    "dynamic needs on_threshold <= off_threshold "
+                    "(hysteresis, not oscillation), got "
+                    f"{self.on_threshold} > {self.off_threshold}"
+                )
+            if self.off_intervals is None or self.off_intervals < 1:
+                raise ValueError(
+                    f"dynamic needs off_intervals >= 1, got {self.off_intervals}"
+                )
+
+    # -- factories ---------------------------------------------------
+
+    @classmethod
+    def full(cls, replay: bool = True) -> "ProtectionPolicy":
+        return cls(mode="full", replay=replay)
+
+    @classmethod
+    def little_mute(cls, mute_width: int = 2) -> "ProtectionPolicy":
+        return cls(mode="little-mute", mute_width=mute_width)
+
+    @classmethod
+    def interval_sampled(cls, checked_fraction: float = 0.5) -> "ProtectionPolicy":
+        return cls(mode="interval-sampled", checked_fraction=checked_fraction)
+
+    @classmethod
+    def unprotected(cls) -> "ProtectionPolicy":
+        return cls(mode="unprotected")
+
+    @classmethod
+    def dynamic(
+        cls,
+        off_threshold: int = 8,
+        on_threshold: int = 2,
+        off_intervals: int = 16,
+    ) -> "ProtectionPolicy":
+        return cls(
+            mode="dynamic",
+            off_threshold=off_threshold,
+            on_threshold=on_threshold,
+            off_intervals=off_intervals,
+        )
+
+    @property
+    def checks_everything(self) -> bool:
+        """True when every fingerprint interval is compared."""
+        return self.mode not in PARTIAL_PROTECTION_MODES
+
+    def describe(self) -> str:
+        if self.mode == "little-mute":
+            return f"little-mute:{self.mute_width}"
+        if self.mode == "interval-sampled":
+            return f"interval-sampled:{self.checked_fraction:g}"
+        if self.mode == "dynamic":
+            return (
+                f"dynamic:{self.off_threshold},{self.on_threshold},"
+                f"{self.off_intervals}"
+            )
+        return self.mode
+
+
+def parse_policy(spec: str) -> ProtectionPolicy:
+    """Parse a policy spec string (``REPRO_PROTECTION`` / ``--protection``).
+
+    Grammar: ``mode[:params]`` —  ``full``, ``little-mute[:WIDTH]``,
+    ``interval-sampled[:FRACTION]``, ``unprotected``, and
+    ``dynamic[:OFF,ON,LEN]``.  Round-trips with
+    :meth:`ProtectionPolicy.describe`.
+    """
+    text = spec.strip().lower()
+    mode, _, params = text.partition(":")
+    try:
+        if mode == "little-mute":
+            return ProtectionPolicy.little_mute(int(params) if params else 2)
+        if mode == "interval-sampled":
+            return ProtectionPolicy.interval_sampled(
+                float(params) if params else 0.5
+            )
+        if mode == "dynamic":
+            if params:
+                off, on, length = (int(part) for part in params.split(","))
+                return ProtectionPolicy.dynamic(off, on, length)
+            return ProtectionPolicy.dynamic()
+        if mode in ("full", "unprotected") and not params:
+            return ProtectionPolicy(mode=mode)
+    except ValueError as exc:
+        raise ValueError(f"bad protection spec {spec!r}: {exc}") from exc
+    raise ValueError(
+        f"bad protection spec {spec!r}; expected mode[:params] with mode in "
+        f"{PROTECTION_MODES}"
+    )
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Complete configuration of one simulated CMP."""
@@ -257,6 +451,10 @@ class SystemConfig:
     redundancy: RedundancyConfig = RedundancyConfig()
     consistency: Consistency = Consistency.TSO
     cache_style: CacheStyle = CacheStyle.SHARED
+    #: Per-pair protection policies, ``pair_policies[i]`` for logical
+    #: pair ``i``.  ``None`` means every pair runs ``full`` (the paper's
+    #: design).  REUNION-only: the other modes have no mute to police.
+    pair_policies: tuple[ProtectionPolicy, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_logical < 1:
@@ -269,6 +467,36 @@ class SystemConfig:
                 f"L1 and L2 line sizes must match, got "
                 f"{self.l1.line_bytes} vs {self.l2.line_bytes}"
             )
+        if self.pair_policies is not None:
+            policies = tuple(self.pair_policies)
+            object.__setattr__(self, "pair_policies", policies)
+            if self.redundancy.mode is not Mode.REUNION:
+                raise ValueError(
+                    "pair_policies require redundancy mode REUNION "
+                    f"(got {self.redundancy.mode.value!r}); the other modes "
+                    "have no vocal/mute pairs to protect"
+                )
+            if len(policies) != self.n_logical:
+                raise ValueError(
+                    f"need one policy per logical pair: got "
+                    f"{len(policies)} policies for n_logical={self.n_logical}"
+                )
+            for index, policy in enumerate(policies):
+                if not isinstance(policy, ProtectionPolicy):
+                    raise ValueError(
+                        f"pair_policies[{index}] is not a ProtectionPolicy: "
+                        f"{policy!r}"
+                    )
+                if (
+                    policy.mode == "little-mute"
+                    and policy.mute_width > self.core.width
+                ):
+                    raise ValueError(
+                        f"pair_policies[{index}]: little-mute width "
+                        f"{policy.mute_width} exceeds the core width "
+                        f"{self.core.width} (the 'little' core must be "
+                        "no wider than the full one)"
+                    )
 
     @property
     def n_cores(self) -> int:
@@ -285,6 +513,14 @@ class SystemConfig:
 
     def with_tlb(self, **kwargs) -> "SystemConfig":
         return dataclasses.replace(self, tlb=dataclasses.replace(self.tlb, **kwargs))
+
+    def with_protection(self, policy) -> "SystemConfig":
+        """Copy with ``policy`` on every pair (or a per-pair sequence)."""
+        if isinstance(policy, ProtectionPolicy):
+            policies = (policy,) * self.n_logical
+        else:
+            policies = tuple(policy)
+        return dataclasses.replace(self, pair_policies=policies)
 
     def replace(self, **kwargs) -> "SystemConfig":
         return dataclasses.replace(self, **kwargs)
@@ -322,6 +558,73 @@ def apply_env_coherence(
     raise ValueError(
         f"REPRO_COHERENCE must be 'shared', 'snoopy' or 'directory', got {value!r}"
     )
+
+
+def resolve_pair_policies(
+    config: SystemConfig, execution: str = "dual"
+) -> tuple[ProtectionPolicy, ...]:
+    """The effective per-pair policies of ``config``.
+
+    Explicit ``pair_policies`` win; otherwise every pair is ``full``
+    with the replay bit mirroring the requested execution strategy
+    (``execution="replay"`` ≡ ``ProtectionPolicy.full(replay=True)``,
+    the legacy-knob equivalence the API redesign pivots on).
+    """
+    if config.pair_policies is not None:
+        return config.pair_policies
+    default = ProtectionPolicy(mode="full", replay=(execution == "replay"))
+    return (default,) * config.n_logical
+
+
+def partial_protection_modes(config: SystemConfig) -> tuple[str, ...]:
+    """Partial modes present in ``config``'s policies (sorted, deduped).
+
+    Empty means every interval of every pair is checked — the regime
+    where a golden commit-stream signature is a sound oracle for
+    ``repro campaign``.
+    """
+    if config.pair_policies is None:
+        return ()
+    return tuple(
+        sorted(
+            {
+                policy.mode
+                for policy in config.pair_policies
+                if policy.mode in PARTIAL_PROTECTION_MODES
+            }
+        )
+    )
+
+
+def apply_env_protection(
+    config: SystemConfig, env: dict[str, str] | None = None
+) -> SystemConfig:
+    """Apply the ``REPRO_PROTECTION`` policy spec to ``config``.
+
+    Unset (or empty) leaves ``config`` untouched, as do non-REUNION
+    configs (there is no pair to protect) and configs that already pin
+    explicit ``pair_policies`` (an env sweep must not silently override
+    a deliberate per-pair mix).  Like :func:`apply_env_coherence` this
+    is a *config* transform — the policy is result-affecting, so it
+    must land in the hashed config, never on
+    :class:`~repro.sim.options.SimOptions`.  The CI little-mute leg
+    retargets the whole test suite through this hook.
+    """
+    value = (env if env is not None else os.environ).get("REPRO_PROTECTION", "")
+    value = value.strip()
+    if not value:
+        return config
+    if config.redundancy.mode is not Mode.REUNION:
+        return config
+    if config.pair_policies is not None:
+        return config
+    policy = parse_policy(value)
+    if (
+        policy.mode == "little-mute"
+        and policy.mute_width > config.core.width
+    ):
+        policy = ProtectionPolicy.little_mute(config.core.width)
+    return config.with_protection(policy)
 
 
 #: Laptop-scale system: same shape, two orders of magnitude less state.

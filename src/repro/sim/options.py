@@ -44,6 +44,8 @@ import os
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.sim.config import ProtectionPolicy
+
 #: Telemetry levels, weakest to strongest.  Each level includes the
 #: previous one:
 #:
@@ -79,6 +81,15 @@ class SimOptions:
     trace_capacity: int = 65_536  # event ring-buffer size (records)
     max_cycles: int = 1_000_000  # run_until_idle bound
     seed: int = 0  # workload seed (CLI convenience)
+    #: How fully-protected pairs are *executed* (replay fast path vs
+    #: plain dual stepping).  ``None`` derives it from ``execution``,
+    #: so after construction it is never ``None``.  Only ``full`` is
+    #: legal here: partial/heterogeneous policies change results and
+    #: therefore live on the hashed
+    #: :attr:`~repro.sim.config.SystemConfig.pair_policies`, not on
+    #: options.  When set, ``protection`` wins over ``execution``
+    #: (``ProtectionPolicy.full(replay=True)`` ≡ ``execution="replay"``).
+    protection: ProtectionPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.kernel not in _KERNELS:
@@ -88,6 +99,27 @@ class SimOptions:
         if self.execution not in _EXECUTIONS:
             raise ValueError(
                 f"unknown execution mode {self.execution!r}; use 'replay' or 'dual'"
+            )
+        if self.protection is not None:
+            if self.protection.mode != "full":
+                raise ValueError(
+                    f"SimOptions.protection must be a 'full' policy, got "
+                    f"{self.protection.mode!r}: partial and heterogeneous "
+                    "policies are result-affecting and belong on "
+                    "SystemConfig.pair_policies (the hashed config)"
+                )
+            object.__setattr__(
+                self,
+                "execution",
+                "replay" if self.protection.replay else "dual",
+            )
+        else:
+            object.__setattr__(
+                self,
+                "protection",
+                ProtectionPolicy(
+                    mode="full", replay=(self.execution == "replay")
+                ),
             )
         if self.hotloop not in _HOTLOOPS:
             raise ValueError(
@@ -152,7 +184,11 @@ def options_key_payload(options: SimOptions | None) -> dict[str, Any]:
     contracts: a sample is the same sample however it was computed, so a
     cache populated under ``REPRO_EXEC=dual`` serves ``replay`` runs,
     one populated under ``REPRO_HOTLOOP=object`` serves ``soa`` runs,
-    and vice versa.
+    and vice versa.  ``protection`` is constrained to ``full``-mode
+    policies exactly so it stays inside that contract (its only degree
+    of freedom is the replay bit); the result-affecting policy axis is
+    :attr:`~repro.sim.config.SystemConfig.pair_policies`, which is
+    hashed via :func:`~repro.exec.jobs.config_payload`.
     ``max_cycles`` and ``seed`` are not consumed by
     :func:`~repro.sim.sampling.run_sample` (windows and seed are
     explicit :class:`~repro.exec.jobs.SampleJob` fields).  The payload

@@ -34,6 +34,7 @@ def _outcome(**overrides):
         latency=6,
         aliased=False,
         flushed=False,
+        unchecked=False,
         commits=120,
         cycles=900,
         recoveries=1,
@@ -159,6 +160,6 @@ class TestReports:
         write_report(write_again, payload)
         assert path.read_bytes() == write_again.read_bytes()
         decoded = json.loads(path.read_text())
-        assert decoded["schema"] == 1
+        assert decoded["schema"] == 2
         assert decoded["buckets"]["detected_recovered"] == 1
         assert len(decoded["outcomes"]) == 1

@@ -27,6 +27,7 @@ def _outcome(classification, **overrides):
         latency=5 if classification == DETECTED_RECOVERED else None,
         aliased=False,
         flushed=False,
+        unchecked=False,
         commits=120,
         cycles=1000,
         recoveries=1 if classification == DETECTED_RECOVERED else 0,

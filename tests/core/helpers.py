@@ -17,6 +17,7 @@ from repro.sim.config import (
     SystemConfig,
     TLBConfig,
     apply_env_coherence,
+    apply_env_protection,
 )
 
 # REPRO_COHERENCE retargets the whole integration suite at another
@@ -63,4 +64,9 @@ def build(
         phantom=phantom,
         fingerprint_interval=fingerprint_interval,
     )
+    # REPRO_PROTECTION retargets the suite at a uniform per-pair
+    # protection policy (the CI little-mute leg).  Applied after the
+    # redundancy mode is final — it is a no-op for non-REUNION modes and
+    # for tests that pin explicit pair_policies.
+    system_config = apply_env_protection(system_config)
     return CMPSystem(system_config, programs)

@@ -121,6 +121,13 @@ class TestTrace:
         "--warmup", "1000", "--measure", "3000",
     ]
 
+    @pytest.fixture(autouse=True)
+    def _full_protection(self, monkeypatch):
+        # The taxonomy below includes mirror windows, which only a
+        # full-policy (replay-eligible) pair emits — pin the policy so
+        # the REPRO_PROTECTION=little-mute CI leg doesn't retarget it.
+        monkeypatch.delenv("REPRO_PROTECTION", raising=False)
+
     def test_emits_the_event_taxonomy(self, capsys, monkeypatch, tmp_path):
         import json
 
