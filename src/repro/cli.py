@@ -449,6 +449,122 @@ def cmd_frontier(args) -> int:
     return 1 if problems else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the experiment-service daemon (see repro.serve)."""
+    from repro.serve.server import main as serve_main
+
+    argv: list[str] = []
+    if args.socket:
+        argv += ["--socket", args.socket]
+    if args.host:
+        argv += ["--host", args.host]
+    if args.port is not None:
+        argv += ["--port", str(args.port)]
+    argv += ["--workers", str(args.serve_workers)]
+    if args.cache_root:
+        argv += ["--cache-root", args.cache_root]
+    if args.backend:
+        argv += ["--backend", args.backend]
+    if args.telemetry:
+        argv += ["--telemetry"]
+    if args.event_log:
+        argv += ["--event-log", args.event_log]
+    return serve_main(argv)
+
+
+def cmd_submit(args) -> int:
+    """Submit a reproduce sweep, preferring a running daemon.
+
+    Identical plans, identical output: the reproduce path already routes
+    its batch through :func:`repro.serve.client.service_pool` when a
+    daemon is reachable, so `submit` is `reproduce` plus an explicit
+    statement (on stderr) of which way the batch went — and a graceful
+    in-process fallback when no daemon is running.
+    """
+    from repro.serve.client import service_address, service_pool
+
+    address = service_address()
+    pool = service_pool(client_id="submit") if address else None
+    if pool is not None:
+        print(f"submitting via experiment service at {address}", file=sys.stderr)
+    else:
+        print(
+            "no experiment service running; executing in-process "
+            "(start one with `repro serve`)",
+            file=sys.stderr,
+        )
+    return cmd_reproduce(args)
+
+
+def cmd_cache(args) -> int:
+    """Cache maintenance: stats, age-based gc, verify/quarantine."""
+    from repro.exec.cache import (
+        cache_gc,
+        cache_stats,
+        cache_verify,
+        maintenance_stores,
+    )
+
+    try:
+        stores = maintenance_stores(root=args.root, backend=args.backend)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.store != "all":
+        stores = [(label, cache) for label, cache in stores if label == args.store]
+
+    if args.cache_command == "stats":
+        for label, cache in stores:
+            print(cache_stats(cache, label).render())
+        return 0
+    if args.cache_command == "gc":
+        try:
+            older_than = _parse_age(args.older_than)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        for label, cache in stores:
+            removed, removed_bytes = cache_gc(cache, older_than)
+            print(
+                f"{label}: removed {removed} record(s), {removed_bytes:,} bytes "
+                f"(older than {args.older_than})"
+            )
+        return 0
+    if args.cache_command == "verify":
+        quarantined_total = 0
+        for label, cache in stores:
+            ok, quarantined = cache_verify(cache)
+            quarantined_total += len(quarantined)
+            line = f"{label}: {ok} record(s) OK"
+            if quarantined:
+                line += f", {len(quarantined)} quarantined:"
+            print(line)
+            for key in quarantined:
+                print(f"  {key}")
+        return 1 if quarantined_total else 0
+    print(f"unknown cache command {args.cache_command!r}", file=sys.stderr)
+    return 2
+
+
+def _parse_age(text: str) -> float:
+    """Parse `--older-than` values: seconds, or 30m / 12h / 7d / 2w."""
+    text = text.strip().lower()
+    units = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 7 * 86400}
+    scale = 1.0
+    if text and text[-1] in units:
+        scale = units[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"--older-than wants a duration like 3600, 30m, 12h, 7d; got {text!r}"
+        ) from None
+    if value < 0:
+        raise ValueError("--older-than must be non-negative")
+    return value * scale
+
+
 def cmd_bench(args) -> int:
     from repro.exec.benchreport import (
         BenchReport,
@@ -695,6 +811,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_options_args(frontier_parser)
     frontier_parser.set_defaults(func=cmd_frontier)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the local experiment service (sweep daemon over the "
+        "exec pool; see docs/ARCHITECTURE.md)",
+    )
+    serve_parser.add_argument(
+        "--socket", default=None,
+        help="Unix socket to bind (default <cache root>/serve.sock)",
+    )
+    serve_parser.add_argument("--host", default=None, help="bind TCP instead")
+    serve_parser.add_argument("--port", type=int, default=None, help="TCP port")
+    serve_parser.add_argument(
+        "--workers", dest="serve_workers", type=int, default=2,
+        help="fork worker processes (default 2)",
+    )
+    serve_parser.add_argument(
+        "--cache-root", default=None,
+        help="cache root to serve (default REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve_parser.add_argument(
+        "--backend", choices=["json", "sqlite"], default=None,
+        help="cache backend (default REPRO_CACHE_BACKEND or json)",
+    )
+    serve_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="arm metrics-level telemetry on sample jobs; stream digests "
+        "into the event feed",
+    )
+    serve_parser.add_argument(
+        "--event-log", default=None,
+        help="append every scheduler event as JSONL to this file",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a reproduce sweep to a running `repro serve` daemon "
+        "(falls back to in-process execution)",
+    )
+    submit_parser.add_argument(
+        "--only", nargs="*", help="fig5 fig6a fig6b table3 fig7a fig7b sc"
+    )
+    submit_parser.add_argument(
+        "--scale",
+        choices=["quick", "standard", "paper"],
+        help="experiment scale (overrides REPRO_SCALE; default quick)",
+    )
+    submit_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the in-process fallback",
+    )
+    submit_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result cache (.repro-cache/)",
+    )
+    _add_options_args(submit_parser)
+    submit_parser.set_defaults(func=cmd_submit)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect and maintain the persistent result cache"
+    )
+    cache_parser.add_argument(
+        "--root", default=None,
+        help="cache root (default REPRO_CACHE_DIR or .repro-cache)",
+    )
+    cache_parser.add_argument(
+        "--backend", choices=["json", "sqlite"], default=None,
+        help="cache backend (default REPRO_CACHE_BACKEND or json)",
+    )
+    cache_parser.add_argument(
+        "--store", choices=["samples", "campaign", "all"], default="all",
+        help="which store to operate on (default all)",
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats", help="entry counts, bytes, schema-version mix per store"
+    )
+    gc_parser = cache_sub.add_parser(
+        "gc", help="delete records older than a cutoff"
+    )
+    gc_parser.add_argument(
+        "--older-than", required=True, metavar="AGE",
+        help="age cutoff: seconds, or 30m / 12h / 7d / 2w",
+    )
+    cache_sub.add_parser(
+        "verify",
+        help="decode every record; quarantine corrupt ones under "
+        "<root>/quarantine/ (exit 1 if any)",
+    )
+    cache_parser.set_defaults(func=cmd_cache)
 
     bench_parser = subparsers.add_parser(
         "bench",

@@ -178,6 +178,27 @@ class RetireGateMicro:
 
 
 @dataclass
+class CacheBackendMicro:
+    """Put/get throughput of one result-cache storage backend.
+
+    Both backends (sharded JSON, sqlite-WAL) store identical records
+    under identical keys; this micro measures the storage cost of that
+    equivalence on a throwaway store — ``puts_per_s`` covers the
+    write-through path (serialize + atomic publish), ``gets_per_s`` the
+    hit path (read + schema gate + decode).  Floored against the
+    baseline like every other micro, so a backend can't quietly become
+    pathological (a lost WAL pragma, a fsync-per-record regression).
+    """
+
+    backend: str
+    ops: int  # records written (and then read back)
+    put_wall_s: float
+    get_wall_s: float
+    puts_per_s: float
+    gets_per_s: float
+
+
+@dataclass
 class BenchReport:
     """One `repro bench` run, serializable to ``BENCH_<date>.json``."""
 
@@ -191,6 +212,7 @@ class BenchReport:
     directory_scenario: list[DirectoryScenario] = field(default_factory=list)
     protection_scenario: list[ProtectionScenario] = field(default_factory=list)
     micro: list[RetireGateMicro] = field(default_factory=list)
+    cache_micro: list[CacheBackendMicro] = field(default_factory=list)
     #: Wall seconds by bench component (see repro.obs.profile.Profiler).
     profile: dict[str, float] = field(default_factory=dict)
     schema: int = BENCH_SCHEMA
@@ -224,6 +246,9 @@ class BenchReport:
                 for s in payload.get("protection_scenario", [])
             ],
             micro=[RetireGateMicro(**m) for m in payload.get("micro", [])],
+            cache_micro=[
+                CacheBackendMicro(**m) for m in payload.get("cache_micro", [])
+            ],
             profile=payload.get("profile", {}),
             schema=payload.get("schema", BENCH_SCHEMA),
         )
@@ -331,6 +356,18 @@ class BenchReport:
                     f"{micro.name:<28}{micro.ops:>10,}{micro.wall_s:>10.3f}"
                     f"{micro.ops_per_s:>14,.0f}"
                     f"{'reused' if micro.scratch_reused else 'ALLOC':>9}"
+                )
+        if self.cache_micro:
+            lines += [
+                "",
+                "cache-backend micro (result-store put/get, throwaway root):",
+                f"{'backend':<28}{'ops':>10}{'put/s':>12}{'get/s':>12}",
+                "-" * 62,
+            ]
+            for micro in self.cache_micro:
+                lines.append(
+                    f"{micro.backend:<28}{micro.ops:>10,}"
+                    f"{micro.puts_per_s:>12,.0f}{micro.gets_per_s:>12,.0f}"
                 )
         if self.profile:
             lines += ["", "profile (wall seconds by bench component):"]
@@ -709,6 +746,71 @@ def run_retire_gate_micro(
     return results
 
 
+def run_cache_backend_micro(records: int = 400) -> list[CacheBackendMicro]:
+    """Time put/get throughput of both cache storage backends.
+
+    Writes ``records`` distinct sample records through each backend on a
+    throwaway root, then reads them all back as hits.  The job set and
+    record contents are identical across backends, so the numbers
+    isolate storage cost: JSON pays a file create + atomic rename per
+    put, sqlite a WAL append — and the get sides pay a file open/parse
+    versus an indexed row lookup.
+    """
+    import tempfile
+
+    from repro.exec.backends import BACKEND_KINDS
+    from repro.exec.cache import ResultCache
+    from repro.exec.jobs import SampleJob
+    from repro.sim.config import DEFAULT_CONFIG
+    from repro.sim.sampling import Sample
+
+    jobs = [
+        SampleJob(
+            config=DEFAULT_CONFIG,
+            workload_name="bench-cache",
+            seed=seed,
+            warmup=100,
+            measure=200,
+        )
+        for seed in range(records)
+    ]
+    sample = Sample(
+        cycles=200,
+        user_instructions=640,
+        recoveries=0,
+        tlb_misses=12,
+        sync_requests=3,
+        serializing=1,
+    )
+    results: list[CacheBackendMicro] = []
+    for kind in BACKEND_KINDS:
+        with tempfile.TemporaryDirectory(prefix=f"bench-cache-{kind}-") as root:
+            cache = ResultCache(root, backend=kind)
+            start = time.perf_counter()
+            for job in jobs:
+                cache.put(job, sample)
+            put_wall = time.perf_counter() - start
+            start = time.perf_counter()
+            for job in jobs:
+                value = cache.get(job)
+                assert value == sample  # a miss here would be a broken backend
+            get_wall = time.perf_counter() - start
+            close = getattr(cache.backend, "close", None)
+            if close is not None:
+                close()
+        results.append(
+            CacheBackendMicro(
+                backend=kind,
+                ops=records,
+                put_wall_s=put_wall,
+                get_wall_s=get_wall,
+                puts_per_s=records / put_wall if put_wall else 0.0,
+                gets_per_s=records / get_wall if get_wall else 0.0,
+            )
+        )
+    return results
+
+
 def run_bench(
     scale_name: str = "quick",
     jobs: int = 1,
@@ -826,6 +928,10 @@ def run_bench(
         report.micro = run_retire_gate_micro(
             cycles=6_000 if quick else 30_000
         )
+    with profiler.section("micro.cache_backend"):
+        report.cache_micro = run_cache_backend_micro(
+            records=100 if quick else 400
+        )
     report.profile = profiler.snapshot()
     return report
 
@@ -921,6 +1027,22 @@ def check_regression(
                 f" ops/s is >{factor:g}x below baseline "
                 f"{base.ops_per_s:,.0f}"
             )
+    baseline_cache = {micro.backend: micro for micro in baseline.cache_micro}
+    for micro in current.cache_micro:
+        base = baseline_cache.get(micro.backend)
+        if base is None:
+            continue
+        for side, value, floor_src in (
+            ("put", micro.puts_per_s, base.puts_per_s),
+            ("get", micro.gets_per_s, base.gets_per_s),
+        ):
+            if floor_src <= 0:
+                continue
+            if value < floor_src / factor:
+                problems.append(
+                    f"cache/{micro.backend}: {side} at {value:,.0f} ops/s is >"
+                    f"{factor:g}x below baseline {floor_src:,.0f}"
+                )
     return problems
 
 

@@ -1,17 +1,24 @@
 """Persistent on-disk result store for completed samples.
 
-Layout: one JSON file per job under ``<root>/<key[:2]>/<key>.json``
-(two-hex-digit shard directories keep any one directory small at
-paper-scale campaigns).  Each record carries the schema version, the
-job's canonical payload (for debuggability — ``cat`` a record to see
-exactly what produced it), and the :class:`~repro.sim.sampling.Sample`
-fields.  Records are written atomically (temp file + ``os.replace``), so
-a crashed writer never leaves a half-record; corrupt or wrong-schema
-records read as misses and are quietly discarded.
+The cache layer owns *semantics*: records carry the schema version, the
+job's canonical payload (for debuggability — ``cat`` a JSON record or
+``SELECT`` a sqlite row to see exactly what produced it), and the encoded
+value; corrupt or wrong-schema records read as misses and are quietly
+discarded; writes are atomic with respect to concurrent readers and
+writers.  *Storage* is pluggable via :mod:`repro.exec.backends`:
+
+* ``json`` (default) — one file per record under
+  ``<root>/<key[:2]>/<key>.json`` (two-hex-digit shard directories keep
+  any one directory small at paper-scale campaigns), written atomically
+  (temp file + ``os.replace``).  Byte-identical to the historical
+  layout, so legacy caches stay valid.
+* ``sqlite`` — a single ``<root>/cache.sqlite`` in WAL mode, safe for
+  many concurrent client processes (the experiment-service regime).
 
 Configuration via environment:
 
 * ``REPRO_CACHE_DIR`` — cache root (default ``.repro-cache/``);
+* ``REPRO_CACHE_BACKEND`` — ``json`` or ``sqlite`` (default ``json``);
 * ``REPRO_NO_CACHE=1`` — disable persistence entirely
   (:func:`default_cache` returns a :class:`NullCache`).
 """
@@ -19,11 +26,16 @@ Configuration via environment:
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
-import tempfile
+import time
 from pathlib import Path
 
+from repro.exec.backends import (
+    CacheBackend,
+    CorruptRecord,
+    default_backend_kind,
+    make_backend,
+)
 from repro.exec.jobs import SCHEMA_VERSION
 from repro.sim.sampling import Sample
 
@@ -41,16 +53,17 @@ def decode_sample(payload: dict) -> Sample:
 
 
 class ResultCache:
-    """Directory-backed result store shared across processes and sessions.
+    """Backend-backed result store shared across processes and sessions.
 
     The base class stores :class:`~repro.sim.sampling.Sample` records
     for :class:`~repro.exec.jobs.SampleJob` keys.  Other experiment
-    classes (fault campaigns, sweeps) reuse the layout, atomicity, and
-    corruption handling by subclassing and overriding the codec hooks:
-    ``schema`` (version gate), ``value_field`` (the record field holding
-    the encoded value), and ``_encode``/``_decode``.  Keys come from the
-    job (anything with ``.key`` and ``.payload()``), so subclasses never
-    touch pathing or I/O.
+    classes (fault campaigns, sweeps) reuse the record format, atomicity,
+    and corruption handling by subclassing and overriding the codec
+    hooks: ``schema`` (version gate), ``value_field`` (the record field
+    holding the encoded value), and ``_encode``/``_decode``.  Keys come
+    from the job (anything with ``.key`` and ``.payload()``), so
+    subclasses never touch pathing or I/O — and the storage layout is
+    the backend's business entirely (see :mod:`repro.exec.backends`).
     """
 
     #: Schema version stamped on / required of every record.
@@ -58,8 +71,17 @@ class ResultCache:
     #: Record field holding the encoded value.
     value_field: str = "sample"
 
-    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+    def __init__(
+        self,
+        root: str | os.PathLike = DEFAULT_CACHE_DIR,
+        backend: str | CacheBackend | None = None,
+    ):
         self.root = Path(root)
+        if backend is None:
+            backend = default_backend_kind()
+        if isinstance(backend, str):
+            backend = make_backend(backend, self.root)
+        self.backend: CacheBackend = backend
         self.hits = 0
         self.misses = 0
 
@@ -72,24 +94,24 @@ class ResultCache:
 
     # -- storage -----------------------------------------------------------
     def path(self, job) -> Path:
-        key = job.key
-        return self.root / key[:2] / f"{key}.json"
+        """The record file for ``job`` (JSON backend only)."""
+        return self.backend.path(job.key)
 
     def get(self, job):
         """The cached value for ``job``, or None on miss/corruption."""
-        path = self.path(job)
+        key = job.key
         try:
-            record = json.loads(path.read_text())
+            record = self.backend.read(key)
+            if record is None:
+                self.misses += 1
+                return None
             if record.get("schema") != self.schema:
                 raise ValueError("schema mismatch")
             value = self._decode(record[self.value_field])
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
+        except (CorruptRecord, ValueError, KeyError, TypeError, OSError):
             # Corrupt, truncated, or stale-schema record: drop it so the
             # fresh result can take its place.
-            path.unlink(missing_ok=True)
+            self.backend.delete(key)
             self.misses += 1
             return None
         self.hits += 1
@@ -97,36 +119,22 @@ class ResultCache:
 
     def put(self, job, value) -> None:
         """Atomically persist ``value`` as the result of ``job``."""
-        path = self.path(job)
-        path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "schema": self.schema,
             "job": job.payload(),
             self.value_field: self._encode(value),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.backend.write(job.key, record)
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return len(self.backend)
 
 
 class NullCache(ResultCache):
     """A cache that remembers nothing — the ``REPRO_NO_CACHE=1`` backend."""
 
     def __init__(self):
-        super().__init__(root=os.devnull)
+        super().__init__(root=os.devnull, backend="json")
 
     def get(self, job):
         self.misses += 1
@@ -150,7 +158,7 @@ class FreshWriteCache(ResultCache):
     """
 
     def __init__(self, inner: ResultCache):
-        super().__init__(root=inner.root)
+        super().__init__(root=inner.root, backend=inner.backend)
         self.inner = inner
 
     def get(self, job):
@@ -173,3 +181,120 @@ def default_cache() -> ResultCache:
     if not cache_enabled():
         return NullCache()
     return ResultCache(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+# -- maintenance (the `repro cache` surface) -------------------------------
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """What ``repro cache stats`` reports for one store."""
+
+    label: str
+    backend: str
+    entries: int = 0
+    total_bytes: int = 0
+    by_schema: dict = dataclasses.field(default_factory=dict)  # schema -> count
+    oldest: float | None = None  # epoch seconds
+    newest: float | None = None
+
+    def render(self) -> str:
+        lines = [
+            f"{self.label} ({self.backend})",
+            f"  entries : {self.entries}",
+            f"  bytes   : {self.total_bytes:,}",
+        ]
+        for schema in sorted(self.by_schema, key=str):
+            lines.append(f"  schema {schema}: {self.by_schema[schema]} record(s)")
+        if self.oldest is not None and self.newest is not None:
+            age = time.time() - self.oldest
+            lines.append(f"  oldest  : {age / 86400:.1f} day(s) ago")
+        return "\n".join(lines)
+
+
+def cache_stats(cache: ResultCache, label: str = "store") -> CacheStats:
+    """Summarize one store: entry count, bytes, schema-version mix."""
+    stats = CacheStats(label=label, backend=cache.backend.kind)
+    for entry in cache.backend.entries():
+        stats.entries += 1
+        stats.total_bytes += entry.size_bytes
+        schema = entry.schema if entry.schema is not None else "unreadable"
+        stats.by_schema[schema] = stats.by_schema.get(schema, 0) + 1
+        if stats.oldest is None or entry.mtime < stats.oldest:
+            stats.oldest = entry.mtime
+        if stats.newest is None or entry.mtime > stats.newest:
+            stats.newest = entry.mtime
+    return stats
+
+
+def cache_gc(
+    cache: ResultCache, older_than_s: float, now: float | None = None
+) -> tuple[int, int]:
+    """Delete records last written more than ``older_than_s`` ago.
+
+    Returns ``(removed_count, removed_bytes)``.  Content-hash keys make
+    this safe at any time: a collected record simply re-executes on next
+    demand.
+    """
+    cutoff = (now if now is not None else time.time()) - older_than_s
+    removed = 0
+    removed_bytes = 0
+    for entry in list(cache.backend.entries()):
+        if entry.mtime < cutoff:
+            cache.backend.delete(entry.key)
+            removed += 1
+            removed_bytes += entry.size_bytes
+    return removed, removed_bytes
+
+
+def cache_verify(cache: ResultCache) -> tuple[int, list[str]]:
+    """Decode every record; quarantine the ones that don't.
+
+    A record must be valid JSON, carry the store's schema version, and
+    round-trip through the store's value decoder.  Failures move to
+    ``<root>/quarantine/<key>.json`` (raw bytes preserved for forensics)
+    and are removed from the store.  Returns ``(ok_count,
+    quarantined_keys)``.
+    """
+    ok = 0
+    quarantined: list[str] = []
+    for entry in list(cache.backend.entries()):
+        key = entry.key
+        try:
+            record = cache.backend.read(key)
+            if record is None:  # pragma: no cover - raced deletion
+                continue
+            if record.get("schema") != cache.schema:
+                raise ValueError(
+                    f"schema {record.get('schema')!r} != expected {cache.schema}"
+                )
+            cache._decode(record[cache.value_field])
+        except (CorruptRecord, ValueError, KeyError, TypeError):
+            cache.backend.quarantine(key)
+            quarantined.append(key)
+        else:
+            ok += 1
+    return ok, quarantined
+
+
+def maintenance_stores(
+    root: str | os.PathLike | None = None,
+    backend: str | None = None,
+) -> list[tuple[str, ResultCache]]:
+    """The labeled stores ``repro cache`` operates on.
+
+    The sample store at the cache root and the campaign checkpoint store
+    under ``<root>/campaign`` (when present, or when the sqlite backend
+    would place a database there).
+    """
+    from repro.campaign.resume import OutcomeCache, campaign_root
+
+    if root is None:
+        root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    kind = backend if backend is not None else default_backend_kind()
+    stores: list[tuple[str, ResultCache]] = [
+        ("samples", ResultCache(root, backend=kind))
+    ]
+    camp = campaign_root(root)
+    stores.append(("campaign", OutcomeCache(camp, backend=kind)))
+    return stores

@@ -23,11 +23,21 @@ loop (exceptions propagate immediately, no retries).
 
 Determinism: a simulation is a pure function of its job, so the result
 dict is bit-identical however the batch was scheduled.
+
+Signals: a batch interrupted by SIGTERM or SIGINT *drains* instead of
+dying — no new jobs launch, in-flight workers finish and their results
+are written through to the cache, worker processes are joined (never
+orphaned), and :class:`ExecutionInterrupted` reports what was left
+undone.  A second signal cancels the in-flight jobs too (workers are
+terminated).  Handlers are installed only for the duration of the batch
+and only on the main thread.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -54,6 +64,65 @@ class ExecutionError(RuntimeError):
         self.manifest = manifest
 
 
+class ExecutionInterrupted(ExecutionError):
+    """The batch was stopped by SIGTERM/SIGINT before completing.
+
+    Raised *after* the drain: every result that completed before the
+    signal has been written through to the cache, every worker process
+    has been joined (no orphans), and ``manifest`` reflects what actually
+    ran.  A second signal during the drain cancels in-flight jobs
+    (workers are terminated) instead of waiting for them.
+    """
+
+    def __init__(self, signum: int, remaining: int, manifest: RunManifest):
+        failures = [
+            f"interrupted by {signal.Signals(signum).name}: "
+            f"{remaining} job(s) not run"
+        ]
+        super().__init__(failures, manifest)
+        self.signum = signum
+        self.remaining = remaining
+
+
+class _DrainState:
+    """Signal bookkeeping for one parallel batch.
+
+    First SIGTERM/SIGINT: drain — stop launching, finish (and cache) the
+    in-flight jobs.  Second: cancel — terminate in-flight workers too.
+    Handlers are only installed on the main thread of the main
+    interpreter (CPython restriction); elsewhere the pool runs with
+    whatever disposition the host set up.
+    """
+
+    def __init__(self) -> None:
+        self.signum: int | None = None
+        self.cancel = False
+        self._previous: dict[int, object] = {}
+
+    def _handle(self, signum, frame) -> None:  # pragma: no cover - signal path
+        if self.signum is None:
+            self.signum = signum
+        else:
+            self.cancel = True
+
+    def install(self) -> None:
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+
+    def restore(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        self._previous.clear()
+
+
 def _fork_context():
     """The fork multiprocessing context, or None if unsupported."""
     try:
@@ -64,6 +133,13 @@ def _fork_context():
 
 def _worker_main(runner: Callable[[SampleJob], Sample], job: SampleJob, conn) -> None:
     """Child entry point: run one job, ship the sample (or error) back."""
+    # The fork inherits the parent's drain handlers; a worker must die on
+    # terminate() (and on a drain-cancel), not start draining itself.
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
     try:
         sample = runner(job)
         conn.send(("ok", sample))
@@ -130,15 +206,25 @@ class ExecutionPool:
                 todo.append(job)
 
         context = _fork_context()
-        if self.workers <= 1 or context is None:
-            self._run_serial(todo, cache, progress, manifest, results)
-        else:
-            manifest.workers = min(self.workers, len(todo)) or 1
-            self._run_parallel(context, todo, cache, progress, manifest, results)
-            if manifest.failures:
-                manifest.wall_seconds = time.monotonic() - start
-                raise ExecutionError(manifest.failures, manifest)
+        drain = _DrainState()
+        drain.install()
+        try:
+            if self.workers <= 1 or context is None:
+                remaining = self._run_serial(
+                    todo, cache, progress, manifest, results, drain
+                )
+            else:
+                manifest.workers = min(self.workers, len(todo)) or 1
+                remaining = self._run_parallel(
+                    context, todo, cache, progress, manifest, results, drain
+                )
+        finally:
+            drain.restore()
         manifest.wall_seconds = time.monotonic() - start
+        if drain.signum is not None:
+            raise ExecutionInterrupted(drain.signum, remaining, manifest)
+        if manifest.failures:
+            raise ExecutionError(manifest.failures, manifest)
         return results, manifest
 
     def _run_serial(
@@ -148,8 +234,13 @@ class ExecutionPool:
         progress: Progress | None,
         manifest: RunManifest,
         results: dict[str, Sample],
-    ) -> None:
-        for job in todo:
+        drain: _DrainState,
+    ) -> int:
+        for index, job in enumerate(todo):
+            if drain.signum is not None:
+                # Everything finished so far is already in `results` (and
+                # the cache); stop before starting the next simulation.
+                return len(todo) - index
             sample = self.run_job(job)
             results[job.key] = sample
             manifest.executed += 1
@@ -157,6 +248,7 @@ class ExecutionPool:
                 cache.put(job, sample)
             if progress is not None:
                 progress.advance(f"ran {job.describe()}")
+        return 0
 
     def _run_parallel(
         self,
@@ -166,7 +258,8 @@ class ExecutionPool:
         progress: Progress | None,
         manifest: RunManifest,
         results: dict[str, Sample],
-    ) -> None:
+        drain: _DrainState,
+    ) -> int:
         pending: deque[tuple[SampleJob, int]] = deque((job, 0) for job in todo)
         running: list[_Running] = []
 
@@ -193,7 +286,22 @@ class ExecutionPool:
                 if progress is not None:
                     progress.advance(f"FAILED {slot.job.describe()}")
 
+        cancelled = 0
         while pending or running:
+            if drain.signum is not None and pending:
+                # Draining: never launch another job; in-flight workers
+                # finish (and their results flush to the cache) below.
+                cancelled += len(pending)
+                pending.clear()
+            if drain.cancel and running:
+                # Second signal: stop waiting — kill in-flight workers.
+                for slot in running:
+                    slot.process.terminate()
+                    slot.process.join()
+                    slot.conn.close()
+                cancelled += len(running)
+                running = []
+                break
             while pending and len(running) < self.workers:
                 launch(*pending.popleft())
             time.sleep(_POLL_INTERVAL)
@@ -222,6 +330,7 @@ class ExecutionPool:
                 else:
                     still_running.append(slot)
             running = still_running
+        return cancelled
 
 
 def execute_jobs(

@@ -137,9 +137,24 @@ class Runner:
                 if job.key not in index:
                     batch.append(job)
                     index[job.key] = memo_key
-        pool = ExecutionPool(workers=jobs, timeout=timeout)
+        # A running experiment service (repro serve) transparently takes
+        # the batch; otherwise — or if it dies mid-sweep — run locally.
+        from repro.serve.client import ServiceUnavailable, service_pool
+
         progress = Progress(len(batch), enabled=show_progress)
-        results, manifest = pool.run(batch, cache=self.cache, progress=progress)
+        pool = service_pool(client_id="prefetch")
+        if pool is not None:
+            try:
+                results, manifest = pool.run(
+                    batch, cache=self.cache, progress=progress
+                )
+            except ServiceUnavailable:
+                pool = None
+        if pool is None:
+            local = ExecutionPool(workers=jobs, timeout=timeout)
+            results, manifest = local.run(
+                batch, cache=self.cache, progress=progress
+            )
         for key, sample in results.items():
             self._cache[index[key]] = sample
         manifest.total += len(memo_served)

@@ -1,0 +1,112 @@
+"""Scheduling state for the experiment service.
+
+Two concerns live here, both plain data structures the asyncio daemon
+drives (nothing in this module blocks or spawns):
+
+* **Dedup** — :class:`JobRecord` tracks one unique content-hash key
+  through its lifecycle (``queued → running → done | failed``).  Any
+  number of sweeps — from any number of clients — attach to the same
+  record; the simulation runs at most once per daemon lifetime, and
+  completed records keep serving later submissions from memory.
+* **Fair share** — :class:`FairShareScheduler` holds the queued keys in
+  per-client queues and always dispatches from the client with the
+  fewest jobs served so far (ties: higher priority, then submission
+  order).  A client that dumps a thousand-job campaign cannot starve a
+  client submitting a three-job smoke sweep: the small client reaches
+  parity after a handful of dispatches and drains immediately.
+
+Everything is deterministic — same submissions in the same order yield
+the same dispatch order — which keeps daemon behavior reproducible in
+tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class JobRecord:
+    """One unique job (by content-hash key) known to the daemon."""
+
+    key: str
+    wire: dict  # the submission rendering (kind + canonical payload)
+    kind: str  # "sample" | "injection"
+    status: str = QUEUED
+    result: object | None = None  # decoded Sample/Outcome once DONE
+    error: str | None = None
+    attempts: int = 0
+    cached: bool = False  # served from the persistent cache, never ran
+    sweeps: set[str] = field(default_factory=set)  # attached sweep ids
+
+
+@dataclass
+class SweepRecord:
+    """One client submission: an ordered list of job keys."""
+
+    id: str
+    client: str
+    keys: list[str]
+    fresh: bool = False  # skip persistent-cache reads for new jobs
+    priority: int = 0
+    hits: int = 0  # jobs already DONE at submission time
+
+
+class FairShareScheduler:
+    """Per-client queues with deficit-style fair dispatch.
+
+    ``push`` files a key under its submitting client; ``pop`` picks the
+    client with the minimum served count (ties broken by priority, then
+    global submission order *of that client's head job*) and dispatches
+    its best queued job.  Served counts persist across sweeps, so a
+    long-running client keeps yielding to newcomers.
+    """
+
+    def __init__(self) -> None:
+        # client -> heap of (-priority, seq, key)
+        self._queues: dict[str, list[tuple[int, int, str]]] = {}
+        self._served: dict[str, int] = {}
+        self._seq = itertools.count()
+
+    def push(self, client: str, key: str, priority: int = 0) -> None:
+        heap = self._queues.setdefault(client, [])
+        self._served.setdefault(client, 0)
+        heapq.heappush(heap, (-priority, next(self._seq), key))
+
+    def pop(self) -> Optional[tuple[str, str]]:
+        """The next ``(client, key)`` to dispatch, or None when idle."""
+        best_client: str | None = None
+        best_rank: tuple[int, int, int] | None = None
+        for client, heap in self._queues.items():
+            if not heap:
+                continue
+            neg_priority, seq, _key = heap[0]
+            rank = (self._served[client], neg_priority, seq)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_client = client
+        if best_client is None:
+            return None
+        _, _, key = heapq.heappop(self._queues[best_client])
+        self._served[best_client] += 1
+        return best_client, key
+
+    def discard(self, key: str) -> None:
+        """Drop every queued instance of ``key`` (e.g. cancelled work)."""
+        for client, heap in self._queues.items():
+            filtered = [entry for entry in heap if entry[2] != key]
+            if len(filtered) != len(heap):
+                heapq.heapify(filtered)
+                self._queues[client] = filtered
+
+    def __len__(self) -> int:
+        return sum(len(heap) for heap in self._queues.values())
+
+    def served(self, client: str) -> int:
+        return self._served.get(client, 0)

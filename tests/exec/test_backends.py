@@ -1,0 +1,335 @@
+"""Cache storage backends: interchangeability, atomicity, maintenance.
+
+Every semantic test runs parameterized over both backends — the
+acceptance bar is that ``json`` and ``sqlite`` are drop-in replacements
+for one another: same keys, same hit behavior, same corruption and
+maintenance semantics.  The concurrency tests race real processes, since
+atomic-publish claims only mean anything across process boundaries.
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import os
+import sqlite3
+import time
+
+import pytest
+
+from repro.exec.backends import (
+    BACKEND_KINDS,
+    QUARANTINE_DIR,
+    JsonShardBackend,
+    SqliteBackend,
+    default_backend_kind,
+    make_backend,
+)
+from repro.exec.cache import (
+    ResultCache,
+    cache_gc,
+    cache_stats,
+    cache_verify,
+    maintenance_stores,
+)
+from repro.exec.jobs import SampleJob
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.sampling import Sample
+
+
+def _job(seed: int = 0) -> SampleJob:
+    return SampleJob(
+        config=DEFAULT_CONFIG.replace(n_logical=2),
+        workload_name="ocean",
+        seed=seed,
+        warmup=80,
+        measure=160,
+    )
+
+
+def _sample(n: int = 0) -> Sample:
+    return Sample(
+        cycles=160 + n,
+        user_instructions=300,
+        recoveries=1,
+        tlb_misses=2,
+        sync_requests=3,
+        serializing=4,
+    )
+
+
+JOB = _job()
+SAMPLE = _sample()
+
+
+@pytest.fixture(params=BACKEND_KINDS)
+def backend_kind(request):
+    return request.param
+
+
+class TestSelection:
+    def test_default_is_json(self):
+        assert default_backend_kind({}) == "json"
+
+    def test_env_selects(self):
+        assert default_backend_kind({"REPRO_CACHE_BACKEND": "sqlite"}) == "sqlite"
+        assert default_backend_kind({"REPRO_CACHE_BACKEND": " JSON "}) == "json"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="REPRO_CACHE_BACKEND"):
+            default_backend_kind({"REPRO_CACHE_BACKEND": "mongodb"})
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            make_backend("mongodb", "/tmp/x")
+
+    def test_cache_resolves_backend_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        cache = ResultCache(tmp_path)
+        assert isinstance(cache.backend, SqliteBackend)
+        monkeypatch.delenv("REPRO_CACHE_BACKEND")
+        assert isinstance(ResultCache(tmp_path).backend, JsonShardBackend)
+
+
+class TestSemantics:
+    """Identical observable behavior on both backends."""
+
+    def test_round_trip(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        assert cache.get(JOB) is None
+        cache.put(JOB, SAMPLE)
+        assert cache.get(JOB) == SAMPLE
+        assert len(cache) == 1
+
+    def test_survives_across_instances(self, tmp_path, backend_kind):
+        ResultCache(tmp_path, backend=backend_kind).put(JOB, SAMPLE)
+        assert ResultCache(tmp_path, backend=backend_kind).get(JOB) == SAMPLE
+
+    def test_same_keys_both_backends(self, tmp_path):
+        """The record content is backend-independent — only storage differs."""
+        json_cache = ResultCache(tmp_path / "a", backend="json")
+        sqlite_cache = ResultCache(tmp_path / "b", backend="sqlite")
+        json_cache.put(JOB, SAMPLE)
+        sqlite_cache.put(JOB, SAMPLE)
+        assert list(json_cache.backend.keys()) == list(sqlite_cache.backend.keys())
+        assert json_cache.backend.read(JOB.key) == sqlite_cache.backend.read(JOB.key)
+
+    def test_overwrite_last_writer_wins(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        cache.put(JOB, _sample(0))
+        cache.put(JOB, _sample(7))
+        assert cache.get(JOB) == _sample(7)
+        assert len(cache) == 1
+
+    def test_wrong_schema_is_a_miss_and_removed(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        cache.put(JOB, SAMPLE)
+        record = cache.backend.read(JOB.key)
+        record["schema"] = -1
+        cache.backend.write(JOB.key, record)
+        assert cache.get(JOB) is None
+        assert cache.backend.read(JOB.key) is None  # dropped
+
+    def test_corrupt_bytes_are_a_miss(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        cache.put(JOB, SAMPLE)
+        _corrupt(cache, JOB.key)
+        assert cache.get(JOB) is None
+        cache.put(JOB, SAMPLE)
+        assert cache.get(JOB) == SAMPLE
+
+
+def _corrupt(cache: ResultCache, key: str) -> None:
+    """Damage the stored bytes for ``key`` below the backend API."""
+    backend = cache.backend
+    if isinstance(backend, JsonShardBackend):
+        backend.path(key).write_text("{ not json")
+    else:
+        with sqlite3.connect(backend.db_path) as conn:
+            conn.execute(
+                "UPDATE records SET record = '{ not json' WHERE key = ?", (key,)
+            )
+
+
+class TestMaintenance:
+    def test_stats(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        for seed in range(3):
+            cache.put(_job(seed), SAMPLE)
+        stats = cache_stats(cache, "samples")
+        assert stats.entries == 3
+        assert stats.total_bytes > 0
+        assert stats.by_schema == {cache.schema: 3}
+        assert "entries : 3" in stats.render()
+
+    def test_gc_by_age(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        for seed in range(4):
+            cache.put(_job(seed), SAMPLE)
+        # Nothing is old enough yet.
+        assert cache_gc(cache, older_than_s=3600) == (0, 0)
+        assert len(cache) == 4
+        # Everything is older than "now + an hour ago".
+        removed, removed_bytes = cache_gc(
+            cache, older_than_s=3600, now=time.time() + 7200
+        )
+        assert removed == 4 and removed_bytes > 0
+        assert len(cache) == 0
+
+    def test_verify_quarantines_corrupt_records(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        good = [_job(seed) for seed in range(3)]
+        for job in good:
+            cache.put(job, SAMPLE)
+        _corrupt(cache, good[0].key)
+        ok, quarantined = cache_verify(cache)
+        assert ok == 2
+        assert quarantined == [good[0].key]
+        # The corrupt record moved out of the store, raw bytes preserved.
+        assert cache.backend.read(good[0].key) is None
+        parked = cache.root / QUARANTINE_DIR / f"{good[0].key}.json"
+        assert parked.exists()
+        assert b"not json" in parked.read_bytes()
+        # Survivors still decode.
+        assert cache.get(good[1]) == SAMPLE
+
+    def test_verify_quarantines_undecodable_values(self, tmp_path, backend_kind):
+        cache = ResultCache(tmp_path, backend=backend_kind)
+        cache.put(JOB, SAMPLE)
+        record = cache.backend.read(JOB.key)
+        del record["sample"]["cycles"]
+        cache.backend.write(JOB.key, record)
+        ok, quarantined = cache_verify(cache)
+        assert ok == 0 and quarantined == [JOB.key]
+
+    def test_maintenance_stores_cover_samples_and_campaign(
+        self, tmp_path, backend_kind
+    ):
+        stores = maintenance_stores(root=tmp_path, backend=backend_kind)
+        labels = [label for label, _ in stores]
+        assert labels == ["samples", "campaign"]
+        assert stores[1][1].root == tmp_path / "campaign"
+
+
+# -- concurrent multi-process writers ---------------------------------------
+
+
+def _writer(root, kind, seed, value_tag, barrier, results):
+    cache = ResultCache(root, backend=kind)
+    job = _job(seed)
+    barrier.wait()  # maximal overlap: both writers release together
+    for n in range(20):
+        cache.put(job, _sample(value_tag + n))
+        got = cache.get(job)
+        assert got is not None, "reader observed a half-written record"
+    results.put((os.getpid(), job.key))
+
+
+class TestConcurrentWriters:
+    """Two processes racing the same key and distinct keys.
+
+    Atomic-publish semantics: a concurrent reader never sees a torn
+    record — every get during the race returns a fully-decoded sample
+    (some writer's complete value), and after the dust settles the store
+    holds exactly the expected record set.
+    """
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_same_key_race(self, tmp_path, kind):
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        results = context.Queue()
+        workers = [
+            context.Process(
+                target=_writer, args=(tmp_path, kind, 0, tag, barrier, results)
+            )
+            for tag in (0, 1000)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        cache = ResultCache(tmp_path, backend=kind)
+        # Last writer won whole-record: the surviving value is one of the
+        # two final writes, not an interleaving.
+        final = cache.get(_job(0))
+        assert final in (_sample(19), _sample(1019))
+        assert len(cache) == 1
+
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_distinct_keys_race(self, tmp_path, kind):
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        results = context.Queue()
+        workers = [
+            context.Process(
+                target=_writer, args=(tmp_path, kind, seed, 0, barrier, results)
+            )
+            for seed in (1, 2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        cache = ResultCache(tmp_path, backend=kind)
+        assert len(cache) == 2
+        assert cache.get(_job(1)) == _sample(19)
+        assert cache.get(_job(2)) == _sample(19)
+
+
+class TestSqliteSpecifics:
+    def test_wal_mode(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        cache.put(JOB, SAMPLE)
+        (mode,) = cache.backend._connection().execute(
+            "PRAGMA journal_mode"
+        ).fetchone()
+        assert mode == "wal"
+
+    def test_single_file_store(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="sqlite")
+        for seed in range(5):
+            cache.put(_job(seed), SAMPLE)
+        files = [p.name for p in tmp_path.iterdir() if p.name.startswith("cache.sqlite")]
+        assert "cache.sqlite" in files
+        assert not list(tmp_path.glob("??/*.json"))
+
+    def test_record_is_debuggable_json(self, tmp_path):
+        """SELECTing a row yields the same record dict a JSON shard holds."""
+        cache = ResultCache(tmp_path, backend="sqlite")
+        cache.put(JOB, SAMPLE)
+        with sqlite3.connect(cache.backend.db_path) as conn:
+            (text,) = conn.execute(
+                "SELECT record FROM records WHERE key = ?", (JOB.key,)
+            ).fetchone()
+        record = json.loads(text)
+        assert record["job"]["workload"] == "ocean"
+        assert record["sample"] == dataclasses.asdict(SAMPLE)
+
+
+class TestLegacyLayoutUnchanged:
+    """The JSON backend must keep reading (and writing) the historic bytes."""
+
+    def test_json_path_layout(self, tmp_path):
+        cache = ResultCache(tmp_path, backend="json")
+        cache.put(JOB, SAMPLE)
+        expected = tmp_path / JOB.key[:2] / f"{JOB.key}.json"
+        assert expected.exists()
+        # Byte format: json.dump(record, sort_keys=True), no indent.
+        record = {
+            "schema": cache.schema,
+            "job": JOB.payload(),
+            "sample": dataclasses.asdict(SAMPLE),
+        }
+        assert expected.read_text() == json.dumps(record, sort_keys=True)
+
+    def test_pre_backend_record_reads_back(self, tmp_path):
+        """A record written by hand in the legacy layout is a hit."""
+        record = {
+            "schema": ResultCache.schema,
+            "job": JOB.payload(),
+            "sample": dataclasses.asdict(SAMPLE),
+        }
+        path = tmp_path / JOB.key[:2] / f"{JOB.key}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(record, sort_keys=True))
+        assert ResultCache(tmp_path, backend="json").get(JOB) == SAMPLE

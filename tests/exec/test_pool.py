@@ -1,6 +1,9 @@
-"""Worker pool: determinism, crash retry, timeouts, serial fallback."""
+"""Worker pool: determinism, crash retry, timeouts, drain, serial fallback."""
 
+import multiprocessing
 import os
+import signal
+import threading
 import time
 from pathlib import Path
 
@@ -8,7 +11,12 @@ import pytest
 
 from repro.exec.cache import ResultCache
 from repro.exec.jobs import SampleJob, run_job
-from repro.exec.pool import ExecutionError, ExecutionPool, execute_jobs
+from repro.exec.pool import (
+    ExecutionError,
+    ExecutionInterrupted,
+    ExecutionPool,
+    execute_jobs,
+)
 from repro.sim.config import DEFAULT_CONFIG, Mode
 
 CONFIG = DEFAULT_CONFIG.replace(n_logical=2)
@@ -40,6 +48,19 @@ def always_raises_run_job(job: SampleJob):
 
 def sleepy_run_job(job: SampleJob):
     time.sleep(30)
+
+
+def slow_run_job(job: SampleJob):
+    time.sleep(0.5)
+    return run_job(job)
+
+
+def signal_self_after_first_run_job(job: SampleJob):
+    """Serial-path helper: SIGTERM the batch right after the first job."""
+    sample = run_job(job)
+    if job.seed == 0:
+        os.kill(os.getpid(), signal.SIGTERM)
+    return sample
 
 
 class TestDeterminism:
@@ -98,3 +119,69 @@ class TestFailureHandling:
         pool = ExecutionPool(workers=1, run_job=always_raises_run_job)
         with pytest.raises(ValueError, match="simulated model error"):
             pool.run(JOBS[:1])
+
+
+class TestSignalDrain:
+    """SIGTERM/SIGINT drain the batch instead of killing it mid-write."""
+
+    def test_serial_drain_keeps_completed_results(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        batch = [JOBS[0], JOBS[1], JOBS[2]]  # seeds 0, 1, 0 -> 3 unique keys
+        pool = ExecutionPool(workers=1, run_job=signal_self_after_first_run_job)
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            pool.run(batch, cache=cache)
+        assert excinfo.value.signum == signal.SIGTERM
+        assert excinfo.value.remaining == 2
+        assert "SIGTERM" in excinfo.value.failures[0]
+        manifest = excinfo.value.manifest
+        assert manifest.executed == 1
+        # The completed job's result was cached before the drain returned.
+        assert cache.get(batch[0]) == run_job(batch[0])
+        assert len(cache) == 1
+
+    def test_parallel_drain_finishes_in_flight_then_stops(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        batch = JOBS[:6]
+        pool = ExecutionPool(workers=2, run_job=slow_run_job)
+        timer = threading.Timer(
+            0.2, lambda: os.kill(os.getpid(), signal.SIGTERM)
+        )
+        timer.start()
+        try:
+            with pytest.raises(ExecutionInterrupted) as excinfo:
+                pool.run(batch, cache=cache)
+        finally:
+            timer.cancel()
+        manifest = excinfo.value.manifest
+        # The first wave (2 workers) was in flight when the signal landed:
+        # it completed and flushed; nothing new launched afterwards.
+        assert manifest.executed == 2
+        assert excinfo.value.remaining == 4
+        assert len(cache) == manifest.executed
+        assert cache.get(batch[0]) == run_job(batch[0])
+        # No orphaned workers: every process was joined during the drain.
+        assert multiprocessing.active_children() == []
+
+    def test_second_signal_cancels_in_flight_workers(self):
+        pool = ExecutionPool(workers=2, run_job=sleepy_run_job)
+        timers = [
+            threading.Timer(delay, lambda: os.kill(os.getpid(), signal.SIGTERM))
+            for delay in (0.2, 0.5)
+        ]
+        for timer in timers:
+            timer.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(ExecutionInterrupted) as excinfo:
+                pool.run(JOBS[:4])
+        finally:
+            for timer in timers:
+                timer.cancel()
+        assert time.monotonic() - start < 10  # terminated, not awaited
+        assert excinfo.value.remaining == 4  # nothing completed
+        assert multiprocessing.active_children() == []
+
+    def test_handlers_restored_after_batch(self):
+        before = signal.getsignal(signal.SIGTERM)
+        execute_jobs(JOBS[:1], workers=2)
+        assert signal.getsignal(signal.SIGTERM) is before

@@ -1,0 +1,92 @@
+"""Fair-share scheduler: small clients never starve behind big ones."""
+
+from repro.serve.scheduler import FairShareScheduler
+
+
+def drain(scheduler: FairShareScheduler) -> list[tuple[str, str]]:
+    order = []
+    while True:
+        picked = scheduler.pop()
+        if picked is None:
+            return order
+        order.append(picked)
+
+
+class TestFairShare:
+    def test_single_client_is_fifo(self):
+        scheduler = FairShareScheduler()
+        for n in range(4):
+            scheduler.push("solo", f"k{n}")
+        assert drain(scheduler) == [("solo", f"k{n}") for n in range(4)]
+
+    def test_small_client_drains_ahead_of_big_one(self):
+        """A 3-job sweep submitted *after* a 100-job campaign finishes
+        within the first handful of dispatches, not after job 100."""
+        scheduler = FairShareScheduler()
+        for n in range(100):
+            scheduler.push("campaign", f"big{n}")
+        for n in range(3):
+            scheduler.push("smoke", f"small{n}")
+        order = drain(scheduler)
+        smoke_positions = [
+            index for index, (client, _) in enumerate(order) if client == "smoke"
+        ]
+        assert max(smoke_positions) <= 6  # strict alternation: 1, 3, 5
+        assert len(order) == 103
+
+    def test_round_robin_between_equal_clients(self):
+        scheduler = FairShareScheduler()
+        for n in range(3):
+            scheduler.push("a", f"a{n}")
+            scheduler.push("b", f"b{n}")
+        clients = [client for client, _ in drain(scheduler)]
+        assert clients == ["a", "b", "a", "b", "a", "b"]
+
+    def test_served_counts_persist_across_sweeps(self):
+        """A client that already consumed service yields to a newcomer."""
+        scheduler = FairShareScheduler()
+        for n in range(5):
+            scheduler.push("old", f"first{n}")
+        drain(scheduler)
+        assert scheduler.served("old") == 5
+        scheduler.push("old", "later")
+        scheduler.push("new", "n0")
+        scheduler.push("new", "n1")
+        order = drain(scheduler)
+        assert [client for client, _ in order] == ["new", "new", "old"]
+
+    def test_priority_orders_within_a_client(self):
+        scheduler = FairShareScheduler()
+        scheduler.push("c", "low", priority=0)
+        scheduler.push("c", "high", priority=5)
+        assert [key for _, key in drain(scheduler)] == ["high", "low"]
+
+    def test_priority_breaks_served_ties_across_clients(self):
+        scheduler = FairShareScheduler()
+        scheduler.push("a", "a0", priority=0)
+        scheduler.push("b", "b0", priority=9)
+        client, key = scheduler.pop()
+        assert (client, key) == ("b", "b0")
+
+    def test_discard_removes_every_queued_instance(self):
+        scheduler = FairShareScheduler()
+        scheduler.push("a", "dup")
+        scheduler.push("b", "dup")
+        scheduler.push("b", "keep")
+        scheduler.discard("dup")
+        assert len(scheduler) == 1
+        assert drain(scheduler) == [("b", "keep")]
+
+    def test_empty_pop_returns_none(self):
+        scheduler = FairShareScheduler()
+        assert scheduler.pop() is None
+        assert len(scheduler) == 0
+
+    def test_deterministic_dispatch(self):
+        def build():
+            scheduler = FairShareScheduler()
+            for n in range(10):
+                scheduler.push("x" if n % 3 else "y", f"k{n}", priority=n % 2)
+            return drain(scheduler)
+
+        assert build() == build()
